@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reproduces **Figure 7**: average end-to-end latency of YCSB-A requests
+ * against a key-value store whose objects are split between local DRAM
+ * and remote memory in different ratios (local:remote from 100:10 to
+ * 10:100).
+ *
+ * EDM's remote latency is *measured* on the cycle-level fabric running
+ * the real KV store; local DRAM uses the DDR4 model (~82 ns); CXL and
+ * RDMA remote latencies come from the Table-1 / Pond-calibrated
+ * constants, as in the paper's comparison. Expected shape: EDM within
+ * ~1.3× CXL and far below RDMA at every mix.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analytic/latency_model.hpp"
+#include "kv/kv_store.hpp"
+#include "mem/dram.hpp"
+#include "workload/ycsb.hpp"
+
+using namespace edm;
+
+namespace {
+
+/** Measured EDM remote GET/PUT latency over the cycle fabric. */
+struct EdmRemote
+{
+    double get_ns = 0;
+    double put_ns = 0;
+};
+
+EdmRemote
+measureEdmRemote()
+{
+    Simulation sim(3);
+    core::EdmConfig cfg;
+    cfg.num_nodes = 2;
+    cfg.link_rate = Gbps{25.0};
+    core::CycleFabric fab(cfg, sim, {1});
+    kv::KvStore store(fab, 0, 1, 4096, 1024);
+    workload::YcsbGenerator gen(workload::YcsbWorkload::A, 4096, 5);
+
+    // Load phase.
+    for (std::uint64_t k = 0; k < 4096; k += 64) {
+        store.put(k, std::vector<std::uint8_t>(100, 0x5A));
+        sim.run();
+    }
+
+    RunningStat get_lat, put_lat;
+    for (int i = 0; i < 400; ++i) {
+        const auto op = gen.next();
+        const std::uint64_t key = op.key;
+        if (op.is_write) {
+            store.put(key, std::vector<std::uint8_t>(100, 0x11),
+                      [&](Picoseconds l) { put_lat.add(toNs(l)); });
+        } else {
+            store.get(key, [&](auto, Picoseconds l) {
+                get_lat.add(toNs(l));
+            });
+        }
+        sim.run();
+    }
+    return EdmRemote{get_lat.mean(), put_lat.mean()};
+}
+
+} // namespace
+
+int
+main()
+{
+    const EdmRemote edm = measureEdmRemote();
+
+    // Local DDR4 access (~82 ns anchor in the paper's Figure 7).
+    mem::Dram dram;
+    (void)dram.access(0, 64, 0); // open the row
+    const double local_ns = toNs(dram.access(64, 64, 1000000)) + 60.0;
+    // (row-hit DRAM + on-chip path; lands near the paper's ~82 ns)
+
+    // Remote latencies per fabric (YCSB-A: 50 % reads, 50 % writes).
+    const double edm_remote = 0.5 * edm.get_ns + 0.5 * edm.put_ns;
+
+    // CXL: single-switch fabric ~100 ns cheaper than EDM's path (Pond
+    // [41], §4.2.2) plus the same DRAM service at the far side.
+    const double cxl_remote = edm_remote - 100.0;
+
+    // RDMA: Table-1 RoCEv2 fabric latency + far-side DRAM.
+    const double rdma_read = toNs(analytic::fabricLatency(
+        analytic::Stack::RoCE, true).total);
+    const double rdma_write = toNs(analytic::fabricLatency(
+        analytic::Stack::RoCE, false).total);
+    const double rdma_remote =
+        0.5 * (rdma_read + 80.0) + 0.5 * rdma_write;
+
+    std::printf("=== Figure 7: YCSB-A end-to-end latency vs local:remote "
+                "split (ns) ===\n");
+    std::printf("(local DDR4 = %.0f ns; EDM remote measured on the cycle "
+                "fabric: GET %.0f / PUT %.0f ns)\n\n",
+                local_ns, edm.get_ns, edm.put_ns);
+    std::printf("  %-12s %8s %8s %8s %14s\n", "local:remote", "EDM",
+                "CXL", "RDMA", "EDM/CXL ratio");
+
+    const std::vector<std::pair<int, int>> mixes = {
+        {100, 10}, {66, 34}, {50, 50}, {34, 66}, {10, 100}};
+    for (const auto &[lo, hi] : mixes) {
+        const double p_remote =
+            static_cast<double>(hi) / static_cast<double>(lo + hi);
+        const double e = (1 - p_remote) * local_ns + p_remote * edm_remote;
+        const double c = (1 - p_remote) * local_ns + p_remote * cxl_remote;
+        const double r = (1 - p_remote) * local_ns + p_remote * rdma_remote;
+        std::printf("  %3d:%-8d %8.0f %8.0f %8.0f %10.2fx\n", lo, hi, e,
+                    c, r, e / c);
+    }
+    std::printf("\n(paper: EDM 113..395, CXL 107..313, RDMA 227..1637; "
+                "EDM within ~1.3x of CXL, far below RDMA)\n");
+    return 0;
+}

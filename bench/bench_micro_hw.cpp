@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hardware-structure models and
+ * hot datapath primitives: ordered-list operations, priority encoding,
+ * PCS framing, scrambling, CRC-32, and scheduler matching passes. These
+ * quantify the *simulator's* software costs (the hardware's costs are
+ * the cycle annotations validated in the test suite).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hpp"
+#include "core/scheduler.hpp"
+#include "hw/ordered_list.hpp"
+#include "hw/priority_encoder.hpp"
+#include "mac/crc32.hpp"
+#include "phy/pcs.hpp"
+#include "phy/scrambler.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace edm;
+
+void
+BM_OrderedListInsertPop(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    std::vector<std::int64_t> prios(n);
+    for (auto &p : prios)
+        p = static_cast<std::int64_t>(rng.next() % 1000);
+    for (auto _ : state) {
+        hw::OrderedList<std::int64_t, int> list(n);
+        for (std::size_t i = 0; i < n; ++i)
+            list.insert(prios[i], static_cast<int>(i));
+        while (auto e = list.popFront())
+            benchmark::DoNotOptimize(e->value);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * 2);
+}
+BENCHMARK(BM_OrderedListInsertPop)->Arg(32)->Arg(432)->Arg(1536);
+
+void
+BM_PriorityEncoder(benchmark::State &state)
+{
+    hw::PriorityEncoder enc(512);
+    Rng rng(5);
+    for (int i = 0; i < 64; ++i)
+        enc.set(rng.next() % 512);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(enc.encode());
+}
+BENCHMARK(BM_PriorityEncoder);
+
+void
+BM_PcsEncodeFrame(benchmark::State &state)
+{
+    const std::vector<std::uint8_t> frame(
+        static_cast<std::size_t>(state.range(0)), 0xA5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(phy::encodeFrame(frame));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PcsEncodeFrame)->Arg(64)->Arg(1518)->Arg(9018);
+
+void
+BM_Scrambler(benchmark::State &state)
+{
+    phy::Scrambler s;
+    std::uint64_t x = 0x123456789ABCDEFULL;
+    for (auto _ : state) {
+        x = s.scramble(x);
+        benchmark::DoNotOptimize(x);
+    }
+    state.SetBytesProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Scrambler);
+
+void
+BM_Crc32(benchmark::State &state)
+{
+    std::vector<std::uint8_t> data(
+        static_cast<std::size_t>(state.range(0)));
+    Rng rng(9);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mac::crc32(data));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1518);
+
+void
+BM_SchedulerMatchingPass(benchmark::State &state)
+{
+    // Cost of one demand → grant cycle at a given port count.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        Simulation sim(1);
+        core::EdmConfig cfg;
+        cfg.num_nodes = n;
+        cfg.link_rate = Gbps{100.0};
+        std::uint64_t grants = 0;
+        core::Scheduler sched(cfg, sim.events(),
+                              [&](const core::GrantAction &) {
+                                  ++grants;
+                              });
+        Rng rng(11);
+        for (std::size_t i = 0; i < n; ++i) {
+            core::ControlInfo ci;
+            ci.src = static_cast<core::NodeId>(i);
+            ci.dst = static_cast<core::NodeId>((i + 1 + rng.next() %
+                                                (n - 1)) % n);
+            ci.id = static_cast<core::MsgId>(i);
+            ci.size = 256;
+            sched.addWriteDemand(ci);
+        }
+        state.ResumeTiming();
+        sim.run();
+        benchmark::DoNotOptimize(grants);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerMatchingPass)->Arg(16)->Arg(144)->Arg(512);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benchmarks: model
+ * factories, wire-cost mapping, and one-line experiment runs.
+ *
+ * Scale note: set EDM_BENCH_SCALE (e.g. 0.2) to shrink message counts
+ * for quick runs; results are noisier but the shapes survive.
+ */
+
+#ifndef EDM_BENCH_BENCH_UTIL_HPP
+#define EDM_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/cxl.hpp"
+#include "proto/edm_model.hpp"
+#include "proto/fastpass.hpp"
+#include "proto/ird.hpp"
+#include "proto/window_model.hpp"
+#include "workload/synthetic.hpp"
+
+namespace edm {
+namespace bench {
+
+/** The seven fabrics of §4.3, in the paper's presentation order. */
+enum class Fabric
+{
+    Edm,
+    Ird,
+    Pfabric,
+    Pfc,
+    Dctcp,
+    Cxl,
+    Fastpass,
+};
+
+inline std::vector<Fabric>
+allFabrics()
+{
+    return {Fabric::Edm, Fabric::Ird, Fabric::Pfabric, Fabric::Pfc,
+            Fabric::Dctcp, Fabric::Cxl, Fabric::Fastpass};
+}
+
+inline const char *
+fabricName(Fabric f)
+{
+    switch (f) {
+      case Fabric::Edm: return "EDM";
+      case Fabric::Ird: return "IRD";
+      case Fabric::Pfabric: return "pFabric";
+      case Fabric::Pfc: return "PFC";
+      case Fabric::Dctcp: return "DCTCP";
+      case Fabric::Cxl: return "CXL";
+      case Fabric::Fastpass: return "Fastpass";
+    }
+    return "?";
+}
+
+inline std::unique_ptr<proto::FabricModel>
+makeModel(Fabric f, Simulation &sim, const proto::ClusterConfig &cluster,
+          core::Priority edm_priority = core::Priority::Srpt,
+          Bytes edm_chunk = 256, int edm_x = 3)
+{
+    switch (f) {
+      case Fabric::Edm: {
+        proto::EdmModelConfig cfg;
+        cfg.priority = edm_priority;
+        cfg.chunk_bytes = edm_chunk;
+        cfg.max_notifications = edm_x;
+        return std::make_unique<proto::EdmFlowModel>(sim, cluster, cfg);
+      }
+      case Fabric::Ird:
+        return std::make_unique<proto::IrdModel>(sim, cluster);
+      case Fabric::Pfabric:
+        return std::make_unique<proto::PfabricModel>(sim, cluster);
+      case Fabric::Pfc:
+        return std::make_unique<proto::PfcDcqcnModel>(sim, cluster);
+      case Fabric::Dctcp:
+        return std::make_unique<proto::DctcpModel>(sim, cluster);
+      case Fabric::Cxl:
+        return std::make_unique<proto::CxlModel>(sim, cluster);
+      case Fabric::Fastpass:
+        return std::make_unique<proto::FastpassModel>(sim, cluster);
+    }
+    return nullptr;
+}
+
+/** Load-calibration wire function for each fabric's own framing. */
+inline workload::WireFn
+wireFn(Fabric f)
+{
+    switch (f) {
+      case Fabric::Edm: return workload::wire::edm;
+      case Fabric::Ird: return workload::wire::ethernet;
+      case Fabric::Pfabric: return workload::wire::tcp;
+      case Fabric::Pfc: return workload::wire::rdma;
+      case Fabric::Dctcp: return workload::wire::tcp;
+      case Fabric::Cxl: return workload::wire::cxl;
+      case Fabric::Fastpass: return workload::wire::ethernet;
+    }
+    return workload::wire::ethernet;
+}
+
+/** Result of one simulated experiment point. */
+struct RunResult
+{
+    double norm_mean = 0;  ///< mean latency / own unloaded latency
+    double norm_p99 = 0;
+    double mean_ns = 0;
+    std::uint64_t completed = 0;
+};
+
+/** Global message-count scaling from EDM_BENCH_SCALE. */
+inline double
+benchScale()
+{
+    if (const char *s = std::getenv("EDM_BENCH_SCALE")) {
+        const double v = std::atof(s);
+        if (v > 0)
+            return v;
+    }
+    return 1.0;
+}
+
+/** Run one (fabric, workload) point of the §4.3 simulations. */
+inline RunResult
+runPoint(Fabric f, double load, double write_fraction,
+         std::uint64_t messages, const Cdf &size_cdf = {},
+         std::uint64_t seed = 42,
+         core::Priority edm_priority = core::Priority::Srpt,
+         Bytes edm_chunk = 256, int edm_x = 3)
+{
+    Simulation sim(seed);
+    proto::ClusterConfig cluster;
+    cluster.num_nodes = 144; // §4.3 setup
+    auto model = makeModel(f, sim, cluster, edm_priority, edm_chunk,
+                           edm_x);
+
+    workload::SyntheticConfig cfg;
+    cfg.num_nodes = cluster.num_nodes;
+    cfg.load = load;
+    cfg.write_fraction = write_fraction;
+    cfg.messages =
+        static_cast<std::uint64_t>(messages * benchScale());
+    cfg.size_cdf = size_cdf;
+
+    Rng rng(seed * 77 + 1);
+    const auto jobs = workload::generateSynthetic(rng, cfg, wireFn(f));
+    for (const auto &j : jobs)
+        model->offer(j);
+    sim.run();
+
+    RunResult r;
+    r.norm_mean = model->normalized().mean();
+    r.norm_p99 = model->normalized().percentile(99);
+    r.mean_ns = model->latency().mean();
+    r.completed = model->completed();
+    return r;
+}
+
+} // namespace bench
+} // namespace edm
+
+#endif // EDM_BENCH_BENCH_UTIL_HPP

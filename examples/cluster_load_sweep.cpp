@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Domain example: a rack-scale (144-node, 100 Gbps) disaggregated
+ * cluster under growing memory-traffic load, comparing EDM's in-network
+ * scheduler against DCTCP and CXL flow control — a condensed version of
+ * the paper's §4.3 simulations using the public flow-model API.
+ *
+ * Build & run:   ./build/examples/cluster_load_sweep
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "proto/cxl.hpp"
+#include "proto/edm_model.hpp"
+#include "proto/window_model.hpp"
+#include "workload/synthetic.hpp"
+
+int
+main()
+{
+    using namespace edm;
+    using namespace edm::proto;
+
+    std::printf("144 nodes, 100 Gbps, random 64 B remote writes; "
+                "normalized avg latency\n\n");
+    std::printf("  %-5s %8s %8s %8s\n", "load", "EDM", "DCTCP", "CXL");
+
+    for (double load : {0.3, 0.6, 0.9}) {
+        double results[3];
+        int idx = 0;
+        for (int which = 0; which < 3; ++which) {
+            Simulation sim(11);
+            ClusterConfig cluster;
+            cluster.num_nodes = 144;
+            std::unique_ptr<FabricModel> model;
+            workload::WireFn wire = workload::wire::edm;
+            if (which == 0) {
+                model = std::make_unique<EdmFlowModel>(sim, cluster);
+            } else if (which == 1) {
+                model = std::make_unique<DctcpModel>(sim, cluster);
+                wire = workload::wire::tcp;
+            } else {
+                model = std::make_unique<CxlModel>(sim, cluster);
+                wire = workload::wire::cxl;
+            }
+
+            workload::SyntheticConfig cfg;
+            cfg.num_nodes = cluster.num_nodes;
+            cfg.load = load;
+            cfg.write_fraction = 1.0;
+            cfg.messages = 20000;
+            Rng rng(3);
+            for (const auto &j :
+                 workload::generateSynthetic(rng, cfg, wire))
+                model->offer(j);
+            sim.run();
+            results[idx++] = model->normalized().mean();
+        }
+        std::printf("  %-5.1f %8.3f %8.3f %8.3f\n", load, results[0],
+                    results[1], results[2]);
+    }
+    std::printf("\nEDM stays near its unloaded latency while reactive "
+                "and credit-based fabrics degrade (paper §4.3.1).\n");
+    return 0;
+}

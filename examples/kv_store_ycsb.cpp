@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Domain example: a remote key-value store served from a disaggregated
+ * memory node, driven by YCSB workloads A, B and F (the paper's §4.2.2
+ * application scenario). Reports average/percentile GET and PUT
+ * latencies over the EDM fabric.
+ *
+ * Build & run:   ./build/examples/kv_store_ycsb
+ */
+
+#include <cstdio>
+
+#include "kv/kv_store.hpp"
+#include "workload/ycsb.hpp"
+
+int
+main()
+{
+    using namespace edm;
+    using workload::YcsbWorkload;
+
+    for (auto w : {YcsbWorkload::A, YcsbWorkload::B, YcsbWorkload::F}) {
+        Simulation sim(7);
+        core::EdmConfig cfg;
+        cfg.num_nodes = 2;
+        cfg.link_rate = Gbps{25.0};
+        core::CycleFabric fabric(cfg, sim, {1});
+
+        constexpr std::uint64_t kKeys = 2048;
+        kv::KvStore store(fabric, /*client=*/0, /*server=*/1, kKeys,
+                          /*slot_bytes=*/1024);
+        workload::YcsbGenerator gen(w, kKeys, 13);
+
+        // Load phase: populate every key with a 1 KB object.
+        for (std::uint64_t k = 0; k < kKeys; ++k) {
+            store.put(k, std::vector<std::uint8_t>(1024, 0xAB));
+            sim.run();
+        }
+
+        // Run phase.
+        Samples get_lat, put_lat;
+        std::uint64_t misses = 0;
+        for (int i = 0; i < 2000; ++i) {
+            const auto op = gen.next();
+            if (op.is_write) {
+                store.put(op.key,
+                          std::vector<std::uint8_t>(op.size, 0x11),
+                          [&](Picoseconds l) { put_lat.add(toNs(l)); });
+            } else {
+                store.get(op.key, [&](auto value, Picoseconds l) {
+                    get_lat.add(toNs(l));
+                    misses += !value.has_value();
+                });
+            }
+            sim.run();
+        }
+
+        std::printf("YCSB-%s: GET avg %7.1f ns (p99 %7.1f), "
+                    "PUT avg %7.1f ns (p99 %7.1f), misses %llu\n",
+                    workload::ycsbName(w).c_str(), get_lat.mean(),
+                    get_lat.percentile(99), put_lat.mean(),
+                    put_lat.percentile(99),
+                    static_cast<unsigned long long>(misses));
+    }
+    std::printf("\n(every operation crosses the real block-level fabric:"
+                " ~300 ns EDM floor + DRAM + serialization)\n");
+    return 0;
+}

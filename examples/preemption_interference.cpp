@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Domain example: intra-frame preemption under converged traffic
+ * (paper §3.2.3 / §4.2.1). A compute node shares its uplink between
+ * latency-critical 64 B remote reads and a stream of 9 KB jumbo frames.
+ * Without preemption a read would wait for entire frames (~2.9 us each
+ * at 25 G); with EDM's 66-bit-granularity multiplexing the read latency
+ * stays nearly flat.
+ *
+ * Build & run:   ./build/examples/preemption_interference
+ */
+
+#include <cstdio>
+
+#include "core/fabric.hpp"
+#include "mac/frame.hpp"
+
+int
+main()
+{
+    using namespace edm;
+
+    Simulation sim(5);
+    core::EdmConfig cfg;
+    cfg.num_nodes = 2;
+    cfg.link_rate = Gbps{25.0};
+    core::CycleFabric fabric(cfg, sim, {1});
+    fabric.host(1).store()->write(0x1000,
+                                  std::vector<std::uint8_t>(64, 0x77));
+
+    auto measure_read = [&]() {
+        Picoseconds lat = 0;
+        fabric.read(0, 1, 0x1000, 64,
+                    [&](std::vector<std::uint8_t>, Picoseconds l, bool) {
+                        lat = l;
+                    });
+        sim.run();
+        return lat;
+    };
+
+    // Warm-up (opens the DRAM row) + clean baseline.
+    measure_read();
+    const Picoseconds clean = measure_read();
+    std::printf("unloaded 64 B read:               %8.2f ns\n",
+                toNs(clean));
+
+    // Saturate the uplink with jumbo frames, then read through them.
+    mac::Frame jumbo;
+    jumbo.payload.assign(8900, 0xEE);
+    const auto bytes = mac::serialize(jumbo);
+    const double frame_tx_ns =
+        toNs(transmissionDelay(bytes.size(), cfg.link_rate));
+    for (int i = 0; i < 8; ++i)
+        fabric.injectFrame(0, bytes);
+    const Picoseconds loaded = measure_read();
+
+    std::printf("read preempting 8 jumbo frames:   %8.2f ns "
+                "(+%.2f ns)\n", toNs(loaded), toNs(loaded - clean));
+    std::printf("one jumbo frame alone serializes for %.0f ns — without"
+                " preemption the read\nwould wait %.1f us behind the"
+                " frame queue.\n", frame_tx_ns, 8 * frame_tx_ns / 1000);
+    std::printf("frames delivered intact at the far side: %llu\n",
+                static_cast<unsigned long long>(
+                    fabric.host(1).stats().frames_received));
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Link-saturation throughput model: regenerates Figure 6 (YCSB requests
+ * per second, EDM vs RDMA) and the PHY-vs-MAC framing overhead
+ * arithmetic of §2.4 (limitations 1 and 2).
+ *
+ * Requests/sec is the minimum of (i) the uplink budget, (ii) the
+ * downlink budget, and (iii) the protocol's message-processing rate.
+ * EDM's processing is a few PHY cycles per message; RoCEv2 is bounded by
+ * its measured 230.2 ns per-message stack traversal (Table 1), which is
+ * what lets EDM pull ahead even where framing differences are small.
+ */
+
+#ifndef EDM_ANALYTIC_BANDWIDTH_MODEL_HPP
+#define EDM_ANALYTIC_BANDWIDTH_MODEL_HPP
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "workload/ycsb.hpp"
+
+namespace edm {
+namespace analytic {
+
+/** Protocols compared in Figure 6. */
+enum class Framing
+{
+    Edm,  ///< 66-bit PHY blocks, IFG repurposed, no MAC minimum
+    Rdma, ///< RoCEv2 frames: MAC minimum + headers + IFG + ACKs
+};
+
+/** Per-request byte budget on each link direction. */
+struct RequestCost
+{
+    double uplink_bytes = 0;   ///< compute→switch direction
+    double downlink_bytes = 0; ///< switch→compute direction
+    Picoseconds processing = 0; ///< per-message stack occupancy
+};
+
+/** Wire cost of one YCSB request under @p framing. */
+RequestCost requestCost(Framing framing, workload::YcsbWorkload w);
+
+/**
+ * Saturation throughput in million requests per second on @p rate links.
+ */
+double throughputMrps(Framing framing, workload::YcsbWorkload w,
+                      Gbps rate);
+
+/** §2.4 Limitation 1: fraction of a minimum frame wasted by @p payload. */
+double minFrameWaste(Bytes payload);
+
+/** §2.4 Limitation 2: IFG + preamble overhead for a frame of @p bytes. */
+double ifgOverhead(Bytes frame_bytes);
+
+} // namespace analytic
+} // namespace edm
+
+#endif // EDM_ANALYTIC_BANDWIDTH_MODEL_HPP

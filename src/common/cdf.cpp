@@ -1,0 +1,80 @@
+#include "cdf.hpp"
+
+#include <cmath>
+
+#include "logging.hpp"
+
+namespace edm {
+
+Cdf::Cdf(std::vector<Point> points)
+    : points_(std::move(points))
+{
+    EDM_ASSERT(!points_.empty(), "empty CDF");
+    double prev_v = -1.0;
+    double prev_p = -1.0;
+    for (const auto &pt : points_) {
+        EDM_ASSERT(pt.value > prev_v, "CDF values must strictly increase");
+        EDM_ASSERT(pt.prob >= prev_p, "CDF probabilities must not decrease");
+        EDM_ASSERT(pt.prob >= 0.0 && pt.prob <= 1.0,
+                   "CDF probability %f out of range", pt.prob);
+        prev_v = pt.value;
+        prev_p = pt.prob;
+    }
+    EDM_ASSERT(std::abs(points_.back().prob - 1.0) < 1e-9,
+               "CDF must end at probability 1, got %f", points_.back().prob);
+}
+
+Cdf::Cdf(std::initializer_list<Point> points)
+    : Cdf(std::vector<Point>(points))
+{
+}
+
+double
+Cdf::quantile(double p) const
+{
+    EDM_ASSERT(!points_.empty(), "quantile of empty CDF");
+    EDM_ASSERT(p >= 0.0 && p <= 1.0, "quantile prob %f out of range", p);
+    if (p <= points_.front().prob)
+        return points_.front().value;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (p <= points_[i].prob) {
+            const auto &a = points_[i - 1];
+            const auto &b = points_[i];
+            if (b.prob <= a.prob)
+                return b.value;
+            const double frac = (p - a.prob) / (b.prob - a.prob);
+            return a.value + frac * (b.value - a.value);
+        }
+    }
+    return points_.back().value;
+}
+
+double
+Cdf::sample(Rng &rng) const
+{
+    return quantile(rng.uniform());
+}
+
+double
+Cdf::mean() const
+{
+    EDM_ASSERT(!points_.empty(), "mean of empty CDF");
+    // The first point carries a point mass of its own probability; each
+    // subsequent segment is uniform between the two values.
+    double m = points_.front().value * points_.front().prob;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        const auto &a = points_[i - 1];
+        const auto &b = points_[i];
+        m += (b.prob - a.prob) * 0.5 * (a.value + b.value);
+    }
+    return m;
+}
+
+double
+Cdf::maxValue() const
+{
+    EDM_ASSERT(!points_.empty(), "maxValue of empty CDF");
+    return points_.back().value;
+}
+
+} // namespace edm

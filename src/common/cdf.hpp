@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Empirical cumulative distribution functions for workload synthesis.
+ *
+ * The paper's network-simulation traces are generated from the statistical
+ * size distributions of public disaggregated-application traces; this class
+ * is the sampling substrate for that (see src/workload/traces.*).
+ */
+
+#ifndef EDM_COMMON_CDF_HPP
+#define EDM_COMMON_CDF_HPP
+
+#include <initializer_list>
+#include <vector>
+
+#include "random.hpp"
+
+namespace edm {
+
+/**
+ * Piecewise-linear empirical CDF over a positive-valued domain.
+ *
+ * Defined by (value, cumulative probability) points with strictly
+ * increasing values and non-decreasing probabilities ending at 1.0.
+ */
+class Cdf
+{
+  public:
+    struct Point
+    {
+        double value;
+        double prob; ///< cumulative probability in [0, 1]
+    };
+
+    Cdf() = default;
+
+    /** Build from points; validates monotonicity and final prob of 1. */
+    explicit Cdf(std::vector<Point> points);
+    Cdf(std::initializer_list<Point> points);
+
+    /** Inverse-CDF sample using @p rng (linear interpolation). */
+    double sample(Rng &rng) const;
+
+    /** Value at cumulative probability @p p (the quantile function). */
+    double quantile(double p) const;
+
+    /** Mean of the piecewise-linear distribution. */
+    double mean() const;
+
+    /** Largest value in the support. */
+    double maxValue() const;
+
+    bool empty() const { return points_.empty(); }
+
+  private:
+    std::vector<Point> points_;
+};
+
+} // namespace edm
+
+#endif // EDM_COMMON_CDF_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger / core dump can capture state.
+ * fatal()  — the simulation cannot continue due to a user error (bad
+ *            configuration, invalid arguments); exits with status 1.
+ * warn()   — functionality that may behave unexpectedly.
+ * inform() — normal operating status messages.
+ */
+
+#ifndef EDM_COMMON_LOGGING_HPP
+#define EDM_COMMON_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace edm {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Abort with a message: an internal invariant was violated. */
+#define EDM_PANIC(...) \
+    ::edm::detail::panicImpl(__FILE__, __LINE__, \
+                             ::edm::detail::format(__VA_ARGS__))
+
+/** Exit with a message: unusable user-supplied configuration. */
+#define EDM_FATAL(...) \
+    ::edm::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::edm::detail::format(__VA_ARGS__))
+
+/** Warn about suspect but survivable conditions. */
+#define EDM_WARN(...) \
+    ::edm::detail::warnImpl(::edm::detail::format(__VA_ARGS__))
+
+/** Informational status message. */
+#define EDM_INFORM(...) \
+    ::edm::detail::informImpl(::edm::detail::format(__VA_ARGS__))
+
+/** Panic if @p cond does not hold. */
+#define EDM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::edm::detail::panicImpl(__FILE__, __LINE__, \
+                std::string("assertion failed: " #cond " — ") + \
+                ::edm::detail::format(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace edm
+
+#endif // EDM_COMMON_LOGGING_HPP

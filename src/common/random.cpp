@@ -1,0 +1,137 @@
+#include "random.hpp"
+
+#include <cmath>
+
+#include "logging.hpp"
+
+namespace edm {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+double
+zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &w : state_)
+        w = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0,1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    EDM_ASSERT(n > 0, "uniformInt(0) is undefined");
+    // Lemire-style rejection-free-enough bounded draw; the modulo bias for
+    // n << 2^64 is negligible for simulation purposes, but we debias anyway.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    EDM_ASSERT(lo <= hi, "uniformInt: empty range [%lld, %lld]",
+               static_cast<long long>(lo), static_cast<long long>(hi));
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+double
+Rng::exponential(double mean)
+{
+    // Inverse-CDF sampling; guard against log(0).
+    double u = uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double theta)
+{
+    EDM_ASSERT(n > 0, "zipf over empty domain");
+    if (n != zipf_n_ || theta != zipf_theta_) {
+        zipf_n_ = n;
+        zipf_theta_ = theta;
+        zipf_zetan_ = zeta(n, theta);
+        zipf_zeta2_ = zeta(2, theta);
+        zipf_alpha_ = 1.0 / (1.0 - theta);
+        zipf_eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n),
+                                    1.0 - theta)) /
+            (1.0 - zipf_zeta2_ / zipf_zetan_);
+    }
+    const double u = uniform();
+    const double uz = u * zipf_zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta))
+        return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n) *
+        std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+    return rank >= n ? n - 1 : rank;
+}
+
+} // namespace edm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Statistics collection: running moments, percentile histograms.
+ */
+
+#ifndef EDM_COMMON_STATS_HPP
+#define EDM_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace edm {
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ * O(1) memory; suitable for millions of samples.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples seen. */
+    std::uint64_t count() const { return n_; }
+
+    /** Mean of all samples (0 if empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 if fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Exact-percentile sample reservoir.
+ *
+ * Stores every sample; percentile() sorts lazily. Intended for experiment
+ * post-processing where sample counts are bounded (≲ tens of millions).
+ */
+class Samples
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return data_.size(); }
+    double mean() const;
+
+    /** p in [0, 100]; linear interpolation between order statistics. */
+    double percentile(double p) const;
+
+    double min() const;
+    double max() const;
+
+    const std::vector<double> &raw() const { return data_; }
+
+    void reset() { data_.clear(); sorted_ = true; }
+
+  private:
+    mutable std::vector<double> data_;
+    mutable bool sorted_ = true;
+
+    void ensureSorted() const;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi) with overflow/underflow bins.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::uint64_t count() const { return total_; }
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+    std::size_t bins() const { return counts_.size(); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Approximate percentile from bin boundaries. */
+    double percentile(double p) const;
+
+    /** Render a short textual summary (for experiment logs). */
+    std::string summary() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace edm
+
+#endif // EDM_COMMON_STATS_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Simulation time types and constants.
+ *
+ * All simulators in this repository keep time as an integral count of
+ * picoseconds. A picosecond granularity lets the 25 GbE PCS block slot
+ * (2.56 ns) and the 3 GHz scheduler clock (1/3 ns) both be represented
+ * without rounding drift over long runs.
+ */
+
+#ifndef EDM_COMMON_TIME_HPP
+#define EDM_COMMON_TIME_HPP
+
+#include <cstdint>
+
+namespace edm {
+
+/** Simulation timestamp / duration, in picoseconds. */
+using Picoseconds = std::int64_t;
+
+/** One nanosecond, in picoseconds. */
+inline constexpr Picoseconds kNanosecond = 1000;
+
+/** One microsecond, in picoseconds. */
+inline constexpr Picoseconds kMicrosecond = 1000 * kNanosecond;
+
+/** One millisecond, in picoseconds. */
+inline constexpr Picoseconds kMillisecond = 1000 * kMicrosecond;
+
+/** One second, in picoseconds. */
+inline constexpr Picoseconds kSecond = 1000 * kMillisecond;
+
+/**
+ * Duration of one 66-bit PCS block slot on a 25 GbE lane.
+ *
+ * 25 Gb/s line rate carries 66-bit blocks at 64/66 coding efficiency:
+ * the block clock is 25e9 / 64 = 390.625 MHz, i.e. 2.56 ns per block.
+ * This is the "clock cycle" used throughout the paper (Figure 5).
+ */
+inline constexpr Picoseconds kPcsBlockSlot = 2560;
+
+/** Convert a nanosecond count (possibly fractional) to picoseconds. */
+constexpr Picoseconds
+fromNs(double ns)
+{
+    return static_cast<Picoseconds>(ns * 1e3);
+}
+
+/** Convert picoseconds to (fractional) nanoseconds. */
+constexpr double
+toNs(Picoseconds ps)
+{
+    return static_cast<double>(ps) / 1e3;
+}
+
+/** Convert picoseconds to (fractional) microseconds. */
+constexpr double
+toUs(Picoseconds ps)
+{
+    return static_cast<double>(ps) / 1e6;
+}
+
+} // namespace edm
+
+#endif // EDM_COMMON_TIME_HPP

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Data-size and bandwidth unit helpers.
+ */
+
+#ifndef EDM_COMMON_UNITS_HPP
+#define EDM_COMMON_UNITS_HPP
+
+#include <cstdint>
+
+#include "time.hpp"
+
+namespace edm {
+
+/** Byte count type used for message and buffer sizes. */
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/** Link rate expressed in gigabits per second. */
+struct Gbps
+{
+    double value = 0.0;
+
+    /** Bits transferred per picosecond. */
+    constexpr double bitsPerPicosecond() const { return value / 1000.0; }
+};
+
+/**
+ * Serialization (transmission) delay of @p bytes over a @p rate link.
+ *
+ * Rounds up to the next picosecond so that back-to-back transmissions
+ * never overlap due to truncation.
+ */
+constexpr Picoseconds
+transmissionDelay(Bytes bytes, Gbps rate)
+{
+    // bits / (bits per ps) = ps
+    const double ps = static_cast<double>(bytes) * 8.0 /
+        rate.bitsPerPicosecond();
+    const auto floor_ps = static_cast<Picoseconds>(ps);
+    return (static_cast<double>(floor_ps) < ps) ? floor_ps + 1 : floor_ps;
+}
+
+/** Bytes a @p rate link can carry in @p dur (truncated). */
+constexpr Bytes
+bytesInFlight(Picoseconds dur, Gbps rate)
+{
+    const double bits = static_cast<double>(dur) * rate.bitsPerPicosecond();
+    return static_cast<Bytes>(bits / 8.0);
+}
+
+} // namespace edm
+
+#endif // EDM_COMMON_UNITS_HPP

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * EDM fabric configuration and the cycle-cost constants of the paper.
+ *
+ * Cycle counts come from §3.2.1 (host), §3.2.2 (switch) and Figure 5;
+ * they are shared between the cycle-level simulator and the analytic
+ * Table-1 model so the two cannot drift apart.
+ */
+
+#ifndef EDM_CORE_CONFIG_HPP
+#define EDM_CORE_CONFIG_HPP
+
+#include <cstddef>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace edm {
+namespace core {
+
+/** Scheduling policy for the central scheduler's priorities (§3.1.1). */
+enum class Priority
+{
+    Fcfs, ///< notification time — optimal for light-tailed workloads
+    Srpt, ///< remaining bytes — optimal for heavy-tailed workloads
+};
+
+/** Host and switch datapath cycle costs (1 cycle = one PCS block slot). */
+struct CycleCosts
+{
+    // ---- host TX (§3.2.1) ----
+    int host_gen_request = 2;   ///< read msg queue + create /N/ or RREQ
+    int host_read_grant = 4;    ///< grant queue crosses RX→TX domains
+    int host_gen_data = 3;      ///< state table + data buffer + block
+
+    // ---- host RX (§3.2.1) ----
+    int host_proc_grant = 2;    ///< parse + add to grant queue
+    int host_proc_rreq_extra = 1; ///< forward RREQ to memory controller
+    int host_proc_data = 3;     ///< parse + extract address + deliver
+
+    // ---- switch (§3.2.2) ----
+    int sw_classify = 1;        ///< block type check on every RX block
+    int sw_insert_notif = 2;    ///< ordered-list insert
+    int sw_gen_grant = 1;       ///< create a /G/ block
+    int sw_forward = 4;         ///< RX→TX clock-domain crossing
+    int sw_pim_iteration = 3;   ///< one priority-PIM iteration (§3.1.2)
+
+    // ---- standard PCS pipeline, charged per crossing ----
+    int pcs_tx = 2;             ///< encoder + scrambler latency
+    int pcs_rx = 2;             ///< descrambler + decoder latency
+};
+
+/** Full fabric configuration. */
+struct EdmConfig
+{
+    std::size_t num_nodes = 2;      ///< hosts attached to the switch
+    Gbps link_rate{25.0};           ///< per-port line rate (testbed: 25G)
+    Picoseconds cycle = kPcsBlockSlot; ///< host/switch PHY clock period
+
+    /**
+     * Scheduler clock. The FPGA prototype clocks the scheduler with the
+     * PHY (390.625 MHz); the ASIC synthesis runs it at 3 GHz (§4.1).
+     */
+    double scheduler_ghz = 1.0 / (toNs(kPcsBlockSlot));
+
+    Bytes chunk_bytes = 256;        ///< max bytes granted at once (§4.3)
+    int max_notifications = 3;      ///< X, per source–destination (§3.1.2)
+    Priority priority = Priority::Srpt;
+
+    /** Read-timeout guard against memory-node failure (§3.3). 0 = off. */
+    Picoseconds read_timeout = 0;
+
+    /**
+     * Layer-2 forwarding pipeline latency for coexisting non-memory
+     * frames (parser + match-action + packet manager + crossbar;
+     * Table 1 caption). Memory traffic never pays this.
+     */
+    Picoseconds l2_pipeline = 400 * kNanosecond;
+
+    CycleCosts costs{};
+
+    /** Scheduler clock period in picoseconds. */
+    Picoseconds
+    schedulerCycle() const
+    {
+        return static_cast<Picoseconds>(1000.0 / scheduler_ghz);
+    }
+};
+
+} // namespace core
+} // namespace edm
+
+#endif // EDM_CORE_CONFIG_HPP

@@ -1,0 +1,240 @@
+#include "fabric.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "phy/pcs.hpp"
+#include "phy/serdes.hpp"
+
+namespace edm {
+namespace core {
+
+CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
+                         std::vector<NodeId> memory_nodes)
+    : cfg_(cfg), sim_(sim),
+      host_pumps_(cfg.num_nodes), switch_pumps_(cfg.num_nodes),
+      frame_backlog_(cfg.num_nodes), uplink_health_(cfg.num_nodes)
+{
+    EDM_ASSERT(cfg_.num_nodes >= 2, "fabric needs at least two nodes");
+
+    auto is_memory = [&](NodeId id) {
+        return memory_nodes.empty() ||
+            std::find(memory_nodes.begin(), memory_nodes.end(), id) !=
+                memory_nodes.end();
+    };
+
+    hosts_.reserve(cfg_.num_nodes);
+    for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
+        hosts_.push_back(std::make_unique<HostStack>(
+            i, cfg_, sim_.events(), is_memory(i),
+            [this, i] { pumpHost(i); }));
+    }
+    switch_ = std::make_unique<SwitchStack>(
+        cfg_, sim_.events(), [this](NodeId port) { pumpSwitchPort(port); });
+
+    // Route write-delivery reports from memory nodes back to the writer
+    // so its completion callback sees the true delivery latency. This is
+    // a measurement channel, not a protocol message (the paper measures
+    // write latency at the memory node the same way).
+    for (auto &h : hosts_) {
+        h->setWriteDeliveredHook(
+            [this](const MemMessage &chunk, Picoseconds t) {
+                hosts_[chunk.src]->notifyWriteDelivered(chunk.dst, chunk.id,
+                                                        t);
+            });
+    }
+}
+
+HostStack &
+CycleFabric::host(NodeId id)
+{
+    EDM_ASSERT(id < hosts_.size(), "node %u out of range", id);
+    return *hosts_[id];
+}
+
+Picoseconds
+CycleFabric::hopLatency() const
+{
+    return static_cast<Picoseconds>(cfg_.costs.pcs_tx + cfg_.costs.pcs_rx) *
+        cfg_.cycle +
+        phy::kCrossingsPerTraversal * phy::kSerdesCrossing +
+        phy::kHopPropagation;
+}
+
+void
+CycleFabric::pumpHost(NodeId id)
+{
+    TxPump &p = host_pumps_[id];
+    if (p.active)
+        return;
+    p.active = true;
+    const Picoseconds start = std::max(sim_.now(), p.next_slot);
+    sim_.events().schedule(start, [this, id] { emitHost(id); });
+}
+
+void
+CycleFabric::emitHost(NodeId id)
+{
+    TxPump &p = host_pumps_[id];
+    auto &mux = hosts_[id]->mux();
+
+    // Top up the mux's bounded frame staging buffer from the backlog
+    // (models the MAC responding to freed buffer space).
+    auto &backlog = frame_backlog_[id];
+    while (!backlog.empty() && mux.frameSpace()) {
+        mux.offerFrameBlock(backlog.front());
+        backlog.pop_front();
+    }
+
+    if (!mux.hasWork()) {
+        p.active = false;
+        return;
+    }
+
+    const phy::PhyBlock block = mux.next();
+    const Picoseconds now = sim_.now();
+    p.next_slot = now + cfg_.cycle;
+
+    // Fault handling (§3.3): a damaged link corrupts blocks; the
+    // scrambler-side monitor detects them and, past the threshold, EDM
+    // disables the link rather than retransmitting (the errors are not
+    // transient). Corrupt or disabled-link blocks never reach the switch.
+    LinkHealth &health = uplink_health_[id];
+    bool deliver = !health.disabled;
+    if (deliver && health.corrupt_next > 0) {
+        --health.corrupt_next;
+        ++health.errors;
+        deliver = false;
+        if (health.errors >= kLinkErrorThreshold && !health.disabled) {
+            health.disabled = true;
+            EDM_WARN("uplink of node %u disabled after %llu line errors",
+                     id, static_cast<unsigned long long>(health.errors));
+        }
+    }
+
+    const Picoseconds delivery = cfg_.cycle // serialization slot
+        + hopLatency();
+    if (deliver) {
+        sim_.events().schedule(now + delivery, [this, id, block] {
+            switch_->rxBlock(id, block);
+        });
+    }
+
+    sim_.events().schedule(p.next_slot, [this, id] { emitHost(id); });
+}
+
+void
+CycleFabric::pumpSwitchPort(NodeId port)
+{
+    TxPump &p = switch_pumps_[port];
+    if (p.active)
+        return;
+    p.active = true;
+    const Picoseconds start = std::max(sim_.now(), p.next_slot);
+    sim_.events().schedule(start, [this, port] { emitSwitchPort(port); });
+}
+
+void
+CycleFabric::emitSwitchPort(NodeId port)
+{
+    TxPump &p = switch_pumps_[port];
+    auto &mux = switch_->egressMux(port);
+
+    // Top up the bounded frame staging buffer from the L2 backlog.
+    auto &backlog = switch_->egressFrameBacklog(port);
+    while (!backlog.empty() && mux.frameSpace()) {
+        mux.offerFrameBlock(backlog.front());
+        backlog.pop_front();
+    }
+
+    if (!mux.hasWork()) {
+        p.active = false;
+        return;
+    }
+
+    const phy::PhyBlock block = mux.next();
+    const Picoseconds now = sim_.now();
+    p.next_slot = now + cfg_.cycle;
+
+    const Picoseconds delivery = cfg_.cycle + hopLatency();
+    sim_.events().schedule(now + delivery, [this, port, block] {
+        hosts_[port]->rxBlock(block);
+    });
+
+    sim_.events().schedule(p.next_slot, [this, port] {
+        emitSwitchPort(port);
+    });
+}
+
+void
+CycleFabric::read(NodeId from, NodeId to, std::uint64_t addr, Bytes len,
+                  ReadCallback cb)
+{
+    host(from).postRead(
+        to, addr, len,
+        [this, cb = std::move(cb)](std::vector<std::uint8_t> data,
+                                   Picoseconds latency, bool timed_out) {
+            if (!timed_out)
+                read_lat_.add(toNs(latency));
+            if (cb)
+                cb(std::move(data), latency, timed_out);
+        });
+}
+
+void
+CycleFabric::write(NodeId from, NodeId to, std::uint64_t addr,
+                   std::vector<std::uint8_t> data, WriteCallback cb)
+{
+    host(from).postWrite(
+        to, addr, std::move(data),
+        [this, cb = std::move(cb)](Picoseconds latency) {
+            write_lat_.add(toNs(latency));
+            if (cb)
+                cb(latency);
+        });
+}
+
+void
+CycleFabric::rmw(NodeId from, NodeId to, std::uint64_t addr, mem::RmwOp op,
+                 std::uint64_t arg0, std::uint64_t arg1, RmwCallback cb)
+{
+    host(from).postRmw(
+        to, addr, op, arg0, arg1,
+        [this, cb = std::move(cb)](mem::RmwResult result,
+                                   Picoseconds latency) {
+            rmw_lat_.add(toNs(latency));
+            if (cb)
+                cb(result, latency);
+        });
+}
+
+void
+CycleFabric::corruptUplink(NodeId src, int blocks)
+{
+    EDM_ASSERT(src < uplink_health_.size(), "node %u out of range", src);
+    uplink_health_[src].corrupt_next += blocks;
+}
+
+std::uint64_t
+CycleFabric::linkErrors(NodeId src) const
+{
+    return uplink_health_.at(src).errors;
+}
+
+bool
+CycleFabric::linkDisabled(NodeId src) const
+{
+    return uplink_health_.at(src).disabled;
+}
+
+void
+CycleFabric::injectFrame(NodeId src, const std::vector<std::uint8_t> &frame)
+{
+    const auto blocks = phy::encodeFrame(frame);
+    auto &backlog = frame_backlog_[src];
+    backlog.insert(backlog.end(), blocks.begin(), blocks.end());
+    pumpHost(src);
+}
+
+} // namespace core
+} // namespace edm

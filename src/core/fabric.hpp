@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Cycle-level EDM fabric: hosts + switch + links, runnable end to end.
+ *
+ * This is the software equivalent of the paper's three-FPGA testbed
+ * (Figure 4): every 66-bit block is individually transmitted, delayed by
+ * PCS pipeline cycles, SerDes crossings and propagation, and delivered to
+ * the peer's demux. Latency constants are shared with the analytic
+ * Table-1 model through EdmConfig::costs.
+ */
+
+#ifndef EDM_CORE_FABRIC_HPP
+#define EDM_CORE_FABRIC_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/config.hpp"
+#include "core/host_stack.hpp"
+#include "core/switch_stack.hpp"
+#include "sim/simulation.hpp"
+
+namespace edm {
+namespace core {
+
+/**
+ * A single-switch EDM cluster at block granularity.
+ */
+class CycleFabric
+{
+  public:
+    /**
+     * @param cfg fabric configuration (num_nodes ports)
+     * @param sim owning simulation (event queue + rng)
+     * @param memory_nodes which node ids have DRAM attached; empty means
+     *        every node can serve memory
+     */
+    CycleFabric(const EdmConfig &cfg, Simulation &sim,
+                std::vector<NodeId> memory_nodes = {});
+
+    HostStack &host(NodeId id);
+    SwitchStack &switchStack() { return *switch_; }
+    const EdmConfig &config() const { return cfg_; }
+
+    // ---- convenience application API (records latency samples) ----
+
+    /** Remote read; latency recorded in readLatency(). */
+    void read(NodeId from, NodeId to, std::uint64_t addr, Bytes len,
+              ReadCallback cb = {});
+
+    /** Remote write; latency recorded in writeLatency(). */
+    void write(NodeId from, NodeId to, std::uint64_t addr,
+               std::vector<std::uint8_t> data, WriteCallback cb = {});
+
+    /** Remote atomic RMW; latency recorded in rmwLatency(). */
+    void rmw(NodeId from, NodeId to, std::uint64_t addr, mem::RmwOp op,
+             std::uint64_t arg0, std::uint64_t arg1, RmwCallback cb = {});
+
+    /**
+     * Inject a non-memory Ethernet frame on @p src's uplink (interference
+     * workload for the intra-frame preemption experiments, §3.2.3).
+     */
+    void injectFrame(NodeId src, const std::vector<std::uint8_t> &frame);
+
+    // ---- fault injection and link health (§3.3) ----
+
+    /**
+     * Corrupt the payload of the next @p blocks blocks on node @p src's
+     * uplink (simulating transceiver contamination / physical damage —
+     * the persistent error class §3.3 describes).
+     */
+    void corruptUplink(NodeId src, int blocks);
+
+    /**
+     * Errors detected on @p src's uplink. In the PHY, corruption is
+     * detected via sync-header/block-type violations and scrambler
+     * statistics; here every corrupted block is detectable by
+     * construction (a flipped bit in a control block yields an invalid
+     * type; in a data block, the descrambler's 3-bit error
+     * multiplication trips the monitor).
+     */
+    std::uint64_t linkErrors(NodeId src) const;
+
+    /**
+     * True once @p src's uplink was administratively disabled after
+     * crossing the error threshold. Blocks sent on a disabled link are
+     * dropped (the host's read-timeout guard then converts lost reads
+     * into NULL responses, §3.3).
+     */
+    bool linkDisabled(NodeId src) const;
+
+    /** Errors tolerated before a link is declared damaged and disabled. */
+    static constexpr std::uint64_t kLinkErrorThreshold = 16;
+
+    /** End-to-end latencies in nanoseconds (completion-measured). */
+    const Samples &readLatency() const { return read_lat_; }
+    const Samples &writeLatency() const { return write_lat_; }
+    const Samples &rmwLatency() const { return rmw_lat_; }
+
+    /**
+     * One-way block delivery latency excluding the serialization slot:
+     * PCS TX + SerDes + propagation + SerDes + PCS RX. Useful for tests
+     * validating against Table 1.
+     */
+    Picoseconds hopLatency() const;
+
+  private:
+    struct TxPump
+    {
+        bool active = false;
+        Picoseconds next_slot = 0;
+    };
+
+    EdmConfig cfg_;
+    Simulation &sim_;
+    std::vector<std::unique_ptr<HostStack>> hosts_;
+    std::unique_ptr<SwitchStack> switch_;
+
+    struct LinkHealth
+    {
+        int corrupt_next = 0;       ///< pending injected corruptions
+        std::uint64_t errors = 0;   ///< detected corrupt blocks
+        bool disabled = false;      ///< tripped the damage threshold
+    };
+
+    std::vector<TxPump> host_pumps_;
+    std::vector<TxPump> switch_pumps_;
+    std::vector<std::deque<phy::PhyBlock>> frame_backlog_;
+    std::vector<LinkHealth> uplink_health_;
+
+    Samples read_lat_;
+    Samples write_lat_;
+    Samples rmw_lat_;
+
+    void pumpHost(NodeId id);
+    void emitHost(NodeId id);
+    void pumpSwitchPort(NodeId port);
+    void emitSwitchPort(NodeId port);
+};
+
+} // namespace core
+} // namespace edm
+
+#endif // EDM_CORE_FABRIC_HPP

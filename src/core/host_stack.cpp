@@ -1,0 +1,481 @@
+#include "host_stack.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace core {
+
+HostStack::HostStack(NodeId id, const EdmConfig &cfg, EventQueue &events,
+                     bool has_memory, std::function<void()> on_tx_work)
+    : id_(id), cfg_(cfg), events_(events),
+      on_tx_work_(std::move(on_tx_work)),
+      mux_(phy::TxPolicy::Fair),
+      demux_([this](const phy::PhyBlock &b) { onMemoryBlock(b); },
+             [this](std::vector<phy::PhyBlock> frame) {
+                 ++stats_.frames_received;
+                 if (on_frame_)
+                     on_frame_(std::move(frame));
+             })
+{
+    EDM_ASSERT(on_tx_work_, "host stack needs a TX-work callback");
+    if (has_memory) {
+        dram_ = std::make_unique<mem::Dram>();
+        store_ = std::make_unique<mem::BackingStore>();
+    }
+}
+
+void
+HostStack::postRead(NodeId dst, std::uint64_t addr, Bytes len,
+                    ReadCallback cb)
+{
+    EDM_ASSERT(len > 0 && len <= 0xFFFF,
+               "read length %llu outside the 16-bit wire field",
+               static_cast<unsigned long long>(len));
+    PendingRequest req;
+    req.msg.type = MemMsgType::RREQ;
+    req.msg.src = id_;
+    req.msg.dst = dst;
+    req.msg.addr = addr;
+    req.msg.len = len;
+    req.read_cb = std::move(cb);
+    req.posted = events_.now();
+    admit(dst, std::move(req));
+}
+
+void
+HostStack::postWrite(NodeId dst, std::uint64_t addr,
+                     std::vector<std::uint8_t> data, WriteCallback cb)
+{
+    EDM_ASSERT(!data.empty() && data.size() <= 0xFFFF,
+               "write length %zu outside the 16-bit wire field",
+               data.size());
+    PendingRequest req;
+    req.msg.type = MemMsgType::WREQ;
+    req.msg.src = id_;
+    req.msg.dst = dst;
+    req.msg.addr = addr;
+    req.msg.len = data.size();
+    req.msg.payload = std::move(data);
+    req.write_cb = std::move(cb);
+    req.posted = events_.now();
+    admit(dst, std::move(req));
+}
+
+void
+HostStack::postRmw(NodeId dst, std::uint64_t addr, mem::RmwOp op,
+                   std::uint64_t arg0, std::uint64_t arg1, RmwCallback cb)
+{
+    PendingRequest req;
+    req.msg.type = MemMsgType::RMWREQ;
+    req.msg.src = id_;
+    req.msg.dst = dst;
+    req.msg.addr = addr;
+    req.msg.len = 16; // RRES carries old value + swapped flag
+    req.msg.opcode = op;
+    req.msg.arg0 = arg0;
+    req.msg.arg1 = arg1;
+    req.rmw_cb = std::move(cb);
+    req.posted = events_.now();
+    admit(dst, std::move(req));
+}
+
+void
+HostStack::admit(NodeId dst, PendingRequest req)
+{
+    // Rate-limit active requests to X per destination (§3.1.2): the
+    // scheduler's per-port notification queues are sized X·N, and hosts
+    // are the enforcement point.
+    if (outstanding_[dst] >= cfg_.max_notifications) {
+        parked_[dst].push_back(std::move(req));
+        return;
+    }
+    ++outstanding_[dst];
+    launch(std::move(req));
+}
+
+void
+HostStack::release(NodeId dst)
+{
+    auto it = outstanding_.find(dst);
+    EDM_ASSERT(it != outstanding_.end() && it->second > 0,
+               "release without matching admit for dst %u", dst);
+    --it->second;
+    auto &parked = parked_[dst];
+    if (!parked.empty()) {
+        PendingRequest req = std::move(parked.front());
+        parked.pop_front();
+        ++it->second;
+        launch(std::move(req));
+    }
+}
+
+void
+HostStack::launch(PendingRequest req)
+{
+    const NodeId dst = req.msg.dst;
+    const MsgId id = next_id_[dst]++;
+    req.msg.id = id;
+
+    const auto key = std::make_pair(dst, id);
+    EDM_ASSERT(!requests_.count(key),
+               "message id wrap with >256 outstanding to node %u", dst);
+
+    RequestState st;
+    st.type = req.msg.type;
+    st.remote_addr = req.msg.addr;
+    st.total = req.msg.len;
+    st.posted = req.posted;
+    st.read_cb = std::move(req.read_cb);
+    st.write_cb = std::move(req.write_cb);
+    st.rmw_cb = std::move(req.rmw_cb);
+
+    switch (req.msg.type) {
+      case MemMsgType::RREQ:
+      case MemMsgType::RMWREQ:
+        // The request travels now; it doubles as the demand notification
+        // for its response (§3.1.1) so no /N/ is needed.
+        if (cfg_.read_timeout > 0) {
+            st.timeout = events_.scheduleAfter(
+                cfg_.read_timeout, [this, dst, id] {
+                    onReadTimeout(dst, id);
+                });
+        }
+        requests_.emplace(key, std::move(st));
+        enqueueMemBlocks(serialize(req.msg), cycles(cfg_.costs.host_gen_request));
+        break;
+      case MemMsgType::WREQ: {
+        // Explicit demand notification; data waits for a grant.
+        st.data = std::move(req.msg.payload);
+        requests_.emplace(key, std::move(st));
+        ControlInfo n;
+        n.dst = dst;
+        n.src = id_;
+        n.id = id;
+        n.size = req.msg.len;
+        ++stats_.notify_blocks_sent;
+        enqueueMemBlocks({makeNotify(n)},
+                         cycles(cfg_.costs.host_gen_request));
+        break;
+      }
+      case MemMsgType::RRES:
+        EDM_PANIC("applications do not post RRES directly");
+    }
+}
+
+void
+HostStack::enqueueMemBlocks(std::vector<phy::PhyBlock> blocks,
+                            Picoseconds delay)
+{
+    stats_.mem_blocks_sent += blocks.size();
+    events_.scheduleAfter(delay, [this, blocks = std::move(blocks)] {
+        mux_.enqueueMemory(blocks);
+        on_tx_work_();
+    });
+}
+
+void
+HostStack::rxBlock(const phy::PhyBlock &block)
+{
+    demux_.feed(block);
+}
+
+void
+HostStack::onMemoryBlock(const phy::PhyBlock &block)
+{
+    ++stats_.mem_blocks_received;
+
+    if (block.isControl() && block.type() == phy::BlockType::Grant) {
+        ++stats_.grant_blocks_received;
+        const ControlInfo g = unpackControl(block.controlPayload());
+        // Parse + enqueue to the grant queue (2 cycles, §3.2.1); the
+        // queue read happens on the TX side of the clock crossing.
+        events_.scheduleAfter(cycles(cfg_.costs.host_proc_grant),
+                              [this, g] {
+                                  grant_queue_.push(g);
+                                  onGrant(g);
+                              });
+        return;
+    }
+    if (block.isControl() && block.type() == phy::BlockType::Notify) {
+        EDM_PANIC("host %u received an /N/ block — switch-only", id_);
+    }
+
+    auto msg = assembler_.feed(block);
+    if (!msg)
+        return;
+
+    MemMessage m = std::move(*msg);
+    Picoseconds delay = 0;
+    switch (m.type) {
+      case MemMsgType::RREQ:
+      case MemMsgType::RMWREQ:
+        // Parse + grant-queue entry + hand-off to the memory controller.
+        delay = cycles(cfg_.costs.host_proc_grant +
+                       cfg_.costs.host_proc_rreq_extra);
+        break;
+      case MemMsgType::WREQ:
+      case MemMsgType::RRES:
+        delay = cycles(cfg_.costs.host_proc_data);
+        break;
+    }
+    events_.scheduleAfter(delay, [this, m = std::move(m)] {
+        onMessage(m);
+    });
+}
+
+void
+HostStack::onGrant(const ControlInfo &g)
+{
+    grant_queue_.pop();
+    const auto req_key = std::make_pair(g.dst, g.id);
+    if (auto it = requests_.find(req_key);
+        it != requests_.end() && it->second.type == MemMsgType::WREQ) {
+        sendWriteChunk(g.dst, g.id, g.size);
+        return;
+    }
+    if (responses_.count(req_key)) {
+        sendResponseChunk(g.dst, g.id, g.size);
+        return;
+    }
+    EDM_WARN("host %u: grant for unknown message dst=%u id=%u", id_,
+             g.dst, g.id);
+}
+
+void
+HostStack::onMessage(MemMessage msg)
+{
+    switch (msg.type) {
+      case MemMsgType::RREQ:
+        serveRead(msg);
+        break;
+      case MemMsgType::RMWREQ:
+        serveRmw(msg);
+        break;
+      case MemMsgType::WREQ:
+        serveWrite(msg);
+        break;
+      case MemMsgType::RRES:
+        completeRead(msg);
+        break;
+    }
+}
+
+void
+HostStack::serveRead(const MemMessage &req)
+{
+    EDM_ASSERT(store_ && dram_, "node %u has no memory to serve reads",
+               id_);
+    const Picoseconds dram = dram_->access(req.addr, req.len,
+                                           events_.now());
+    last_dram_latency_ = dram;
+
+    ResponseState rs;
+    rs.data = store_->read(req.addr, req.len);
+    responses_[std::make_pair(req.src, req.id)] = std::move(rs);
+
+    // The forwarded RREQ is the implicit first grant (§3.1.1 step 4):
+    // send the first chunk as soon as the DRAM read returns.
+    const NodeId dst = req.src;
+    const MsgId id = req.id;
+    events_.scheduleAfter(dram, [this, dst, id] {
+        sendResponseChunk(dst, id, cfg_.chunk_bytes);
+    });
+}
+
+void
+HostStack::serveRmw(const MemMessage &req)
+{
+    EDM_ASSERT(store_ && dram_, "node %u has no memory to serve RMW", id_);
+    // Read + modify + write, atomically (nothing else runs in between in
+    // a discrete-event step), charging two DRAM accesses.
+    const Picoseconds t0 = dram_->access(req.addr, 8, events_.now());
+    const Picoseconds t1 = dram_->access(req.addr, 8, events_.now() + t0);
+    last_dram_latency_ = t0 + t1;
+    const mem::RmwResult result =
+        store_->rmw(req.opcode, req.addr, req.arg0, req.arg1);
+
+    ResponseState rs;
+    rs.data.resize(16);
+    for (int i = 0; i < 8; ++i)
+        rs.data[i] = static_cast<std::uint8_t>(result.old_value >> (8 * i));
+    rs.data[8] = result.swapped ? 1 : 0;
+    responses_[std::make_pair(req.src, req.id)] = std::move(rs);
+
+    const NodeId dst = req.src;
+    const MsgId id = req.id;
+    events_.scheduleAfter(t0 + t1, [this, dst, id] {
+        sendResponseChunk(dst, id, cfg_.chunk_bytes);
+    });
+}
+
+void
+HostStack::serveWrite(const MemMessage &chunk)
+{
+    EDM_ASSERT(store_ && dram_, "node %u has no memory to serve writes",
+               id_);
+    last_dram_latency_ = dram_->access(chunk.addr, chunk.payload.size(),
+                                       events_.now());
+    store_->write(chunk.addr, chunk.payload);
+    if (chunk.last_chunk) {
+        ++stats_.writes_completed;
+        if (write_delivered_)
+            write_delivered_(chunk, events_.now());
+    }
+}
+
+void
+HostStack::sendResponseChunk(NodeId dst, MsgId id, Bytes chunk)
+{
+    const auto key = std::make_pair(dst, id);
+    auto it = responses_.find(key);
+    if (it == responses_.end()) {
+        EDM_WARN("host %u: RRES grant for finished message id=%u", id_, id);
+        return;
+    }
+    ResponseState &rs = it->second;
+    const Bytes n = std::min<Bytes>(chunk, rs.data.size() - rs.sent);
+    MemMessage m;
+    m.type = MemMsgType::RRES;
+    m.src = id_;
+    m.dst = dst;
+    m.id = id;
+    m.len = n;
+    m.payload.assign(rs.data.begin() + static_cast<std::ptrdiff_t>(rs.sent),
+                     rs.data.begin() +
+                         static_cast<std::ptrdiff_t>(rs.sent + n));
+    rs.sent += n;
+    m.last_chunk = rs.sent >= rs.data.size();
+    if (m.last_chunk)
+        responses_.erase(it);
+    enqueueMemBlocks(serialize(m), cycles(cfg_.costs.host_read_grant +
+                                          cfg_.costs.host_gen_data));
+}
+
+void
+HostStack::sendWriteChunk(NodeId dst, MsgId id, Bytes chunk)
+{
+    const auto key = std::make_pair(dst, id);
+    auto it = requests_.find(key);
+    EDM_ASSERT(it != requests_.end(), "write grant without state");
+    RequestState &st = it->second;
+    const Bytes n = std::min<Bytes>(chunk, st.total - st.done);
+    EDM_ASSERT(n > 0, "over-granted write dst=%u id=%u", dst, id);
+
+    MemMessage m;
+    m.type = MemMsgType::WREQ;
+    m.src = id_;
+    m.dst = dst;
+    m.id = id;
+    m.addr = st.remote_addr + st.done;
+    m.len = n;
+    m.payload.assign(st.data.begin() + static_cast<std::ptrdiff_t>(st.done),
+                     st.data.begin() +
+                         static_cast<std::ptrdiff_t>(st.done + n));
+    st.done += n;
+    m.last_chunk = st.done >= st.total;
+    enqueueMemBlocks(serialize(m), cycles(cfg_.costs.host_read_grant +
+                                          cfg_.costs.host_gen_data));
+
+    if (m.last_chunk) {
+        // All data handed to the fabric; the write-completion callback
+        // fires when the memory node reports delivery (fabric hook).
+        if (!st.write_cb) {
+            requests_.erase(it);
+            release(dst);
+        }
+    }
+}
+
+void
+HostStack::completeRead(const MemMessage &chunk)
+{
+    const auto key = std::make_pair(chunk.src, chunk.id);
+    auto it = requests_.find(key);
+    if (it == requests_.end())
+        return; // timed out earlier; drop late data (§3.3)
+    RequestState &st = it->second;
+    st.data.insert(st.data.end(), chunk.payload.begin(),
+                   chunk.payload.end());
+    st.done += chunk.payload.size();
+    if (!chunk.last_chunk && st.done < st.total)
+        return;
+
+    if (st.timeout != kInvalidEvent)
+        events_.cancel(st.timeout);
+    const Picoseconds latency = events_.now() - st.posted;
+
+    if (st.type == MemMsgType::RMWREQ) {
+        ++stats_.rmws_completed;
+        mem::RmwResult result;
+        if (st.data.size() >= 9) {
+            for (int i = 0; i < 8; ++i)
+                result.old_value |=
+                    static_cast<std::uint64_t>(st.data[i]) << (8 * i);
+            result.swapped = st.data[8] != 0;
+        }
+        auto cb = std::move(st.rmw_cb);
+        const NodeId dst = chunk.src;
+        requests_.erase(it);
+        release(dst);
+        if (cb)
+            cb(result, latency);
+    } else {
+        ++stats_.reads_completed;
+        auto cb = std::move(st.read_cb);
+        auto data = std::move(st.data);
+        const NodeId dst = chunk.src;
+        requests_.erase(it);
+        release(dst);
+        if (cb)
+            cb(std::move(data), latency, false);
+    }
+}
+
+void
+HostStack::onReadTimeout(NodeId dst, MsgId id)
+{
+    const auto key = std::make_pair(dst, id);
+    auto it = requests_.find(key);
+    if (it == requests_.end())
+        return;
+    ++stats_.read_timeouts;
+    auto cb = std::move(it->second.read_cb);
+    const Picoseconds latency = events_.now() - it->second.posted;
+    requests_.erase(it);
+    release(dst);
+    if (cb)
+        cb({}, latency, true); // NULL (zero-size) response, §3.3
+}
+
+void
+HostStack::notifyWriteDelivered(NodeId mem_node, MsgId id,
+                                Picoseconds delivered_at)
+{
+    const auto key = std::make_pair(mem_node, id);
+    auto it = requests_.find(key);
+    if (it == requests_.end())
+        return;
+    const Picoseconds latency = delivered_at - it->second.posted;
+    auto cb = std::move(it->second.write_cb);
+    requests_.erase(it);
+    release(mem_node);
+    if (cb)
+        cb(latency);
+}
+
+void
+HostStack::setWriteDeliveredHook(WriteDeliveredHook hook)
+{
+    write_delivered_ = std::move(hook);
+}
+
+void
+HostStack::setFrameHandler(FrameHandler handler)
+{
+    on_frame_ = std::move(handler);
+}
+
+} // namespace core
+} // namespace edm

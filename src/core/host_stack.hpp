@@ -1,0 +1,216 @@
+/**
+ * @file
+ * EDM host network stack (paper §3.2.1).
+ *
+ * One instance per node. The TX side turns application requests into
+ * memory-path PHY blocks fed to the intra-frame preemption mux; the RX
+ * side classifies received memory-path blocks into grants, requests and
+ * response data, driving the message state table. A node with an attached
+ * memory controller (Dram + BackingStore) also serves remote requests —
+ * the NIC executes RMWREQ atomically (§3.2.1).
+ */
+
+#ifndef EDM_CORE_HOST_STACK_HPP
+#define EDM_CORE_HOST_STACK_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/message.hpp"
+#include "core/wire.hpp"
+#include "hw/cdc_fifo.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/dram.hpp"
+#include "phy/preemption.hpp"
+#include "sim/event_queue.hpp"
+
+namespace edm {
+namespace core {
+
+/** Completion of a remote read. @p timed_out marks a NULL response. */
+using ReadCallback = std::function<void(std::vector<std::uint8_t> data,
+                                        Picoseconds latency,
+                                        bool timed_out)>;
+
+/** Completion of a remote write (fully delivered at the memory node). */
+using WriteCallback = std::function<void(Picoseconds latency)>;
+
+/** Completion of an atomic RMW. */
+using RmwCallback = std::function<void(mem::RmwResult result,
+                                       Picoseconds latency)>;
+
+/** Host-side statistics. */
+struct HostStats
+{
+    std::uint64_t reads_completed = 0;
+    std::uint64_t writes_completed = 0;
+    std::uint64_t rmws_completed = 0;
+    std::uint64_t read_timeouts = 0;
+    std::uint64_t notify_blocks_sent = 0;
+    std::uint64_t grant_blocks_received = 0;
+    std::uint64_t mem_blocks_sent = 0;
+    std::uint64_t mem_blocks_received = 0;
+    std::uint64_t frames_received = 0;
+};
+
+/**
+ * Per-node EDM stack. The owning fabric pumps TX blocks from mux() onto
+ * the link and delivers RX blocks to rxBlock().
+ */
+class HostStack
+{
+  public:
+    /**
+     * @param id this node's port number
+     * @param cfg fabric configuration
+     * @param events shared event queue
+     * @param has_memory attach a DRAM + backing store (memory node role)
+     * @param on_tx_work invoked whenever the TX mux gains work
+     */
+    HostStack(NodeId id, const EdmConfig &cfg, EventQueue &events,
+              bool has_memory, std::function<void()> on_tx_work);
+
+    NodeId id() const { return id_; }
+
+    // ---- application API (paper §2.3 message types) ----
+
+    /** Issue a remote read of @p len bytes at @p addr on node @p dst. */
+    void postRead(NodeId dst, std::uint64_t addr, Bytes len,
+                  ReadCallback cb);
+
+    /** Issue a remote write of @p data to @p addr on node @p dst. */
+    void postWrite(NodeId dst, std::uint64_t addr,
+                   std::vector<std::uint8_t> data, WriteCallback cb);
+
+    /** Issue an atomic RMW on node @p dst. */
+    void postRmw(NodeId dst, std::uint64_t addr, mem::RmwOp op,
+                 std::uint64_t arg0, std::uint64_t arg1, RmwCallback cb);
+
+    // ---- fabric-facing interface ----
+
+    /**
+     * Hook invoked by the memory-node role when a write's final chunk
+     * has been applied; the fabric routes it back to the writer so its
+     * WriteCallback can fire with the true delivery latency.
+     */
+    using WriteDeliveredHook =
+        std::function<void(const MemMessage &final_chunk,
+                           Picoseconds delivered_at)>;
+
+    /** Install the fabric's write-delivery hook (memory-node side). */
+    void setWriteDeliveredHook(WriteDeliveredHook hook);
+
+    /** Handler for reassembled non-memory Ethernet frames (optional). */
+    using FrameHandler = std::function<void(std::vector<phy::PhyBlock>)>;
+
+    /** Install a non-memory frame handler (e.g. an IP stack model). */
+    void setFrameHandler(FrameHandler handler);
+
+    /** Fabric reports that our write (to @p mem_node, @p id) landed. */
+    void notifyWriteDelivered(NodeId mem_node, MsgId id,
+                              Picoseconds delivered_at);
+
+    /** TX preemption mux the fabric drains (one block per slot). */
+    phy::PreemptionMux &mux() { return mux_; }
+
+    /** Deliver one received line block (post PCS-RX). */
+    void rxBlock(const phy::PhyBlock &block);
+
+    /** Local memory (memory-node role); null on pure compute nodes. */
+    mem::BackingStore *store() { return store_.get(); }
+
+    const HostStats &stats() const { return stats_; }
+
+    /** Service latency of the most recent local DRAM access. */
+    Picoseconds lastDramLatency() const { return last_dram_latency_; }
+
+  private:
+    struct PendingRequest
+    {
+        MemMessage msg;
+        ReadCallback read_cb;
+        WriteCallback write_cb;
+        RmwCallback rmw_cb;
+        Picoseconds posted = 0;
+    };
+
+    /** Compute-side state of an outstanding request, keyed (dst, id). */
+    struct RequestState
+    {
+        MemMsgType type;
+        std::uint64_t remote_addr = 0;
+        Bytes total = 0;   ///< expected RRES bytes / WREQ data bytes
+        Bytes done = 0;    ///< RRES bytes received / WREQ bytes sent
+        std::vector<std::uint8_t> data; ///< RX buffer or WREQ TX data
+        Picoseconds posted = 0;
+        ReadCallback read_cb;
+        WriteCallback write_cb;
+        RmwCallback rmw_cb;
+        EventId timeout = kInvalidEvent;
+    };
+
+    /** Memory-side state of an in-progress RRES, keyed (dst, id). */
+    struct ResponseState
+    {
+        std::vector<std::uint8_t> data;
+        Bytes sent = 0;
+        std::uint64_t result_flag = 0; ///< RMW swapped flag
+    };
+
+    NodeId id_;
+    EdmConfig cfg_;
+    EventQueue &events_;
+    std::function<void()> on_tx_work_;
+
+    phy::PreemptionMux mux_;
+    phy::PreemptionDemux demux_;
+    MessageAssembler assembler_;
+    hw::CdcFifo<ControlInfo> grant_queue_;
+
+    std::map<std::pair<NodeId, MsgId>, RequestState> requests_;
+    std::map<std::pair<NodeId, MsgId>, ResponseState> responses_;
+
+    std::map<NodeId, int> outstanding_;          ///< active per dst (≤ X)
+    std::map<NodeId, std::deque<PendingRequest>> parked_;
+    std::map<NodeId, std::uint8_t> next_id_;
+
+    std::unique_ptr<mem::Dram> dram_;
+    std::unique_ptr<mem::BackingStore> store_;
+    Picoseconds last_dram_latency_ = 0;
+    WriteDeliveredHook write_delivered_;
+    FrameHandler on_frame_;
+
+    HostStats stats_;
+
+    Picoseconds cycles(int n) const
+    {
+        return static_cast<Picoseconds>(n) * cfg_.cycle;
+    }
+
+    void admit(NodeId dst, PendingRequest req);
+    void launch(PendingRequest req);
+    void release(NodeId dst);
+    void enqueueMemBlocks(std::vector<phy::PhyBlock> blocks,
+                          Picoseconds delay);
+    void onMemoryBlock(const phy::PhyBlock &block);
+    void onGrant(const ControlInfo &g);
+    void onMessage(MemMessage msg);
+    void serveRead(const MemMessage &req);
+    void serveWrite(const MemMessage &chunk);
+    void serveRmw(const MemMessage &req);
+    void sendResponseChunk(NodeId dst, MsgId id, Bytes chunk);
+    void sendWriteChunk(NodeId dst, MsgId id, Bytes chunk);
+    void completeRead(const MemMessage &chunk);
+    void onReadTimeout(NodeId dst, MsgId id);
+};
+
+} // namespace core
+} // namespace edm
+
+#endif // EDM_CORE_HOST_STACK_HPP

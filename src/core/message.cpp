@@ -1,0 +1,60 @@
+#include "message.hpp"
+
+#include "common/logging.hpp"
+#include "phy/block.hpp"
+
+namespace edm {
+namespace core {
+
+const char *
+toString(MemMsgType t)
+{
+    switch (t) {
+      case MemMsgType::RREQ: return "RREQ";
+      case MemMsgType::WREQ: return "WREQ";
+      case MemMsgType::RMWREQ: return "RMWREQ";
+      case MemMsgType::RRES: return "RRES";
+    }
+    return "?";
+}
+
+std::string
+MemMessage::toString() const
+{
+    return detail::format("%s %u->%u id=%u addr=0x%llx len=%llu",
+                          core::toString(type), src, dst, id,
+                          static_cast<unsigned long long>(addr),
+                          static_cast<unsigned long long>(len));
+}
+
+std::size_t
+wireBlocks(MemMsgType type, Bytes payload_len)
+{
+    const std::size_t data_blocks =
+        (payload_len + phy::kBlockDataBytes - 1) / phy::kBlockDataBytes;
+    switch (type) {
+      case MemMsgType::RREQ:
+        // /MS/ + addr + /MT/
+        return 3;
+      case MemMsgType::WREQ:
+        // /MS/ + addr + data + /MT/
+        return 3 + data_blocks;
+      case MemMsgType::RMWREQ:
+        // /MS/ + addr + arg0 + arg1 + /MT/
+        return 5;
+      case MemMsgType::RRES:
+        // /MS/ + data + /MT/, or a single /MST/ when header-only
+        return payload_len == 0 ? 1 : 2 + data_blocks;
+    }
+    EDM_PANIC("unknown message type %d", static_cast<int>(type));
+}
+
+double
+wireBytes(MemMsgType type, Bytes payload_len)
+{
+    return static_cast<double>(wireBlocks(type, payload_len)) *
+        phy::kBlockWireBits / 8.0;
+}
+
+} // namespace core
+} // namespace edm

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * EDM remote-memory message types (paper §2.3).
+ *
+ * Four message types cross the fabric: RREQ (read request), WREQ (write
+ * request), RMWREQ (atomic read-modify-write request) and RRES (read /
+ * RMW response). Messages are addressed by (src node, dst node, msg id);
+ * msg ids distinguish concurrent messages between the same pair.
+ */
+
+#ifndef EDM_CORE_MESSAGE_HPP
+#define EDM_CORE_MESSAGE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "mem/backing_store.hpp"
+
+namespace edm {
+namespace core {
+
+/** Switch port / node identifier (9 bits on the wire, ≤ 512 nodes). */
+using NodeId = std::uint16_t;
+
+/** Per source–destination message identifier (8 bits on the wire). */
+using MsgId = std::uint8_t;
+
+/** Remote memory message types. */
+enum class MemMsgType : std::uint8_t
+{
+    RREQ = 1,   ///< read request: addr + length to read
+    WREQ = 2,   ///< write request: addr + data
+    RMWREQ = 3, ///< atomic read-modify-write: addr + opcode + args
+    RRES = 4,   ///< response carrying read data or the RMW result
+};
+
+/** Human-readable type name. */
+const char *toString(MemMsgType t);
+
+/** One remote memory message (or one chunk of one, on the wire). */
+struct MemMessage
+{
+    MemMsgType type = MemMsgType::RREQ;
+    NodeId src = 0;
+    NodeId dst = 0;
+    MsgId id = 0;
+
+    std::uint64_t addr = 0;  ///< remote memory address
+    Bytes len = 0;           ///< bytes to read (RREQ) / data bytes carried
+
+    mem::RmwOp opcode = mem::RmwOp::CompareAndSwap; ///< RMWREQ only
+    std::uint64_t arg0 = 0;  ///< RMW argument (e.g. CAS expected)
+    std::uint64_t arg1 = 0;  ///< RMW argument (e.g. CAS desired)
+
+    std::vector<std::uint8_t> payload; ///< WREQ data / RRES data
+
+    bool last_chunk = true;  ///< false for non-final chunks of a message
+
+    std::string toString() const;
+};
+
+/**
+ * Wire size of a message in PHY blocks, given its type and payload
+ * length: /MS/ header + address/argument and data /MD/ blocks + /MT/.
+ * This is what the bandwidth models charge per message (66 bits per
+ * block — no 64 B minimum, no inter-frame gap; paper §3.2).
+ */
+std::size_t wireBlocks(MemMsgType type, Bytes payload_len);
+
+/** Wire bytes (66-bit blocks rounded to bits / 8) for a message. */
+double wireBytes(MemMsgType type, Bytes payload_len);
+
+} // namespace core
+} // namespace edm
+
+#endif // EDM_CORE_MESSAGE_HPP

@@ -1,0 +1,73 @@
+#include "replicated.hpp"
+
+#include <memory>
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace core {
+
+ReplicatedFabric::ReplicatedFabric(const EdmConfig &cfg, Simulation &sim,
+                                   std::vector<NodeId> memory_nodes)
+    : cfg_(cfg)
+{
+    // Disable per-network read timeouts: the replication layer decides
+    // completion (a network that lost its switch simply never answers;
+    // the surviving one does). Callers wanting a deadlock guard for a
+    // *dual* failure can still set one on the member fabrics.
+    primary_ = std::make_unique<CycleFabric>(cfg_, sim, memory_nodes);
+    backup_ = std::make_unique<CycleFabric>(cfg_, sim, memory_nodes);
+}
+
+void
+ReplicatedFabric::read(NodeId from, NodeId to, std::uint64_t addr,
+                       Bytes len, ReadCallback cb)
+{
+    EDM_ASSERT(cb, "replicated read needs a callback");
+    // Shared completion record: first copy wins, second is dropped.
+    auto done = std::make_shared<bool>(false);
+    auto once = [this, done, cb = std::move(cb)](
+                    std::vector<std::uint8_t> data, Picoseconds lat,
+                    bool timed_out) {
+        if (*done) {
+            ++duplicates_;
+            return;
+        }
+        *done = true;
+        cb(std::move(data), lat, timed_out);
+    };
+    primary_->read(from, to, addr, len, once);
+    backup_->read(from, to, addr, len, once);
+}
+
+void
+ReplicatedFabric::write(NodeId from, NodeId to, std::uint64_t addr,
+                        std::vector<std::uint8_t> data, WriteCallback cb)
+{
+    auto done = std::make_shared<bool>(false);
+    auto once = [this, done, cb = std::move(cb)](Picoseconds lat) {
+        if (*done) {
+            ++duplicates_;
+            return;
+        }
+        *done = true;
+        if (cb)
+            cb(lat);
+    };
+    primary_->write(from, to, addr, data, once);
+    backup_->write(from, to, addr, std::move(data), once);
+}
+
+void
+ReplicatedFabric::failNetwork(bool backup_network)
+{
+    CycleFabric &f = backup_network ? *backup_ : *primary_;
+    // Power loss at the switch: every uplink goes dark. We model it by
+    // saturating each link's corruption budget, which trips the damage
+    // threshold and disables the link.
+    for (NodeId n = 0; n < cfg_.num_nodes; ++n)
+        f.corruptUplink(n, 1 << 30);
+}
+
+} // namespace core
+} // namespace edm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Dual-ToR fault tolerance via state machine replication (paper §3.3).
+ *
+ * The switch is EDM's single point of failure, and unlike a plain ToR it
+ * holds scheduling state. The paper's remedy: racks already deploy a
+ * back-up ToR network; EDM mirrors every outgoing remote-memory message
+ * on both NIC interfaces so primary and back-up switches observe the
+ * same message stream and keep their scheduler state synchronized
+ * (classic state machine replication — no consensus needed, because all
+ * communication is single-hop and thus never reordered). The receive
+ * side accepts the first copy of each response and drops the duplicate.
+ *
+ * This module composes two CycleFabrics (one per ToR network) over a
+ * shared simulation and provides the mirrored read path. Killing either
+ * switch mid-run (disabling its links) leaves all operations live.
+ */
+
+#ifndef EDM_CORE_REPLICATED_HPP
+#define EDM_CORE_REPLICATED_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "core/fabric.hpp"
+
+namespace edm {
+namespace core {
+
+/** A compute/memory cluster with primary + back-up EDM ToR networks. */
+class ReplicatedFabric
+{
+  public:
+    /**
+     * @param cfg per-network configuration (both networks identical)
+     * @param sim shared simulation
+     * @param memory_nodes as in CycleFabric
+     */
+    ReplicatedFabric(const EdmConfig &cfg, Simulation &sim,
+                     std::vector<NodeId> memory_nodes = {});
+
+    /** The two ToR networks (exposed for fault injection in tests). */
+    CycleFabric &primary() { return *primary_; }
+    CycleFabric &backup() { return *backup_; }
+
+    /**
+     * Mirrored remote read: the RREQ goes out on both interfaces; the
+     * first returned copy of the response completes the operation and
+     * the duplicate is discarded.
+     */
+    void read(NodeId from, NodeId to, std::uint64_t addr, Bytes len,
+              ReadCallback cb);
+
+    /** Mirrored remote write (first delivery wins). */
+    void write(NodeId from, NodeId to, std::uint64_t addr,
+               std::vector<std::uint8_t> data, WriteCallback cb);
+
+    /**
+     * Fail one entire ToR network: every uplink into that switch is
+     * disabled, as when the switch loses power.
+     */
+    void failNetwork(bool backup_network);
+
+    /** Responses that arrived second and were discarded. */
+    std::uint64_t duplicatesDropped() const { return duplicates_; }
+
+  private:
+    EdmConfig cfg_;
+    std::unique_ptr<CycleFabric> primary_;
+    std::unique_ptr<CycleFabric> backup_;
+    std::uint64_t duplicates_ = 0;
+
+    /**
+     * Memory contents must be visible through both networks: writes on
+     * either network land in that network's memory-node store, so the
+     * replicated write path applies to both (mirroring does that for
+     * free — each network's copy of the message writes its own store).
+     * Reads then return the same data whichever copy wins.
+     */
+};
+
+} // namespace core
+} // namespace edm
+
+#endif // EDM_CORE_REPLICATED_HPP

@@ -1,0 +1,283 @@
+#include "scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace core {
+
+Scheduler::Scheduler(const EdmConfig &cfg, EventQueue &events,
+                     GrantSink sink)
+    : cfg_(cfg), events_(events), sink_(std::move(sink)),
+      src_busy_(cfg.num_nodes, false), dst_busy_(cfg.num_nodes, false)
+{
+    EDM_ASSERT(sink_, "scheduler needs a grant sink");
+    const std::size_t cap =
+        static_cast<std::size_t>(cfg_.max_notifications) * cfg_.num_nodes;
+    queues_.reserve(cfg_.num_nodes);
+    for (std::size_t i = 0; i < cfg_.num_nodes; ++i)
+        queues_.push_back(std::make_unique<Queue>(cap));
+}
+
+std::int64_t
+Scheduler::priorityOf(const Demand &d) const
+{
+    switch (cfg_.priority) {
+      case Priority::Fcfs:
+        // Earlier notification = higher priority.
+        return -static_cast<std::int64_t>(d.notified);
+      case Priority::Srpt:
+        // Fewer remaining bytes = higher priority.
+        return -static_cast<std::int64_t>(d.remaining);
+    }
+    return 0;
+}
+
+bool
+Scheduler::insertDemand(Demand d)
+{
+    EDM_ASSERT(d.dst < cfg_.num_nodes && d.src < cfg_.num_nodes,
+               "demand for unknown port %u->%u", d.src, d.dst);
+    Queue &q = *queues_[d.dst];
+    const std::int64_t prio = priorityOf(d);
+    const auto pair_key = std::make_pair(d.src, d.dst);
+    const std::uint64_t seq = d.seq;
+    if (!q.insert(prio, std::move(d)))
+        return false;
+    pairs_[pair_key].push_back(seq);
+    scheduleMatching();
+    return true;
+}
+
+bool
+Scheduler::addWriteDemand(const ControlInfo &notify)
+{
+    Demand d;
+    d.src = notify.src;
+    d.dst = notify.dst;
+    d.id = notify.id;
+    d.remaining = notify.size;
+    d.notified = events_.now();
+    d.seq = next_seq_++;
+    return insertDemand(std::move(d));
+}
+
+bool
+Scheduler::addReadDemand(const MemMessage &request, Bytes response_bytes)
+{
+    Demand d;
+    // The demand is for the *response*: memory node sends to requester.
+    d.src = request.dst;
+    d.dst = request.src;
+    d.id = request.id;
+    d.remaining = response_bytes;
+    d.notified = events_.now();
+    d.seq = next_seq_++;
+    d.buffered_request = request;
+    return insertDemand(std::move(d));
+}
+
+std::size_t
+Scheduler::pendingDemands() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues_)
+        n += q->size();
+    return n;
+}
+
+double
+Scheduler::avgIterations() const
+{
+    return matching_passes_ == 0
+        ? 0.0
+        : static_cast<double>(matching_iterations_) /
+            static_cast<double>(matching_passes_);
+}
+
+bool
+Scheduler::isPairHead(const Demand &d) const
+{
+    auto it = pairs_.find(std::make_pair(d.src, d.dst));
+    if (it == pairs_.end() || it->second.empty())
+        return false;
+    return it->second.front() == d.seq;
+}
+
+void
+Scheduler::retirePairEntry(const Demand &d)
+{
+    auto it = pairs_.find(std::make_pair(d.src, d.dst));
+    EDM_ASSERT(it != pairs_.end(), "retiring unknown pair entry");
+    auto &v = it->second;
+    auto pos = std::find(v.begin(), v.end(), d.seq);
+    EDM_ASSERT(pos != v.end(), "retiring unknown seq");
+    v.erase(pos);
+    if (v.empty())
+        pairs_.erase(it);
+}
+
+void
+Scheduler::scheduleMatching()
+{
+    if (matching_scheduled_)
+        return;
+    matching_scheduled_ = true;
+    // Run asynchronously (the matching pipeline iterates continuously in
+    // hardware); the switch datapath charges the visible grant latency
+    // (PIM iteration + grant generation / forwarding CDC, §3.2.2).
+    events_.scheduleAfter(0, [this] { runMatching(); });
+}
+
+void
+Scheduler::runMatching()
+{
+    matching_scheduled_ = false;
+    ++matching_passes_;
+
+    const Picoseconds iter_cost =
+        3 * cfg_.schedulerCycle(); // 3 cycles per PIM iteration (§3.1.2)
+    int iteration = 0;
+
+    for (;;) {
+        // Phase 1 (request): each free destination port proposes its
+        // highest-priority eligible demand.
+        struct Candidate
+        {
+            NodeId dst;
+            NodeId src;
+            std::uint64_t seq;
+            std::int64_t prio;
+        };
+        std::vector<Candidate> candidates;
+        for (NodeId d = 0; d < cfg_.num_nodes; ++d) {
+            if (dst_busy_[d])
+                continue;
+            const auto *entry = queues_[d]->peekIf(
+                [&](const Demand &dem) {
+                    if (src_busy_[dem.src] || !isPairHead(dem))
+                        return false;
+                    // A response's first grant is the buffered request
+                    // itself — a multi-block message delivered on the
+                    // memory node's *downlink*, which therefore must be
+                    // free too (unlike single-block /G/ grants, which
+                    // interleave freely).
+                    if (dem.buffered_request && dst_busy_[dem.src])
+                        return false;
+                    return true;
+                });
+            if (entry) {
+                candidates.push_back(Candidate{d, entry->value.src,
+                                               entry->value.seq,
+                                               entry->priority});
+            }
+        }
+        if (candidates.empty())
+            break;
+
+        ++iteration;
+        ++matching_iterations_;
+        // Grants of iteration k issue 3·(k−1) scheduler cycles after the
+        // pass starts; the first iteration's visible latency is charged
+        // by the switch datapath to avoid double counting.
+        const Picoseconds grant_time =
+            events_.now() +
+            static_cast<Picoseconds>(iteration - 1) * iter_cost;
+
+        // Phase 2 (grant/accept): each source accepts its highest-priority
+        // request (the single-cycle priority-encoder step).
+        std::map<NodeId, Candidate> winner_by_src;
+        for (const auto &c : candidates) {
+            auto it = winner_by_src.find(c.src);
+            if (it == winner_by_src.end() || c.prio > it->second.prio)
+                winner_by_src[c.src] = c;
+        }
+
+        // Phase 3 (update): issue grants, mark ports busy.
+        for (auto &[src, c] : winner_by_src) {
+            Queue &q = *queues_[c.dst];
+            // Extract the demand, grant a chunk, reinsert if unfinished.
+            Demand granted{};
+            bool found = false;
+            q.eraseIf([&](const Demand &dem) {
+                if (dem.seq == c.seq) {
+                    granted = dem;
+                    found = true;
+                    return true;
+                }
+                return false;
+            });
+            EDM_ASSERT(found, "winner demand vanished from queue");
+            issueGrant(c.dst, granted, grant_time);
+        }
+    }
+}
+
+void
+Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
+{
+    const Bytes l = std::min<Bytes>(cfg_.chunk_bytes, d.remaining);
+    EDM_ASSERT(l > 0, "granting zero bytes");
+    ++grants_issued_;
+
+    GrantAction action;
+    action.target = d.src;
+    action.chunk = l;
+    if (d.buffered_request) {
+        // Forwarding the request occupies the memory node's downlink for
+        // the request's few blocks; reserve it so the RREQ cannot
+        // interleave with a data stream headed to the same port.
+        const auto &req = *d.buffered_request;
+        const auto req_bytes = static_cast<Bytes>(
+            wireBytes(req.type, req.payload.size()) + 1.0);
+        const NodeId mem_port = d.src;
+        dst_busy_[mem_port] = true;
+        events_.schedule(when + transmissionDelay(req_bytes,
+                                                  cfg_.link_rate),
+                         [this, mem_port] {
+                             dst_busy_[mem_port] = false;
+                             scheduleMatching();
+                         });
+        action.forward_request = std::move(d.buffered_request);
+        d.buffered_request.reset();
+    } else {
+        ControlInfo g;
+        g.dst = d.dst;
+        g.src = d.src;
+        g.id = d.id;
+        g.size = l;
+        action.grant_block = g;
+    }
+
+    src_busy_[d.src] = true;
+    dst_busy_[dst_port] = true;
+
+    // Release both ports l/B after the grant leaves, so the next chunk's
+    // first bit lands right behind this chunk's last bit (§3.1.1 step 7).
+    const Picoseconds occupancy = transmissionDelay(l, cfg_.link_rate);
+    const NodeId src_port = d.src;
+    events_.schedule(when + occupancy, [this, src_port, dst_port] {
+        src_busy_[src_port] = false;
+        dst_busy_[dst_port] = false;
+        scheduleMatching();
+    });
+
+    d.remaining -= l;
+    if (d.remaining > 0) {
+        // Reinsert with updated priority (SRPT decreases as we send).
+        const auto pair_key = std::make_pair(d.src, d.dst);
+        Queue &q = *queues_[dst_port];
+        const bool ok = q.insert(priorityOf(d), std::move(d));
+        EDM_ASSERT(ok, "reinsert into queue we just popped from");
+        (void)pair_key;
+    } else {
+        retirePairEntry(d);
+    }
+
+    GrantAction act_copy = action;
+    events_.schedule(when, [this, act_copy] { sink_(act_copy); });
+}
+
+} // namespace core
+} // namespace edm

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * EDM's centralized in-network memory traffic scheduler (paper §3.1).
+ *
+ * The scheduler lives in the switch PHY. It keeps one demand notification
+ * queue per destination port (bounded hardware ordered lists), learns
+ * demands implicitly from RREQ/RMWREQ messages (which it buffers — the
+ * buffered request later doubles as the first grant for the response) and
+ * explicitly from /N/ blocks for WREQ, and issues chunk grants via a
+ * priority-augmented Parallel Iterative Matching over free ports.
+ *
+ * Timing model: each PIM iteration costs 3 scheduler clock cycles
+ * (§3.1.2); a maximal matching takes ~log2(N) iterations. A grant for l
+ * bytes marks both ports busy and releases them l/B later (§3.1.1 step 7)
+ * so consecutive chunks arrive back-to-back at the switch.
+ */
+
+#ifndef EDM_CORE_SCHEDULER_HPP
+#define EDM_CORE_SCHEDULER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/message.hpp"
+#include "core/wire.hpp"
+#include "hw/ordered_list.hpp"
+#include "sim/event_queue.hpp"
+
+namespace edm {
+namespace core {
+
+/** A grant decision handed to the switch datapath for delivery. */
+struct GrantAction
+{
+    /** Port the grant must be delivered to (the granted sender). */
+    NodeId target = 0;
+
+    /** Chunk bytes granted. */
+    Bytes chunk = 0;
+
+    /** Grant block to transmit (for WREQ and non-first RRES chunks). */
+    std::optional<ControlInfo> grant_block;
+
+    /**
+     * Buffered RREQ/RMWREQ to forward instead of a /G/ block — the
+     * implicit first grant of an RRES demand (§3.1.1 step 4).
+     */
+    std::optional<MemMessage> forward_request;
+};
+
+/**
+ * The central scheduler. Owned by the switch; driven by the shared event
+ * queue for busy-timer releases and matching latency.
+ */
+class Scheduler
+{
+  public:
+    using GrantSink = std::function<void(const GrantAction &)>;
+
+    Scheduler(const EdmConfig &cfg, EventQueue &events, GrantSink sink);
+
+    /**
+     * Register an explicit WREQ demand (arrival of an /N/ block).
+     * Returns false if the per-port notification queue is full — with
+     * hosts honouring the X cap this cannot happen (asserted in tests).
+     */
+    bool addWriteDemand(const ControlInfo &notify);
+
+    /**
+     * Register an implicit RRES demand from a received RREQ/RMWREQ.
+     * The request is buffered and forwarded to the memory node as the
+     * first grant. @p response_bytes is the RRES size implied by the
+     * request (read length, or opcode-derived for RMW).
+     */
+    bool addReadDemand(const MemMessage &request, Bytes response_bytes);
+
+    /** Total demands currently queued (all ports). */
+    std::size_t pendingDemands() const;
+
+    /** True if port @p p's uplink (TX side) is reserved by a grant. */
+    bool srcBusy(NodeId p) const { return src_busy_.at(p); }
+
+    /** True if port @p p's downlink (RX side) is reserved by a grant. */
+    bool dstBusy(NodeId p) const { return dst_busy_.at(p); }
+
+    /** Grants issued so far (statistics). */
+    std::uint64_t grantsIssued() const { return grants_issued_; }
+
+    /** Average PIM iterations per matching pass (statistics). */
+    double avgIterations() const;
+
+  private:
+    struct Demand
+    {
+        NodeId src; ///< sender of the granted data (memory node for RRES)
+        NodeId dst; ///< receiver
+        MsgId id;
+        Bytes remaining;
+        Picoseconds notified;
+        std::uint64_t seq; ///< per-pair FIFO ordering
+        std::optional<MemMessage> buffered_request; ///< RREQ awaiting fwd
+    };
+
+    using Queue = hw::OrderedList<std::int64_t, Demand>;
+
+    EdmConfig cfg_;
+    EventQueue &events_;
+    GrantSink sink_;
+
+    std::vector<std::unique_ptr<Queue>> queues_; ///< one per dst port
+    // Uplink (source) and downlink (destination) reservations are
+    // independent resources: a node may send and receive concurrently
+    // (full duplex); PIM matches switch ingresses to egresses.
+    std::vector<bool> src_busy_;
+    std::vector<bool> dst_busy_;
+
+    /** Earliest live seq per (src,dst) pair, for in-order service. */
+    std::map<std::pair<NodeId, NodeId>, std::vector<std::uint64_t>> pairs_;
+
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t grants_issued_ = 0;
+    std::uint64_t matching_passes_ = 0;
+    std::uint64_t matching_iterations_ = 0;
+    bool matching_scheduled_ = false;
+
+    std::int64_t priorityOf(const Demand &d) const;
+    bool insertDemand(Demand d);
+    bool isPairHead(const Demand &d) const;
+    void retirePairEntry(const Demand &d);
+    void scheduleMatching();
+    void runMatching();
+    void issueGrant(NodeId dst_port, Demand &d, Picoseconds when);
+};
+
+} // namespace core
+} // namespace edm
+
+#endif // EDM_CORE_SCHEDULER_HPP

@@ -1,0 +1,273 @@
+#include "switch_stack.hpp"
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace core {
+
+SwitchStack::SwitchStack(const EdmConfig &cfg, EventQueue &events,
+                         TxWork on_tx_work)
+    : cfg_(cfg), events_(events), on_tx_work_(std::move(on_tx_work))
+{
+    EDM_ASSERT(on_tx_work_, "switch needs a TX-work callback");
+    ports_.reserve(cfg_.num_nodes);
+    for (std::size_t i = 0; i < cfg_.num_nodes; ++i)
+        ports_.push_back(std::make_unique<Port>());
+    scheduler_ = std::make_unique<Scheduler>(
+        cfg_, events_, [this](const GrantAction &a) { onGrantAction(a); });
+}
+
+phy::PreemptionMux &
+SwitchStack::egressMux(NodeId port)
+{
+    EDM_ASSERT(port < ports_.size(), "egress port %u out of range", port);
+    return ports_[port]->egress;
+}
+
+std::deque<phy::PhyBlock> &
+SwitchStack::egressFrameBacklog(NodeId port)
+{
+    EDM_ASSERT(port < ports_.size(), "egress port %u out of range", port);
+    return ports_[port]->frame_backlog;
+}
+
+void
+SwitchStack::emitToEgress(NodeId port, std::vector<phy::PhyBlock> blocks,
+                          Picoseconds delay)
+{
+    events_.scheduleAfter(delay,
+                          [this, port, blocks = std::move(blocks)] {
+                              ports_[port]->egress.enqueueMemory(blocks);
+                              on_tx_work_(port);
+                          });
+}
+
+void
+SwitchStack::onGrantAction(const GrantAction &action)
+{
+    if (action.forward_request) {
+        // First grant of a response: the buffered RREQ/RMWREQ travels to
+        // the memory node through the forwarding clock crossing. It is a
+        // multi-block message, so it claims the egress stream like any
+        // virtual circuit (pseudo-ingress: the scheduler itself).
+        ++stats_.requests_forwarded;
+        const auto blocks = serialize(*action.forward_request);
+        const NodeId target = action.target;
+        events_.scheduleAfter(cycles(cfg_.costs.sw_forward),
+                              [this, target, blocks] {
+                                  for (const auto &b : blocks)
+                                      egressAccept(target,
+                                                   kSchedulerIngress, b);
+                              });
+    } else {
+        EDM_ASSERT(action.grant_block.has_value(),
+                   "grant action with neither request nor /G/");
+        ++stats_.grants_sent;
+        // One visible PIM iteration + grant generation (§3.2.2).
+        emitToEgress(action.target, {makeGrant(*action.grant_block)},
+                     cycles(cfg_.costs.sw_pim_iteration +
+                            cfg_.costs.sw_gen_grant));
+    }
+}
+
+void
+SwitchStack::forwardBlock(NodeId ingress, Port &port,
+                          const phy::PhyBlock &block)
+{
+    ++stats_.blocks_forwarded;
+    const NodeId egress = port.egress_port;
+    events_.scheduleAfter(cycles(cfg_.costs.sw_forward),
+                          [this, egress, ingress, block] {
+                              egressAccept(egress, ingress, block);
+                          });
+}
+
+void
+SwitchStack::egressAccept(NodeId egress, NodeId ingress,
+                          const phy::PhyBlock &block)
+{
+    Port &ep = *ports_[egress];
+    const bool is_ms = block.isControl() &&
+        block.type() == phy::BlockType::MemStart;
+    // /MST/ is a complete single-block message: it neither takes nor
+    // holds stream ownership.
+    const bool is_mt = block.isControl() &&
+        block.type() == phy::BlockType::MemTerm;
+
+    if (ep.stream_owner == ingress) {
+        ep.egress.enqueueMemory(block);
+        on_tx_work_(egress);
+        if (is_mt) {
+            ep.stream_owner = Port::kNoOwner;
+            drainStaged(egress);
+        }
+        return;
+    }
+    if (ep.stream_owner == Port::kNoOwner) {
+        if (is_ms)
+            ep.stream_owner = ingress;
+        ep.egress.enqueueMemory(block);
+        on_tx_work_(egress);
+        if (is_mt)
+            ep.stream_owner = Port::kNoOwner;
+        return;
+    }
+    // Another circuit currently owns this egress: stage until /MT/.
+    ep.staged[ingress].push_back(block);
+}
+
+void
+SwitchStack::drainStaged(NodeId egress)
+{
+    Port &ep = *ports_[egress];
+    if (ep.stream_owner != Port::kNoOwner || ep.staged.empty())
+        return;
+    // Adopt one staged stream; emit what has arrived so far. If its /MT/
+    // is already here the stream completes and the next one drains; if
+    // not, the new owner's remaining blocks cut through on arrival.
+    const NodeId ingress = ep.staged.begin()->first;
+    std::deque<phy::PhyBlock> blocks = std::move(ep.staged.begin()->second);
+    ep.staged.erase(ep.staged.begin());
+    ep.stream_owner = ingress;
+    while (!blocks.empty()) {
+        const phy::PhyBlock b = blocks.front();
+        blocks.pop_front();
+        ep.egress.enqueueMemory(b);
+        on_tx_work_(egress);
+        const bool terminates = b.isControl() &&
+            (b.type() == phy::BlockType::MemTerm ||
+             b.type() == phy::BlockType::MemSingle);
+        if (terminates) {
+            ep.stream_owner = Port::kNoOwner;
+            EDM_ASSERT(blocks.empty(), "blocks staged past /MT/");
+            drainStaged(egress);
+            return;
+        }
+    }
+}
+
+void
+SwitchStack::rxBlock(NodeId ingress, const phy::PhyBlock &block)
+{
+    EDM_ASSERT(ingress < ports_.size(), "ingress port %u out of range",
+               ingress);
+    Port &port = *ports_[ingress];
+
+    if (block.isControl()) {
+        switch (block.type()) {
+          case phy::BlockType::Notify: {
+            ++stats_.notify_blocks;
+            const ControlInfo n = unpackControl(block.controlPayload());
+            // Classification + ordered-list insert.
+            events_.scheduleAfter(cycles(cfg_.costs.sw_classify +
+                                         cfg_.costs.sw_insert_notif),
+                                  [this, n] {
+                                      scheduler_->addWriteDemand(n);
+                                  });
+            return;
+          }
+          case phy::BlockType::Grant:
+            EDM_PANIC("switch received a /G/ block on port %u", ingress);
+            return;
+          case phy::BlockType::MemStart: {
+            MemMessage hdr;
+            unpackHeader(block.controlPayload(), hdr);
+            if (hdr.type == MemMsgType::RREQ ||
+                hdr.type == MemMsgType::RMWREQ) {
+                port.absorbing = true;
+                port.assembler.feed(block);
+            } else {
+                // Data stream on a granted virtual circuit: forward with
+                // zero processing (property 2, §3.1.1).
+                port.forwarding = true;
+                port.egress_port = hdr.dst;
+                forwardBlock(ingress, port, block);
+            }
+            return;
+          }
+          case phy::BlockType::MemSingle: {
+            MemMessage hdr;
+            unpackHeader(block.controlPayload(), hdr);
+            if (hdr.type == MemMsgType::RRES) {
+                port.egress_port = hdr.dst;
+                forwardBlock(ingress, port, block);
+            } else {
+                EDM_WARN("unexpected /MST/ type %d on port %u",
+                         static_cast<int>(hdr.type), ingress);
+            }
+            return;
+          }
+          case phy::BlockType::MemTerm:
+            if (port.absorbing) {
+                auto msg = port.assembler.feed(block);
+                port.absorbing = false;
+                EDM_ASSERT(msg.has_value(), "absorbed message incomplete");
+                ++stats_.requests_buffered;
+                const MemMessage m = std::move(*msg);
+                const Bytes rres_size =
+                    m.type == MemMsgType::RMWREQ ? 16 : m.len;
+                // Classification + insert into the notification queue;
+                // the buffered request itself is the demand (§3.1.1).
+                events_.scheduleAfter(
+                    cycles(cfg_.costs.sw_classify +
+                           cfg_.costs.sw_insert_notif),
+                    [this, m, rres_size] {
+                        scheduler_->addReadDemand(m, rres_size);
+                    });
+            } else if (port.forwarding) {
+                port.forwarding = false;
+                forwardBlock(ingress, port, block);
+            } else {
+                EDM_WARN("/MT/ without stream on port %u", ingress);
+            }
+            return;
+          case phy::BlockType::Idle:
+            return;
+          case phy::BlockType::Start:
+            port.in_l2_frame = true;
+            port.l2_buf.clear();
+            port.l2_buf.push_back(block);
+            return;
+          default:
+            if (phy::isTerminate(block.type()) && port.in_l2_frame) {
+                port.l2_buf.push_back(block);
+                port.in_l2_frame = false;
+                floodFrame(ingress, std::move(port.l2_buf));
+                port.l2_buf = {};
+            }
+            // Other control blocks (/O/ etc.) are link maintenance.
+            return;
+        }
+    }
+
+    // Data block.
+    if (port.absorbing) {
+        port.assembler.feed(block);
+    } else if (port.forwarding) {
+        forwardBlock(ingress, port, block);
+    } else if (port.in_l2_frame) {
+        port.l2_buf.push_back(block);
+    }
+}
+
+void
+SwitchStack::floodFrame(NodeId ingress, std::vector<phy::PhyBlock> frame)
+{
+    // Layer-2 store-and-forward: the frame pays the conventional
+    // forwarding-pipeline latency (§2.4 Limitation 4) and floods to every
+    // other port (empty forwarding table).
+    ++stats_.frames_flooded;
+    events_.scheduleAfter(cfg_.l2_pipeline,
+                          [this, ingress, frame = std::move(frame)] {
+        for (NodeId p = 0; p < ports_.size(); ++p) {
+            if (p == ingress)
+                continue;
+            auto &backlog = ports_[p]->frame_backlog;
+            backlog.insert(backlog.end(), frame.begin(), frame.end());
+            on_tx_work_(p);
+        }
+    });
+}
+
+} // namespace core
+} // namespace edm

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * EDM switch network stack (paper §3.2.2).
+ *
+ * Per ingress port, received blocks are classified in one cycle:
+ *  - /N/ blocks feed the scheduler's demand queues;
+ *  - RREQ/RMWREQ messages are absorbed and buffered as implicit demand
+ *    notifications for their responses;
+ *  - WREQ/RRES blocks stream through a pre-established virtual circuit
+ *    to the egress port with zero processing, paying only the 4-cycle
+ *    RX→TX clock-domain crossing.
+ * Grants from the scheduler leave as /G/ blocks (or as the buffered
+ * request forwarded to the memory node, for a response's first grant).
+ */
+
+#ifndef EDM_CORE_SWITCH_STACK_HPP
+#define EDM_CORE_SWITCH_STACK_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/scheduler.hpp"
+#include "core/wire.hpp"
+#include "phy/preemption.hpp"
+#include "sim/event_queue.hpp"
+
+namespace edm {
+namespace core {
+
+/** Switch-side statistics. */
+struct SwitchStats
+{
+    std::uint64_t notify_blocks = 0;
+    std::uint64_t requests_buffered = 0;
+    std::uint64_t blocks_forwarded = 0;
+    std::uint64_t grants_sent = 0;
+    std::uint64_t requests_forwarded = 0;
+    std::uint64_t frames_flooded = 0;
+};
+
+/**
+ * The EDM switch: N ports, each with an egress preemption mux the fabric
+ * drains, plus the central scheduler.
+ */
+class SwitchStack
+{
+  public:
+    /** Invoked with an egress port number whenever its mux gains work. */
+    using TxWork = std::function<void(NodeId port)>;
+
+    SwitchStack(const EdmConfig &cfg, EventQueue &events, TxWork on_tx_work);
+
+    /** Deliver one received block on @p ingress (post PCS-RX). */
+    void rxBlock(NodeId ingress, const phy::PhyBlock &block);
+
+    /** Egress mux for @p port (drained by the fabric, one block/slot). */
+    phy::PreemptionMux &egressMux(NodeId port);
+
+    /**
+     * Non-memory frame blocks waiting behind the egress mux's bounded
+     * staging buffer. The fabric's TX pump tops the mux up from here,
+     * modelling the MAC reacting to freed buffer space.
+     */
+    std::deque<phy::PhyBlock> &egressFrameBacklog(NodeId port);
+
+    Scheduler &scheduler() { return *scheduler_; }
+    const SwitchStats &stats() const { return stats_; }
+
+  private:
+    /** Per-ingress streaming state. */
+    struct Port
+    {
+        phy::PreemptionMux egress{phy::TxPolicy::Fair};
+        MessageAssembler assembler; ///< for absorbed RREQ/RMWREQ
+        bool absorbing = false;     ///< mid-RREQ/RMWREQ assembly
+        bool forwarding = false;    ///< mid-WREQ/RRES stream
+        NodeId egress_port = 0;     ///< circuit target while forwarding
+
+        // Conventional (non-memory) Ethernet traffic takes the layer-2
+        // path: frames reassemble at ingress, pay the forwarding
+        // pipeline latency, and flood to the other ports (a ToR with an
+        // empty FDB — enough to model coexistence; MAC learning lives in
+        // net::L2Switch).
+        bool in_l2_frame = false;
+        std::vector<phy::PhyBlock> l2_buf;
+        std::deque<phy::PhyBlock> frame_backlog;
+
+        // Egress stream ownership: virtual circuits are cut-through
+        // while one ingress owns the egress; a competing stream that
+        // arrives a few cycles early (pipeline jitter between chunks of
+        // different flows) stages here until the /MT/ boundary, keeping
+        // /MS/../MT/ sequences atomic on the wire.
+        static constexpr NodeId kNoOwner = 0xFFFF;
+        NodeId stream_owner = kNoOwner;
+        std::map<NodeId, std::deque<phy::PhyBlock>> staged;
+    };
+
+    EdmConfig cfg_;
+    EventQueue &events_;
+    TxWork on_tx_work_;
+    std::vector<std::unique_ptr<Port>> ports_;
+    std::unique_ptr<Scheduler> scheduler_;
+    SwitchStats stats_;
+
+    Picoseconds cycles(int n) const
+    {
+        return static_cast<Picoseconds>(n) * cfg_.cycle;
+    }
+
+    /** Pseudo-ingress id for scheduler-originated request forwards. */
+    static constexpr NodeId kSchedulerIngress = 0xFFFE;
+
+    void onGrantAction(const GrantAction &action);
+    void forwardBlock(NodeId ingress, Port &port,
+                      const phy::PhyBlock &block);
+    void egressAccept(NodeId egress, NodeId ingress,
+                      const phy::PhyBlock &block);
+    void drainStaged(NodeId egress);
+    void floodFrame(NodeId ingress, std::vector<phy::PhyBlock> frame);
+    void emitToEgress(NodeId port, std::vector<phy::PhyBlock> blocks,
+                      Picoseconds delay);
+};
+
+} // namespace core
+} // namespace edm
+
+#endif // EDM_CORE_SWITCH_STACK_HPP

@@ -1,0 +1,205 @@
+#include "wire.hpp"
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace core {
+
+namespace {
+
+constexpr std::uint64_t kMask4 = 0xF;
+constexpr std::uint64_t kMask5 = 0x1F;
+constexpr std::uint64_t kMask8 = 0xFF;
+constexpr std::uint64_t kMask9 = 0x1FF;
+constexpr std::uint64_t kMask16 = 0xFFFF;
+
+std::uint64_t
+packLeBytes(const std::uint8_t *p, std::size_t n)
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+packHeader(const MemMessage &m)
+{
+    EDM_ASSERT(m.dst <= kMask9 && m.src <= kMask9,
+               "node id out of 9-bit range: %u/%u", m.src, m.dst);
+    EDM_ASSERT(m.len <= kMask16, "length %llu exceeds 16-bit field",
+               static_cast<unsigned long long>(m.len));
+    std::uint64_t v = 0;
+    v |= static_cast<std::uint64_t>(m.type) & kMask4;
+    v |= (static_cast<std::uint64_t>(m.dst) & kMask9) << 4;
+    v |= (static_cast<std::uint64_t>(m.src) & kMask9) << 13;
+    v |= (static_cast<std::uint64_t>(m.id) & kMask8) << 22;
+    v |= (static_cast<std::uint64_t>(m.len) & kMask16) << 30;
+    v |= (static_cast<std::uint64_t>(m.opcode) & kMask5) << 46;
+    v |= (m.last_chunk ? 1ULL : 0ULL) << 51;
+    return v;
+}
+
+void
+unpackHeader(std::uint64_t payload56, MemMessage &m)
+{
+    m.type = static_cast<MemMsgType>(payload56 & kMask4);
+    m.dst = static_cast<NodeId>((payload56 >> 4) & kMask9);
+    m.src = static_cast<NodeId>((payload56 >> 13) & kMask9);
+    m.id = static_cast<MsgId>((payload56 >> 22) & kMask8);
+    m.len = static_cast<Bytes>((payload56 >> 30) & kMask16);
+    m.opcode = static_cast<mem::RmwOp>((payload56 >> 46) & kMask5);
+    m.last_chunk = ((payload56 >> 51) & 1) != 0;
+}
+
+std::uint64_t
+packControl(const ControlInfo &info)
+{
+    EDM_ASSERT(info.dst <= kMask9 && info.src <= kMask9,
+               "node id out of 9-bit range: %u/%u", info.src, info.dst);
+    EDM_ASSERT(info.size <= kMask16, "size %llu exceeds 16-bit field",
+               static_cast<unsigned long long>(info.size));
+    std::uint64_t v = 0;
+    v |= static_cast<std::uint64_t>(info.dst) & kMask9;
+    v |= (static_cast<std::uint64_t>(info.src) & kMask9) << 9;
+    v |= (static_cast<std::uint64_t>(info.id) & kMask8) << 18;
+    v |= (static_cast<std::uint64_t>(info.size) & kMask16) << 26;
+    return v;
+}
+
+ControlInfo
+unpackControl(std::uint64_t payload56)
+{
+    ControlInfo info;
+    info.dst = static_cast<NodeId>(payload56 & kMask9);
+    info.src = static_cast<NodeId>((payload56 >> 9) & kMask9);
+    info.id = static_cast<MsgId>((payload56 >> 18) & kMask8);
+    info.size = static_cast<Bytes>((payload56 >> 26) & kMask16);
+    return info;
+}
+
+phy::PhyBlock
+makeNotify(const ControlInfo &info)
+{
+    return phy::PhyBlock::control(phy::BlockType::Notify, packControl(info));
+}
+
+phy::PhyBlock
+makeGrant(const ControlInfo &info)
+{
+    return phy::PhyBlock::control(phy::BlockType::Grant, packControl(info));
+}
+
+std::vector<phy::PhyBlock>
+serialize(const MemMessage &m)
+{
+    std::vector<phy::PhyBlock> blocks;
+
+    // Header-only messages fit a single /MST/ block (e.g. the zero-length
+    // NULL read response generated on memory-node failure, §3.3).
+    if (m.type == MemMsgType::RRES && m.payload.empty()) {
+        blocks.push_back(phy::PhyBlock::control(phy::BlockType::MemSingle,
+                                                packHeader(m)));
+        return blocks;
+    }
+
+    blocks.reserve(wireBlocks(m.type, m.payload.size()));
+    blocks.push_back(
+        phy::PhyBlock::control(phy::BlockType::MemStart, packHeader(m)));
+
+    switch (m.type) {
+      case MemMsgType::RREQ:
+        blocks.push_back(phy::PhyBlock::data(m.addr));
+        break;
+      case MemMsgType::RMWREQ:
+        blocks.push_back(phy::PhyBlock::data(m.addr));
+        blocks.push_back(phy::PhyBlock::data(m.arg0));
+        blocks.push_back(phy::PhyBlock::data(m.arg1));
+        break;
+      case MemMsgType::WREQ:
+        blocks.push_back(phy::PhyBlock::data(m.addr));
+        [[fallthrough]];
+      case MemMsgType::RRES:
+        for (std::size_t i = 0; i < m.payload.size(); i += 8) {
+            const std::size_t n = std::min<std::size_t>(
+                8, m.payload.size() - i);
+            blocks.push_back(
+                phy::PhyBlock::data(packLeBytes(m.payload.data() + i, n)));
+        }
+        break;
+    }
+
+    blocks.push_back(phy::PhyBlock::control(phy::BlockType::MemTerm, 0));
+    return blocks;
+}
+
+void
+MessageAssembler::finishBody(std::uint64_t payload, std::size_t idx)
+{
+    switch (cur_.type) {
+      case MemMsgType::RREQ:
+        cur_.addr = payload;
+        break;
+      case MemMsgType::RMWREQ:
+        if (idx == 0)
+            cur_.addr = payload;
+        else if (idx == 1)
+            cur_.arg0 = payload;
+        else
+            cur_.arg1 = payload;
+        break;
+      case MemMsgType::WREQ:
+        if (idx == 0) {
+            cur_.addr = payload;
+            break;
+        }
+        [[fallthrough]];
+      case MemMsgType::RRES:
+        for (int b = 0; b < 8 &&
+                 cur_.payload.size() < cur_.len; ++b) {
+            cur_.payload.push_back(
+                static_cast<std::uint8_t>(payload >> (8 * b)));
+        }
+        break;
+    }
+}
+
+std::optional<MemMessage>
+MessageAssembler::feed(const phy::PhyBlock &b)
+{
+    if (!in_message_) {
+        if (b.isControl() && b.type() == phy::BlockType::MemStart) {
+            in_message_ = true;
+            cur_ = MemMessage{};
+            unpackHeader(b.controlPayload(), cur_);
+            body_blocks_ = 0;
+            return std::nullopt;
+        }
+        if (b.isControl() && b.type() == phy::BlockType::MemSingle) {
+            MemMessage m;
+            unpackHeader(b.controlPayload(), m);
+            return m;
+        }
+        ++violations_;
+        return std::nullopt;
+    }
+
+    if (b.isData()) {
+        finishBody(b.payload, body_blocks_);
+        ++body_blocks_;
+        return std::nullopt;
+    }
+
+    if (b.isControl() && b.type() == phy::BlockType::MemTerm) {
+        in_message_ = false;
+        return std::move(cur_);
+    }
+
+    ++violations_;
+    return std::nullopt;
+}
+
+} // namespace core
+} // namespace edm

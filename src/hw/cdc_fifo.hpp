@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Clock-domain-crossing FIFO model.
+ *
+ * EDM's host grant queue crosses the RX and TX clock domains (a 4-cycle
+ * read, paper §3.2.1) and the switch's virtual-circuit forwarding path
+ * crosses RX→TX (4 cycles, paper §3.2.2). This bounded FIFO carries that
+ * timing annotation alongside functional queue behaviour.
+ */
+
+#ifndef EDM_HW_CDC_FIFO_HPP
+#define EDM_HW_CDC_FIFO_HPP
+
+#include <deque>
+#include <optional>
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace hw {
+
+/**
+ * Bounded FIFO whose pops model a fixed clock-domain-crossing latency.
+ *
+ * @tparam T element type
+ */
+template <typename T>
+class CdcFifo
+{
+  public:
+    /** RX→TX crossing cost charged by the cycle-level simulator. */
+    static constexpr int kCrossingCycles = 4;
+
+    /** @param capacity 0 means unbounded (modelling convenience). */
+    explicit CdcFifo(std::size_t capacity = 0)
+        : capacity_(capacity)
+    {
+    }
+
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+    bool full() const { return capacity_ != 0 && q_.size() >= capacity_; }
+
+    /** Enqueue; returns false when full (caller must backpressure). */
+    bool
+    push(T item)
+    {
+        if (full())
+            return false;
+        q_.push_back(std::move(item));
+        return true;
+    }
+
+    /** Front element without removal. */
+    const T *
+    front() const
+    {
+        return q_.empty() ? nullptr : &q_.front();
+    }
+
+    /** Dequeue the front element. */
+    std::optional<T>
+    pop()
+    {
+        if (q_.empty())
+            return std::nullopt;
+        T item = std::move(q_.front());
+        q_.pop_front();
+        return item;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> q_;
+};
+
+} // namespace hw
+} // namespace edm
+
+#endif // EDM_HW_CDC_FIFO_HPP

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Priority encoder model.
+ *
+ * EDM resolves each source port's competing matching requests in one clock
+ * cycle using a priority encoder over an N-bit request vector (paper
+ * §3.1.2). This models that combinational block: find the most significant
+ * set bit. Cost: 1 cycle, independent of N.
+ */
+
+#ifndef EDM_HW_PRIORITY_ENCODER_HPP
+#define EDM_HW_PRIORITY_ENCODER_HPP
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace hw {
+
+/**
+ * N-bit request vector with single-cycle most-significant-bit lookup.
+ * Bit index N-1 is the highest priority position.
+ */
+class PriorityEncoder
+{
+  public:
+    static constexpr int kEncodeCycles = 1;
+
+    explicit PriorityEncoder(std::size_t width)
+        : width_(width), words_((width + 63) / 64, 0)
+    {
+        EDM_ASSERT(width > 0, "priority encoder needs width > 0");
+    }
+
+    std::size_t width() const { return width_; }
+
+    /** Set request bit @p idx. */
+    void
+    set(std::size_t idx)
+    {
+        EDM_ASSERT(idx < width_, "bit %zu out of range %zu", idx, width_);
+        words_[idx / 64] |= (std::uint64_t{1} << (idx % 64));
+    }
+
+    /** Clear request bit @p idx. */
+    void
+    clear(std::size_t idx)
+    {
+        EDM_ASSERT(idx < width_, "bit %zu out of range %zu", idx, width_);
+        words_[idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+    }
+
+    /** Test request bit @p idx. */
+    bool
+    test(std::size_t idx) const
+    {
+        EDM_ASSERT(idx < width_, "bit %zu out of range %zu", idx, width_);
+        return (words_[idx / 64] >> (idx % 64)) & 1;
+    }
+
+    /** Clear all bits. */
+    void
+    reset()
+    {
+        for (auto &w : words_)
+            w = 0;
+    }
+
+    /** True if no request bit is set. */
+    bool
+    none() const
+    {
+        for (auto w : words_) {
+            if (w != 0)
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Index of the most significant set bit (the single-cycle encode),
+     * or nullopt if no bit is set.
+     */
+    std::optional<std::size_t>
+    encode() const
+    {
+        for (std::size_t wi = words_.size(); wi-- > 0;) {
+            if (words_[wi] != 0) {
+                const int msb = 63 - std::countl_zero(words_[wi]);
+                return wi * 64 + static_cast<std::size_t>(msb);
+            }
+        }
+        return std::nullopt;
+    }
+
+  private:
+    std::size_t width_;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace hw
+} // namespace edm
+
+#endif // EDM_HW_PRIORITY_ENCODER_HPP

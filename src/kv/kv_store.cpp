@@ -1,0 +1,102 @@
+#include "kv_store.hpp"
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace kv {
+
+KvStore::KvStore(core::CycleFabric &fabric, core::NodeId client,
+                 core::NodeId server, std::uint64_t num_keys,
+                 Bytes slot_bytes)
+    : fabric_(fabric), client_(client), server_(server),
+      num_keys_(num_keys), slot_bytes_(slot_bytes)
+{
+    EDM_ASSERT(num_keys_ > 0, "empty key space");
+    EDM_ASSERT(slot_bytes_ > 0 && slot_bytes_ + kLenPrefix <= 0xFFFF,
+               "slot size %llu outside the wire length field",
+               static_cast<unsigned long long>(slot_bytes_));
+    EDM_ASSERT(fabric_.host(server_).store() != nullptr,
+               "server node %u has no memory attached", server_);
+}
+
+std::uint64_t
+KvStore::slotAddr(std::uint64_t key) const
+{
+    EDM_ASSERT(key < num_keys_, "key %llu out of range",
+               static_cast<unsigned long long>(key));
+    return kDataBase + key * (slot_bytes_ + kLenPrefix);
+}
+
+void
+KvStore::put(std::uint64_t key, std::vector<std::uint8_t> value,
+             PutCallback cb)
+{
+    EDM_ASSERT(value.size() <= slot_bytes_,
+               "value of %zu bytes exceeds slot capacity %llu",
+               value.size(),
+               static_cast<unsigned long long>(slot_bytes_));
+    // Length prefix + payload written in one WREQ.
+    std::vector<std::uint8_t> slot;
+    slot.reserve(kLenPrefix + value.size());
+    slot.push_back(static_cast<std::uint8_t>(value.size() & 0xFF));
+    slot.push_back(static_cast<std::uint8_t>(value.size() >> 8));
+    slot.insert(slot.end(), value.begin(), value.end());
+    fabric_.write(client_, server_, slotAddr(key), std::move(slot),
+                  [cb = std::move(cb)](Picoseconds latency) {
+                      if (cb)
+                          cb(latency);
+                  });
+}
+
+void
+KvStore::get(std::uint64_t key, GetCallback cb)
+{
+    EDM_ASSERT(cb, "get without a callback is useless");
+    fabric_.read(
+        client_, server_, slotAddr(key), kLenPrefix + slot_bytes_,
+        [cb = std::move(cb)](std::vector<std::uint8_t> data,
+                             Picoseconds latency, bool timed_out) {
+            if (timed_out || data.size() < kLenPrefix) {
+                cb(std::nullopt, latency);
+                return;
+            }
+            const std::size_t len = data[0] |
+                (static_cast<std::size_t>(data[1]) << 8);
+            if (len == 0 || len + kLenPrefix > data.size()) {
+                cb(std::nullopt, latency);
+                return;
+            }
+            cb(std::vector<std::uint8_t>(
+                   data.begin() + kLenPrefix,
+                   data.begin() + static_cast<std::ptrdiff_t>(
+                       kLenPrefix + len)),
+               latency);
+        });
+}
+
+void
+KvStore::tryLock(std::uint64_t lock_id, LockCallback cb)
+{
+    EDM_ASSERT(cb, "tryLock without a callback is useless");
+    // CAS 0 → 1 on the lock word; swapped == acquired (§3.2.1).
+    fabric_.rmw(client_, server_, kLockBase + lock_id * 8,
+                mem::RmwOp::CompareAndSwap, 0, 1,
+                [cb = std::move(cb)](mem::RmwResult r,
+                                     Picoseconds latency) {
+                    cb(r.swapped, latency);
+                });
+}
+
+void
+KvStore::unlock(std::uint64_t lock_id, std::function<void()> done)
+{
+    fabric_.rmw(client_, server_, kLockBase + lock_id * 8,
+                mem::RmwOp::Swap, 0, 0,
+                [done = std::move(done)](mem::RmwResult, Picoseconds) {
+                    if (done)
+                        done();
+                });
+}
+
+} // namespace kv
+} // namespace edm

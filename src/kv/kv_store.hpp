@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Remote key-value store over the EDM fabric API (paper §4.2.2).
+ *
+ * The store's objects live in a memory node's DRAM; the client maps keys
+ * to remote slots (fixed-size slab layout with a 2-byte length prefix)
+ * and issues EDM RREQ/WREQ messages. GETs are a single remote read of
+ * the slot; PUTs are a single remote write. A compare-and-swap lock cell
+ * demonstrates RMWREQ-based synchronization (§3.2.1).
+ */
+
+#ifndef EDM_KV_KV_STORE_HPP
+#define EDM_KV_KV_STORE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/fabric.hpp"
+
+namespace edm {
+namespace kv {
+
+/** GET completion: value (nullopt if absent/timeout) + latency. */
+using GetCallback =
+    std::function<void(std::optional<std::vector<std::uint8_t>> value,
+                       Picoseconds latency)>;
+
+/** PUT completion. */
+using PutCallback = std::function<void(Picoseconds latency)>;
+
+/** Lock acquisition result. */
+using LockCallback = std::function<void(bool acquired,
+                                        Picoseconds latency)>;
+
+/** Remote KV store client bound to one (client, server) node pair. */
+class KvStore
+{
+  public:
+    /**
+     * @param fabric cycle-level EDM fabric
+     * @param client node issuing operations
+     * @param server memory node storing the objects
+     * @param num_keys key-space size
+     * @param slot_bytes value capacity per key (excluding length prefix)
+     */
+    KvStore(core::CycleFabric &fabric, core::NodeId client,
+            core::NodeId server, std::uint64_t num_keys,
+            Bytes slot_bytes = 1024);
+
+    /** Store @p value under @p key. */
+    void put(std::uint64_t key, std::vector<std::uint8_t> value,
+             PutCallback cb = {});
+
+    /** Fetch the value under @p key. */
+    void get(std::uint64_t key, GetCallback cb);
+
+    /** Try to acquire the store's global lock via remote CAS. */
+    void tryLock(std::uint64_t lock_id, LockCallback cb);
+
+    /** Release a lock taken via tryLock. */
+    void unlock(std::uint64_t lock_id,
+                std::function<void()> done = {});
+
+    std::uint64_t numKeys() const { return num_keys_; }
+    Bytes slotBytes() const { return slot_bytes_; }
+
+    /** Remote address of @p key's slot (exposed for tests). */
+    std::uint64_t slotAddr(std::uint64_t key) const;
+
+  private:
+    static constexpr std::uint64_t kDataBase = 0x1000'0000;
+    static constexpr std::uint64_t kLockBase = 0x0100'0000;
+    static constexpr Bytes kLenPrefix = 2;
+
+    core::CycleFabric &fabric_;
+    core::NodeId client_;
+    core::NodeId server_;
+    std::uint64_t num_keys_;
+    Bytes slot_bytes_;
+};
+
+} // namespace kv
+} // namespace edm
+
+#endif // EDM_KV_KV_STORE_HPP

@@ -1,0 +1,43 @@
+#include "crc32.hpp"
+
+#include <array>
+
+namespace edm {
+namespace mac {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t len)
+{
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = kTable[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t
+crc32(const std::vector<std::uint8_t> &data)
+{
+    return crc32(data.data(), data.size());
+}
+
+} // namespace mac
+} // namespace edm

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial) for Ethernet frame check sequences.
+ */
+
+#ifndef EDM_MAC_CRC32_HPP
+#define EDM_MAC_CRC32_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace edm {
+namespace mac {
+
+/**
+ * Compute the Ethernet FCS over @p data: reflected CRC-32, polynomial
+ * 0x04C11DB7, initial value 0xFFFFFFFF, final XOR 0xFFFFFFFF.
+ */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t len);
+
+/** Convenience overload. */
+std::uint32_t crc32(const std::vector<std::uint8_t> &data);
+
+} // namespace mac
+} // namespace edm
+
+#endif // EDM_MAC_CRC32_HPP

@@ -1,0 +1,73 @@
+#include "frame.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "mac/crc32.hpp"
+
+namespace edm {
+namespace mac {
+
+std::vector<std::uint8_t>
+serialize(const Frame &frame)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(std::max<std::size_t>(kMinFrame,
+                                        kHeaderBytes + frame.payload.size() +
+                                            kFcsBytes));
+    bytes.insert(bytes.end(), frame.dst.begin(), frame.dst.end());
+    bytes.insert(bytes.end(), frame.src.begin(), frame.src.end());
+    bytes.push_back(static_cast<std::uint8_t>(frame.ethertype >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(frame.ethertype & 0xFF));
+    bytes.insert(bytes.end(), frame.payload.begin(), frame.payload.end());
+
+    // Pad to the minimum frame size (before FCS).
+    while (bytes.size() + kFcsBytes < kMinFrame)
+        bytes.push_back(0);
+
+    const std::uint32_t fcs = crc32(bytes);
+    for (int i = 0; i < 4; ++i)
+        bytes.push_back(static_cast<std::uint8_t>(fcs >> (8 * i)));
+    return bytes;
+}
+
+std::optional<Frame>
+parse(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < kMinFrame)
+        return std::nullopt;
+
+    const std::size_t body = bytes.size() - kFcsBytes;
+    const std::uint32_t want = crc32(bytes.data(), body);
+    std::uint32_t got = 0;
+    for (int i = 0; i < 4; ++i)
+        got |= static_cast<std::uint32_t>(bytes[body + i]) << (8 * i);
+    if (want != got)
+        return std::nullopt;
+
+    Frame f;
+    std::copy_n(bytes.begin(), 6, f.dst.begin());
+    std::copy_n(bytes.begin() + 6, 6, f.src.begin());
+    f.ethertype = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(bytes[12]) << 8) | bytes[13]);
+    f.payload.assign(bytes.begin() + kHeaderBytes, bytes.begin() + body);
+    return f;
+}
+
+Bytes
+wireBytesForPayload(Bytes payload_bytes)
+{
+    const Bytes frame = std::max<Bytes>(
+        kMinFrame, kHeaderBytes + payload_bytes + kFcsBytes);
+    return kPreambleBytes + frame + kIfgBytes;
+}
+
+double
+goodputFraction(Bytes payload_bytes)
+{
+    return static_cast<double>(payload_bytes) /
+        static_cast<double>(wireBytesForPayload(payload_bytes));
+}
+
+} // namespace mac
+} // namespace edm

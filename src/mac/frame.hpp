@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ethernet MAC frames and wire-overhead accounting.
+ *
+ * The MAC constraints that motivate EDM (paper §2.4): 64 B minimum frame,
+ * 12 B inter-frame gap, 8 B preamble + start-of-frame delimiter, no
+ * intra-frame preemption. This module provides frame construction with
+ * padding + FCS, parsing with FCS verification, and the exact wire-byte
+ * accounting the bandwidth models use.
+ */
+
+#ifndef EDM_MAC_FRAME_HPP
+#define EDM_MAC_FRAME_HPP
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace edm {
+namespace mac {
+
+/** 48-bit MAC address. */
+using MacAddr = std::array<std::uint8_t, 6>;
+
+/** MAC layer constants (IEEE 802.3). */
+inline constexpr Bytes kMinFrame = 64;       ///< incl. header + FCS
+inline constexpr Bytes kMaxFrame = 1518;     ///< standard MTU frame
+inline constexpr Bytes kJumboFrame = 9018;   ///< 9 KB jumbo frame
+inline constexpr Bytes kHeaderBytes = 14;    ///< dst + src + ethertype
+inline constexpr Bytes kFcsBytes = 4;
+inline constexpr Bytes kPreambleBytes = 8;   ///< preamble + SFD
+inline constexpr Bytes kIfgBytes = 12;       ///< minimum inter-frame gap
+
+/** A parsed Ethernet frame. */
+struct Frame
+{
+    MacAddr dst{};
+    MacAddr src{};
+    std::uint16_t ethertype = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/**
+ * Serialize @p frame: header + payload + pad-to-minimum + FCS.
+ * @return the frame bytes as they appear between preamble and IFG.
+ */
+std::vector<std::uint8_t> serialize(const Frame &frame);
+
+/**
+ * Parse and FCS-check serialized frame bytes.
+ * @return the frame, or nullopt if the FCS does not verify or the frame
+ *         is shorter than the minimum. Padding is retained in the payload
+ *         (length recovery belongs to the layer above, as in real MACs).
+ */
+std::optional<Frame> parse(const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Total wire bytes consumed by sending @p payload_bytes of L2 payload in
+ * one frame: preamble + max(64, hdr+payload+fcs) + IFG. This is the
+ * quantity behind the paper's Limitation 1 and 2 bandwidth-overhead
+ * arithmetic (e.g. 88% waste for 8 B messages, 16% IFG+preamble overhead
+ * for 64 B frames).
+ */
+Bytes wireBytesForPayload(Bytes payload_bytes);
+
+/** Fraction of wire bytes that are goodput for @p payload_bytes. */
+double goodputFraction(Bytes payload_bytes);
+
+} // namespace mac
+} // namespace edm
+
+#endif // EDM_MAC_FRAME_HPP

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Byte-addressable backing store with atomic read-modify-write support.
+ *
+ * Functional model of a memory node's DRAM contents. Sparse: 4 KiB pages
+ * materialize on first touch, so a 64-bit address space costs only what
+ * the workload touches. The RMW operations are the ones EDM's memory-node
+ * NIC implements (paper §3.2.1): performed atomically with respect to all
+ * other requests at that node (single-threaded simulation makes each call
+ * naturally atomic; ordering is the fabric's job).
+ */
+
+#ifndef EDM_MEM_BACKING_STORE_HPP
+#define EDM_MEM_BACKING_STORE_HPP
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace edm {
+namespace mem {
+
+/** Atomic read-modify-write opcodes carried by RMWREQ messages. */
+enum class RmwOp : std::uint8_t
+{
+    CompareAndSwap = 1, ///< args: expected, desired → returns old value
+    FetchAndAdd = 2,    ///< args: addend → returns old value
+    Swap = 3,           ///< args: new value → returns old value
+};
+
+/** Result of an atomic RMW. */
+struct RmwResult
+{
+    std::uint64_t old_value = 0;
+    bool swapped = false; ///< CAS success flag (true for FAA/Swap)
+};
+
+/** Sparse byte-addressable memory. */
+class BackingStore
+{
+  public:
+    /** Read @p len bytes at @p addr (untouched bytes read as zero). */
+    std::vector<std::uint8_t> read(std::uint64_t addr, Bytes len) const;
+
+    /** Write @p data at @p addr. */
+    void write(std::uint64_t addr, const std::vector<std::uint8_t> &data);
+
+    /** Read one 64-bit word (little-endian) at @p addr. */
+    std::uint64_t read64(std::uint64_t addr) const;
+
+    /** Write one 64-bit word (little-endian) at @p addr. */
+    void write64(std::uint64_t addr, std::uint64_t value);
+
+    /** Execute an atomic RMW at @p addr on the 64-bit word there. */
+    RmwResult rmw(RmwOp op, std::uint64_t addr,
+                  std::uint64_t arg0, std::uint64_t arg1);
+
+    /** Number of materialized 4 KiB pages (for capacity accounting). */
+    std::size_t residentPages() const { return pages_.size(); }
+
+  private:
+    static constexpr std::uint64_t kPageBytes = 4096;
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    std::unordered_map<std::uint64_t, Page> pages_;
+
+    const std::uint8_t *peek(std::uint64_t addr) const;
+    std::uint8_t *touch(std::uint64_t addr);
+};
+
+} // namespace mem
+} // namespace edm
+
+#endif // EDM_MEM_BACKING_STORE_HPP

@@ -1,0 +1,74 @@
+#include "dram.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace mem {
+
+Dram::Dram(const DramConfig &cfg)
+    : cfg_(cfg), banks_(cfg.banks)
+{
+    EDM_ASSERT(cfg_.banks > 0, "DRAM needs at least one bank");
+    EDM_ASSERT(cfg_.burst_bytes > 0, "zero burst size");
+}
+
+std::size_t
+Dram::bankOf(std::uint64_t addr) const
+{
+    // Bank interleave at row granularity so sequential rows spread out.
+    return static_cast<std::size_t>((addr / cfg_.row_bytes) % cfg_.banks);
+}
+
+std::uint64_t
+Dram::rowOf(std::uint64_t addr) const
+{
+    return addr / cfg_.row_bytes;
+}
+
+Picoseconds
+Dram::rowHitLatency() const
+{
+    return cfg_.controller + cfg_.t_cl + cfg_.burst;
+}
+
+Picoseconds
+Dram::rowConflictLatency() const
+{
+    return cfg_.controller + cfg_.t_rp + cfg_.t_rcd + cfg_.t_cl + cfg_.burst;
+}
+
+Picoseconds
+Dram::access(std::uint64_t addr, Bytes bytes, Picoseconds now)
+{
+    Bank &bank = banks_[bankOf(addr)];
+    const std::uint64_t row = rowOf(addr);
+
+    const Picoseconds start = std::max(now, bank.busy_until);
+    Picoseconds core;
+    if (bank.open && bank.open_row == row) {
+        ++hits_;
+        core = cfg_.t_cl;
+    } else if (!bank.open) {
+        ++conflicts_; // counted as a miss: activation needed
+        core = cfg_.t_rcd + cfg_.t_cl;
+    } else {
+        ++conflicts_;
+        core = cfg_.t_rp + cfg_.t_rcd + cfg_.t_cl;
+    }
+    bank.open = true;
+    bank.open_row = row;
+
+    const auto bursts = std::max<Bytes>(
+        1, (bytes + cfg_.burst_bytes - 1) / cfg_.burst_bytes);
+    const Picoseconds transfer =
+        static_cast<Picoseconds>(bursts) * cfg_.burst;
+
+    const Picoseconds done = start + cfg_.controller + core + transfer;
+    bank.busy_until = done;
+    return done - now;
+}
+
+} // namespace mem
+} // namespace edm

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * DDR4-like DRAM latency/bandwidth model.
+ *
+ * The evaluation needs two things from memory: (i) a local access latency
+ * (the ~82 ns DDR4 number Figure 7 anchors its local:remote sweeps on),
+ * and (ii) a simple open-page timing model so remote access latency at the
+ * memory node includes a realistic, access-pattern-dependent DRAM
+ * component. Row-buffer hits are cheaper (tCL + burst), conflicts pay
+ * precharge + activate. Bandwidth is capped at the paper's testbed DIMM
+ * aggregate (77 GB/s across channels).
+ */
+
+#ifndef EDM_MEM_DRAM_HPP
+#define EDM_MEM_DRAM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace edm {
+namespace mem {
+
+/** Timing/geometry parameters of the DRAM model. */
+struct DramConfig
+{
+    // DDR4-2400-ish core timings.
+    Picoseconds t_cl = fromNs(14.16);  ///< CAS latency
+    Picoseconds t_rcd = fromNs(14.16); ///< RAS-to-CAS (activate)
+    Picoseconds t_rp = fromNs(14.16);  ///< precharge
+    Picoseconds burst = fromNs(3.33);  ///< BL8 data burst (64 B)
+
+    /** Fixed controller + PHY overhead per access. */
+    Picoseconds controller = fromNs(20);
+
+    std::size_t banks = 16;
+    Bytes row_bytes = 8 * kKiB;       ///< row buffer (page) size
+    Bytes burst_bytes = 64;           ///< DDR4 burst size
+    double bandwidth_gbps = 77.0 * 8; ///< 77 GB/s aggregate (paper §4.1)
+};
+
+/**
+ * Open-page DRAM timing model with per-bank row buffers.
+ *
+ * access() returns the service latency of a read or write of @p bytes at
+ * @p addr, advancing internal bank state. The model serializes accesses
+ * to the same bank and charges burst-rate transfer for multi-burst
+ * accesses — enough fidelity for fabric-evaluation purposes (the fabric,
+ * not the DRAM, is the paper's subject).
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &cfg = DramConfig{});
+
+    /**
+     * Latency to service an access of @p bytes at @p addr starting at
+     * time @p now. Also returns via bank occupancy when the bank frees.
+     */
+    Picoseconds access(std::uint64_t addr, Bytes bytes, Picoseconds now);
+
+    /** Typical row-hit latency for a 64 B access (no queuing). */
+    Picoseconds rowHitLatency() const;
+
+    /** Row-conflict latency for a 64 B access (no queuing). */
+    Picoseconds rowConflictLatency() const;
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t conflicts() const { return conflicts_; }
+
+  private:
+    struct Bank
+    {
+        bool open = false;
+        std::uint64_t open_row = 0;
+        Picoseconds busy_until = 0;
+    };
+
+    DramConfig cfg_;
+    std::vector<Bank> banks_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t conflicts_ = 0;
+
+    std::size_t bankOf(std::uint64_t addr) const;
+    std::uint64_t rowOf(std::uint64_t addr) const;
+};
+
+} // namespace mem
+} // namespace edm
+
+#endif // EDM_MEM_DRAM_HPP

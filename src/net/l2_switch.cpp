@@ -1,0 +1,75 @@
+#include "l2_switch.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace net {
+
+L2Switch::L2Switch(EventQueue &events, std::size_t ports, Gbps port_rate,
+                   Deliver deliver, L2PipelineCosts costs)
+    : events_(events), ports_(ports), rate_(port_rate),
+      deliver_(std::move(deliver)), costs_(costs),
+      egress_free_(ports, 0)
+{
+    EDM_ASSERT(ports_ >= 2, "switch needs at least two ports");
+    EDM_ASSERT(deliver_, "switch needs a delivery callback");
+}
+
+std::optional<std::size_t>
+L2Switch::lookup(const mac::MacAddr &mac) const
+{
+    auto it = fdb_.find(mac);
+    if (it == fdb_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+L2Switch::ingress(std::size_t port, std::vector<std::uint8_t> frame)
+{
+    EDM_ASSERT(port < ports_, "ingress port %zu out of range", port);
+    auto parsed = mac::parse(frame);
+    if (!parsed) {
+        ++dropped_; // FCS failure
+        return;
+    }
+
+    // MAC learning on the source address.
+    fdb_[parsed->src] = port;
+
+    const auto out = lookup(parsed->dst);
+    // Store-and-forward + the forwarding pipeline.
+    const Picoseconds delay = transmissionDelay(frame.size(), rate_) +
+        costs_.total();
+    events_.scheduleAfter(delay, [this, port, out,
+                                  frame = std::move(frame)] {
+        if (out) {
+            ++forwarded_;
+            egress(*out, frame);
+        } else {
+            ++flooded_;
+            for (std::size_t p = 0; p < ports_; ++p) {
+                if (p != port)
+                    egress(p, frame);
+            }
+        }
+    });
+}
+
+void
+L2Switch::egress(std::size_t port, const std::vector<std::uint8_t> &frame)
+{
+    // Serialize onto the egress port; queued behind earlier frames.
+    const Picoseconds tx = transmissionDelay(
+        frame.size() + mac::kPreambleBytes + mac::kIfgBytes, rate_);
+    const Picoseconds start = std::max(events_.now(), egress_free_[port]);
+    egress_free_[port] = start + tx;
+    events_.schedule(start + tx, [this, port, frame] {
+        deliver_(port, frame);
+    });
+}
+
+} // namespace net
+} // namespace edm

@@ -1,0 +1,85 @@
+#include "block.hpp"
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace phy {
+
+namespace {
+
+constexpr BlockType kTermCodes[8] = {
+    BlockType::Term0, BlockType::Term1, BlockType::Term2, BlockType::Term3,
+    BlockType::Term4, BlockType::Term5, BlockType::Term6, BlockType::Term7,
+};
+
+} // namespace
+
+bool
+isTerminate(BlockType t)
+{
+    for (auto c : kTermCodes) {
+        if (t == c)
+            return true;
+    }
+    return false;
+}
+
+int
+terminateDataBytes(BlockType t)
+{
+    for (int i = 0; i < 8; ++i) {
+        if (t == kTermCodes[i])
+            return i;
+    }
+    return 0;
+}
+
+BlockType
+terminateCode(int n)
+{
+    EDM_ASSERT(n >= 0 && n <= 7, "terminate data bytes %d out of range", n);
+    return kTermCodes[n];
+}
+
+bool
+isEdmControl(BlockType t)
+{
+    switch (t) {
+      case BlockType::MemStart:
+      case BlockType::MemTerm:
+      case BlockType::MemSingle:
+      case BlockType::Notify:
+      case BlockType::Grant:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+PhyBlock::toString() const
+{
+    if (isData())
+        return detail::format("/D/ 0x%016llx",
+                              static_cast<unsigned long long>(payload));
+    const char *name = "?";
+    switch (type()) {
+      case BlockType::Idle: name = "E"; break;
+      case BlockType::Start: name = "S"; break;
+      case BlockType::Ordered: name = "O"; break;
+      case BlockType::MemStart: name = "MS"; break;
+      case BlockType::MemTerm: name = "MT"; break;
+      case BlockType::MemSingle: name = "MST"; break;
+      case BlockType::Notify: name = "N"; break;
+      case BlockType::Grant: name = "G"; break;
+      default:
+        if (isTerminate(type()))
+            name = "T";
+        break;
+    }
+    return detail::format("/%s/ 0x%014llx", name,
+                          static_cast<unsigned long long>(controlPayload()));
+}
+
+} // namespace phy
+} // namespace edm

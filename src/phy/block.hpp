@@ -1,0 +1,131 @@
+/**
+ * @file
+ * 66-bit PHY block representation (64b/66b PCS line code).
+ *
+ * A PCS block is a 2-bit sync header plus 64 bits of payload. Data blocks
+ * (sync = 10) carry 8 bytes of frame data. Control blocks (sync = 01)
+ * carry an 8-bit block-type code in the least significant payload byte
+ * plus 56 bits of type-specific payload.
+ *
+ * EDM introduces new control block types (paper §3.2): /MS/ (memory
+ * message start), /MT/ (memory message terminate), /MST/ (single-block
+ * memory message), /N/ (demand notification) and /G/ (grant). Memory data
+ * blocks (/MD/) are ordinary sync = 10 data blocks appearing between /MS/
+ * and /MT/ — memory messages transmit contiguously, so the receive demux
+ * distinguishes them from preempted-frame data blocks by state.
+ */
+
+#ifndef EDM_PHY_BLOCK_HPP
+#define EDM_PHY_BLOCK_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace edm {
+namespace phy {
+
+/** 2-bit sync header values. */
+enum class Sync : std::uint8_t
+{
+    Control = 0b01,
+    Data = 0b10,
+};
+
+/** 8-bit block type codes for control blocks. */
+enum class BlockType : std::uint8_t
+{
+    // Standard IEEE 802.3 64b/66b codes.
+    Idle = 0x1E,  ///< /E/ — all idle characters (inter-frame gap)
+    Start = 0x78, ///< /S/ — frame start
+    Term0 = 0x87, ///< /T0/ — terminate, 0 trailing data bytes
+    Term1 = 0x99,
+    Term2 = 0xAA,
+    Term3 = 0xB4,
+    Term4 = 0xCC,
+    Term5 = 0xD2,
+    Term6 = 0xE1,
+    Term7 = 0xFF, ///< /T7/ — terminate, 7 trailing data bytes
+    Ordered = 0x4B, ///< /O/ — ordered set
+
+    // EDM block types (unused code points in the standard).
+    MemStart = 0x2A,  ///< /MS/ — memory message start (carries header)
+    MemTerm = 0x35,   ///< /MT/ — memory message terminate
+    MemSingle = 0x3C, ///< /MST/ — single-block memory message
+    Notify = 0x43,    ///< /N/ — demand notification to the scheduler
+    Grant = 0x5A,     ///< /G/ — grant from the scheduler
+};
+
+/** True for any of the eight standard terminate codes. */
+bool isTerminate(BlockType t);
+
+/** Trailing data byte count encoded by a /Tn/ code (0 for non-/T/). */
+int terminateDataBytes(BlockType t);
+
+/** The /Tn/ code carrying @p n trailing data bytes (n in [0, 7]). */
+BlockType terminateCode(int n);
+
+/** True for EDM memory-path control types (/MS/ /MT/ /MST/ /N/ /G/). */
+bool isEdmControl(BlockType t);
+
+/** One 66-bit PCS block. */
+struct PhyBlock
+{
+    Sync sync = Sync::Control;
+    std::uint64_t payload = 0;
+
+    /** Block-type code of a control block (low payload byte). */
+    BlockType
+    type() const
+    {
+        return static_cast<BlockType>(payload & 0xFF);
+    }
+
+    bool isData() const { return sync == Sync::Data; }
+    bool isControl() const { return sync == Sync::Control; }
+
+    /** Control payload (the 56 bits above the type byte). */
+    std::uint64_t controlPayload() const { return payload >> 8; }
+
+    /** Build a control block from a type code and 56-bit payload. */
+    static PhyBlock
+    control(BlockType t, std::uint64_t payload56 = 0)
+    {
+        return PhyBlock{Sync::Control,
+                        (payload56 << 8) |
+                            static_cast<std::uint64_t>(
+                                static_cast<std::uint8_t>(t))};
+    }
+
+    /** Build a data block carrying 8 bytes in @p payload64. */
+    static PhyBlock
+    data(std::uint64_t payload64)
+    {
+        return PhyBlock{Sync::Data, payload64};
+    }
+
+    /** An all-idle /E/ block (the default inter-frame gap filler). */
+    static PhyBlock idle() { return control(BlockType::Idle, 0); }
+
+    bool
+    operator==(const PhyBlock &o) const
+    {
+        return sync == o.sync && payload == o.payload;
+    }
+
+    /** Debug rendering, e.g. "/MS/ 0x00001234". */
+    std::string toString() const;
+};
+
+/** Wire size of one block, in bits (66), including the sync header. */
+inline constexpr int kBlockWireBits = 66;
+
+/** Payload bits carried per data block. */
+inline constexpr int kBlockDataBits = 64;
+
+/** Payload bytes carried per data block. */
+inline constexpr int kBlockDataBytes = 8;
+
+} // namespace phy
+} // namespace edm
+
+#endif // EDM_PHY_BLOCK_HPP

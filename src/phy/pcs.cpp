@@ -1,0 +1,102 @@
+#include "pcs.hpp"
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace phy {
+
+namespace {
+
+std::uint64_t
+packLe(const std::uint8_t *p, std::size_t n)
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+unpackLe(std::uint64_t v, std::size_t n, std::vector<std::uint8_t> &out)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+} // namespace
+
+std::vector<PhyBlock>
+encodeFrame(const std::vector<std::uint8_t> &frame)
+{
+    EDM_ASSERT(frame.size() >= 64,
+               "frame below the 64 B MAC minimum: %zu bytes", frame.size());
+    std::vector<PhyBlock> blocks;
+    blocks.reserve(frameBlockCount(frame.size()));
+
+    // /S/ block: type code + first 7 frame bytes in the control payload.
+    blocks.push_back(PhyBlock::control(BlockType::Start,
+                                       packLe(frame.data(), 7)));
+    std::size_t pos = 7;
+
+    // Full data blocks; the final 0–7 bytes ride in the terminate block.
+    while (frame.size() - pos >= 8) {
+        blocks.push_back(PhyBlock::data(packLe(frame.data() + pos, 8)));
+        pos += 8;
+    }
+
+    const std::size_t tail = frame.size() - pos;
+    blocks.push_back(PhyBlock::control(
+        terminateCode(static_cast<int>(tail)),
+        packLe(frame.data() + pos, tail)));
+    return blocks;
+}
+
+std::size_t
+frameBlockCount(std::size_t frame_bytes)
+{
+    EDM_ASSERT(frame_bytes >= 64, "frame below MAC minimum: %zu bytes",
+               frame_bytes);
+    // 7 bytes ride in /S/; the rest split into 8-byte /D/ blocks with the
+    // final 0–7 bytes in /Tn/.
+    const std::size_t remaining = frame_bytes - 7;
+    const std::size_t data_blocks = remaining / 8;
+    return 1 + data_blocks + 1;
+}
+
+std::optional<std::vector<std::uint8_t>>
+FrameDecoder::feed(const PhyBlock &b)
+{
+    if (!in_frame_) {
+        if (b.isControl() && b.type() == BlockType::Start) {
+            in_frame_ = true;
+            bytes_.clear();
+            unpackLe(b.controlPayload(), 7, bytes_);
+        } else if (b.isData()) {
+            // Data outside a frame: either corruption or a stray memory
+            // block that should have been filtered by the demux.
+            ++violations_;
+        }
+        return std::nullopt;
+    }
+
+    if (b.isData()) {
+        unpackLe(b.payload, 8, bytes_);
+        return std::nullopt;
+    }
+
+    if (isTerminate(b.type())) {
+        const int tail = terminateDataBytes(b.type());
+        unpackLe(b.controlPayload(), static_cast<std::size_t>(tail), bytes_);
+        in_frame_ = false;
+        return std::move(bytes_);
+    }
+
+    // A control block that is neither /D/ nor /T/ inside a frame is a
+    // protocol violation at this layer (the preemption demux removes EDM
+    // blocks before the decoder per the paper's RX architecture).
+    ++violations_;
+    return std::nullopt;
+}
+
+} // namespace phy
+} // namespace edm

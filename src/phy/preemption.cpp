@@ -1,0 +1,142 @@
+#include "preemption.hpp"
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace phy {
+
+void
+PreemptionMux::enqueueMemory(const std::vector<PhyBlock> &blocks)
+{
+    for (const auto &b : blocks)
+        mem_q_.push_back(b);
+}
+
+void
+PreemptionMux::enqueueMemory(const PhyBlock &block)
+{
+    mem_q_.push_back(block);
+}
+
+bool
+PreemptionMux::offerFrameBlock(const PhyBlock &block)
+{
+    if (!frameSpace())
+        return false;
+    frame_q_.push_back(block);
+    return true;
+}
+
+bool
+PreemptionMux::pickMemory() const
+{
+    if (mem_q_.empty())
+        return false;
+    if (frame_q_.empty())
+        return true;
+    // A memory message in flight finishes contiguously before the frame
+    // stream gets another slot.
+    if (mid_memory_message_)
+        return true;
+    switch (policy_) {
+      case TxPolicy::MemoryFirst:
+        return true;
+      case TxPolicy::Fair:
+        return !last_was_memory_;
+    }
+    return true;
+}
+
+PhyBlock
+PreemptionMux::next()
+{
+    if (!hasWork()) {
+        ++idle_slots_;
+        last_was_memory_ = false;
+        return PhyBlock::idle();
+    }
+    if (pickMemory()) {
+        PhyBlock b = mem_q_.front();
+        mem_q_.pop_front();
+        ++memory_slots_;
+        last_was_memory_ = true;
+        if (b.isControl() && b.type() == BlockType::MemStart) {
+            mid_memory_message_ = true;
+        } else if (b.isControl() && b.type() == BlockType::MemTerm) {
+            mid_memory_message_ = false;
+        }
+        return b;
+    }
+    PhyBlock b = frame_q_.front();
+    frame_q_.pop_front();
+    ++frame_slots_;
+    last_was_memory_ = false;
+    return b;
+}
+
+PreemptionDemux::PreemptionDemux(MemoryHandler on_memory,
+                                 FrameHandler on_frame)
+    : on_memory_(std::move(on_memory)), on_frame_(std::move(on_frame))
+{
+    EDM_ASSERT(on_memory_ && on_frame_, "demux needs both handlers");
+}
+
+void
+PreemptionDemux::feed(const PhyBlock &block)
+{
+    if (block.isControl()) {
+        const BlockType t = block.type();
+        if (t == BlockType::MemStart) {
+            EDM_ASSERT(!in_memory_message_, "nested /MS/");
+            in_memory_message_ = true;
+            on_memory_(block);
+            return;
+        }
+        if (t == BlockType::MemTerm) {
+            EDM_ASSERT(in_memory_message_, "/MT/ without /MS/");
+            in_memory_message_ = false;
+            on_memory_(block);
+            return;
+        }
+        if (t == BlockType::MemSingle || t == BlockType::Notify ||
+            t == BlockType::Grant) {
+            on_memory_(block);
+            return;
+        }
+        if (t == BlockType::Idle)
+            return; // inter-frame gap; nothing to deliver
+
+        if (t == BlockType::Start) {
+            in_frame_ = true;
+            frame_buf_.clear();
+            frame_buf_.push_back(block);
+            return;
+        }
+        if (isTerminate(t)) {
+            if (in_frame_) {
+                frame_buf_.push_back(block);
+                in_frame_ = false;
+                on_frame_(std::move(frame_buf_));
+                frame_buf_ = {};
+            }
+            return;
+        }
+        // Ordered sets and other control blocks pass through with frames
+        // only when mid-frame; otherwise they are link maintenance.
+        if (in_frame_)
+            frame_buf_.push_back(block);
+        return;
+    }
+
+    // Data block: memory data if inside /MS/../MT/, else frame data.
+    if (in_memory_message_) {
+        on_memory_(block);
+    } else if (in_frame_) {
+        frame_buf_.push_back(block);
+    }
+    // Data with neither context is dropped (would be a line error; the
+    // FrameDecoder counts such violations when they reach it).
+}
+
+} // namespace phy
+} // namespace edm

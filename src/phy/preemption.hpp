@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Intra-frame preemption: TX block multiplexer and RX reassembly demux
+ * (paper §3.2.3).
+ *
+ * TX side: memory blocks (/MS/ /MD/ /MT/ /MST/ /N/ /G/) and non-memory
+ * frame blocks share the line at 66-bit granularity. A small (4-block)
+ * staging buffer holds encoder output; when it fills during a preemption,
+ * backpressure propagates to the MAC. Memory *messages* transmit
+ * contiguously (they are at most a chunk long); non-memory frames can be
+ * preempted at any block boundary.
+ *
+ * RX side: blocks of a preempted frame arrive in order but in
+ * non-consecutive slots. The decoder and MAC require consecutive delivery,
+ * so the demux buffers frame blocks until the /T/ block arrives, then
+ * releases the whole frame; memory blocks are extracted and delivered to
+ * the EDM RX path immediately (and replaced by idles toward the decoder,
+ * which here simply means not forwarding them).
+ */
+
+#ifndef EDM_PHY_PREEMPTION_HPP
+#define EDM_PHY_PREEMPTION_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "phy/block.hpp"
+
+namespace edm {
+namespace phy {
+
+/** TX scheduling policy between memory and non-memory blocks. */
+enum class TxPolicy
+{
+    Fair,        ///< alternate when both streams have work (paper default)
+    MemoryFirst, ///< strict priority to memory blocks
+};
+
+/**
+ * TX multiplexer: one block per line slot from two streams.
+ */
+class PreemptionMux
+{
+  public:
+    /** Staging-buffer bound for non-memory blocks (4 per §3.2.3). */
+    static constexpr std::size_t kFrameBufferBlocks = 4;
+
+    explicit PreemptionMux(TxPolicy policy = TxPolicy::Fair)
+        : policy_(policy)
+    {
+    }
+
+    /** Queue a contiguous memory message / control block sequence. */
+    void enqueueMemory(const std::vector<PhyBlock> &blocks);
+
+    /** Queue one memory control block (/N/ or /G/). */
+    void enqueueMemory(const PhyBlock &block);
+
+    /**
+     * Offer one non-memory frame block to the staging buffer.
+     * @return false when the buffer is full — the MAC must hold this
+     *         block and retry (backpressure).
+     */
+    bool offerFrameBlock(const PhyBlock &block);
+
+    /** True when the staging buffer can accept another frame block. */
+    bool frameSpace() const { return frame_q_.size() < kFrameBufferBlocks; }
+
+    /** True if either stream has a block waiting. */
+    bool hasWork() const { return !mem_q_.empty() || !frame_q_.empty(); }
+
+    /**
+     * Emit the block for the next line slot. With no work queued this is
+     * an idle /E/ block (the slot EDM can otherwise repurpose).
+     */
+    PhyBlock next();
+
+    /** Pending memory blocks. */
+    std::size_t memoryBacklog() const { return mem_q_.size(); }
+
+    /** Pending non-memory blocks in the staging buffer. */
+    std::size_t frameBacklog() const { return frame_q_.size(); }
+
+    /** Total slots emitted, by category (for utilization accounting). */
+    std::uint64_t memorySlots() const { return memory_slots_; }
+    std::uint64_t frameSlots() const { return frame_slots_; }
+    std::uint64_t idleSlots() const { return idle_slots_; }
+
+  private:
+    TxPolicy policy_;
+    std::deque<PhyBlock> mem_q_;
+    std::deque<PhyBlock> frame_q_;
+    bool last_was_memory_ = false; ///< fair-policy alternation state
+    bool mid_memory_message_ = false;
+    std::uint64_t memory_slots_ = 0;
+    std::uint64_t frame_slots_ = 0;
+    std::uint64_t idle_slots_ = 0;
+
+    bool memoryEligible() const { return !mem_q_.empty(); }
+    bool pickMemory() const;
+};
+
+/**
+ * RX demultiplexer: classifies each received block.
+ */
+class PreemptionDemux
+{
+  public:
+    /** Called with every memory-path block (M-star, /N/, /G/), in order. */
+    using MemoryHandler = std::function<void(const PhyBlock &)>;
+
+    /**
+     * Called with a complete frame's contiguous block sequence once its
+     * /T/ block has arrived.
+     */
+    using FrameHandler = std::function<void(std::vector<PhyBlock>)>;
+
+    PreemptionDemux(MemoryHandler on_memory, FrameHandler on_frame);
+
+    /** Consume one line block. */
+    void feed(const PhyBlock &block);
+
+    /** Blocks currently buffered for an in-progress frame. */
+    std::size_t frameBuffered() const { return frame_buf_.size(); }
+
+    /** True while inside a memory message (/MS/ seen, /MT/ pending). */
+    bool inMemoryMessage() const { return in_memory_message_; }
+
+  private:
+    MemoryHandler on_memory_;
+    FrameHandler on_frame_;
+    std::vector<PhyBlock> frame_buf_;
+    bool in_frame_ = false;
+    bool in_memory_message_ = false;
+};
+
+} // namespace phy
+} // namespace edm
+
+#endif // EDM_PHY_PREEMPTION_HPP

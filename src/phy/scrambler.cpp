@@ -1,0 +1,42 @@
+#include "scrambler.hpp"
+
+namespace edm {
+namespace phy {
+
+// Bit-serial reference implementation. The scrambler state holds the last
+// 58 *output* (line) bits; each output bit is in ^ s[38] ^ s[57]
+// (taps at exponents 39 and 58). The descrambler mirrors this with the
+// last 58 *input* (line) bits, which is what makes it self-synchronizing.
+
+std::uint64_t
+Scrambler::scramble(std::uint64_t data)
+{
+    std::uint64_t out = 0;
+    for (int i = 0; i < 64; ++i) {
+        const std::uint64_t in_bit = (data >> i) & 1;
+        const std::uint64_t tap39 = (state_ >> 38) & 1;
+        const std::uint64_t tap58 = (state_ >> 57) & 1;
+        const std::uint64_t out_bit = in_bit ^ tap39 ^ tap58;
+        out |= out_bit << i;
+        state_ = ((state_ << 1) | out_bit) & kStateMask;
+    }
+    return out;
+}
+
+std::uint64_t
+Descrambler::descramble(std::uint64_t data)
+{
+    std::uint64_t out = 0;
+    for (int i = 0; i < 64; ++i) {
+        const std::uint64_t in_bit = (data >> i) & 1;
+        const std::uint64_t tap39 = (state_ >> 38) & 1;
+        const std::uint64_t tap58 = (state_ >> 57) & 1;
+        const std::uint64_t out_bit = in_bit ^ tap39 ^ tap58;
+        out |= out_bit << i;
+        state_ = ((state_ << 1) | in_bit) & kStateMask;
+    }
+    return out;
+}
+
+} // namespace phy
+} // namespace edm

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Self-synchronizing scrambler/descrambler (x^58 + x^39 + 1).
+ *
+ * 10/25/100 GbE scramble the 64 payload bits of every block (sync headers
+ * pass through) to guarantee transition density on the line. The scrambler
+ * is self-synchronizing: the descrambler recovers after 58 bits regardless
+ * of initial state. EDM's logic sits between the encoder and the scrambler
+ * (paper §3.2, Figure 3), so memory blocks are scrambled like any other —
+ * this module lets integration tests run the full TX→RX pipeline and lets
+ * the corruption-handling path (§3.3) detect single-bit line errors by
+ * their 3-bit error multiplication signature.
+ */
+
+#ifndef EDM_PHY_SCRAMBLER_HPP
+#define EDM_PHY_SCRAMBLER_HPP
+
+#include <cstdint>
+
+namespace edm {
+namespace phy {
+
+/** TX-side multiplicative scrambler, polynomial x^58 + x^39 + 1. */
+class Scrambler
+{
+  public:
+    explicit Scrambler(std::uint64_t seed = 0x3FFFFFFFFFFFFFFULL)
+        : state_(seed & kStateMask)
+    {
+    }
+
+    /** Scramble 64 payload bits (LSB first on the wire). */
+    std::uint64_t scramble(std::uint64_t data);
+
+    /** Raw 58-bit LFSR state (for tests). */
+    std::uint64_t state() const { return state_; }
+
+  private:
+    static constexpr std::uint64_t kStateMask = (1ULL << 58) - 1;
+    std::uint64_t state_;
+};
+
+/** RX-side self-synchronizing descrambler for the same polynomial. */
+class Descrambler
+{
+  public:
+    explicit Descrambler(std::uint64_t seed = 0)
+        : state_(seed & kStateMask)
+    {
+    }
+
+    /** Descramble 64 payload bits. */
+    std::uint64_t descramble(std::uint64_t data);
+
+    std::uint64_t state() const { return state_; }
+
+  private:
+    static constexpr std::uint64_t kStateMask = (1ULL << 58) - 1;
+    std::uint64_t state_;
+};
+
+} // namespace phy
+} // namespace edm
+
+#endif // EDM_PHY_SCRAMBLER_HPP

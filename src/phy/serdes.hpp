@@ -1,0 +1,31 @@
+/**
+ * @file
+ * PMA/PMD (SerDes) and propagation latency constants.
+ *
+ * Table 1 of the paper charges 19 ns per SerDes crossing (PMA + PMD +
+ * transceiver) at each end of each link traversal, and 10 ns one-hop
+ * propagation delay. These constants are shared by the cycle-level
+ * simulator and the analytic latency model so the two cannot diverge.
+ */
+
+#ifndef EDM_PHY_SERDES_HPP
+#define EDM_PHY_SERDES_HPP
+
+#include "common/time.hpp"
+
+namespace edm {
+namespace phy {
+
+/** PMA + PMD + transceiver latency per SerDes crossing (one end). */
+inline constexpr Picoseconds kSerdesCrossing = 19 * kNanosecond;
+
+/** One-hop propagation delay used throughout the evaluation. */
+inline constexpr Picoseconds kHopPropagation = 10 * kNanosecond;
+
+/** SerDes crossings per link traversal (TX end + RX end). */
+inline constexpr int kCrossingsPerTraversal = 2;
+
+} // namespace phy
+} // namespace edm
+
+#endif // EDM_PHY_SERDES_HPP

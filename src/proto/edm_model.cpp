@@ -1,0 +1,126 @@
+#include "edm_model.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace proto {
+
+EdmFlowModel::EdmFlowModel(Simulation &sim, const ClusterConfig &cluster,
+                           const EdmModelConfig &cfg)
+    : FabricModel(sim, cluster), mcfg_(cfg)
+{
+    ecfg_.num_nodes = cluster.num_nodes;
+    ecfg_.link_rate = cluster.link_rate;
+    ecfg_.chunk_bytes = cfg.chunk_bytes;
+    ecfg_.max_notifications = cfg.max_notifications;
+    ecfg_.priority = cfg.priority;
+    ecfg_.scheduler_ghz = cfg.scheduler_ghz;
+    sched_ = std::make_unique<core::Scheduler>(
+        ecfg_, sim.events(),
+        [this](const core::GrantAction &a) { onGrant(a); });
+}
+
+void
+EdmFlowModel::offer(const Job &job)
+{
+    sim_.events().schedule(job.arrival, [this, job] { admit(job); });
+}
+
+void
+EdmFlowModel::admit(const Job &job)
+{
+    // Hosts rate-limit active requests to X per destination (§3.1.2).
+    const PairKey pair{job.src, job.dst};
+    if (outstanding_[pair] >= mcfg_.max_notifications) {
+        parked_[pair].push_back(job);
+        return;
+    }
+    ++outstanding_[pair];
+    launch(job);
+}
+
+void
+EdmFlowModel::launch(const Job &job)
+{
+    const PairKey pair{job.src, job.dst};
+    const core::MsgId id = next_id_[pair]++;
+    active_[MsgKey{job.src, job.dst, id}] = Active{job, 0};
+
+    if (job.is_write) {
+        // Explicit /N/ travels one hop to the switch (§3.1.4).
+        core::ControlInfo n;
+        n.dst = job.dst;
+        n.src = job.src;
+        n.id = id;
+        n.size = job.size;
+        sim_.events().scheduleAfter(cfg_.propagation, [this, n] {
+            sched_->addWriteDemand(n);
+        });
+    } else {
+        // The read request reaches the switch one hop after issue and is
+        // buffered as the implicit demand for the response (§3.1.1).
+        core::MemMessage req;
+        req.type = core::MemMsgType::RREQ;
+        req.src = job.dst; // requester
+        req.dst = job.src; // memory node (data sender)
+        req.id = id;
+        req.len = static_cast<Bytes>(
+            std::min<Bytes>(job.size, 0xFFFF));
+        sim_.events().scheduleAfter(cfg_.propagation,
+                                    [this, req, size = job.size] {
+                                        sched_->addReadDemand(req, size);
+                                    });
+    }
+}
+
+void
+EdmFlowModel::onGrant(const core::GrantAction &action)
+{
+    MsgKey key;
+    const Bytes chunk = action.chunk;
+    if (action.forward_request) {
+        const auto &req = *action.forward_request;
+        key = MsgKey{req.dst, req.src, req.id};
+    } else {
+        const auto &g = *action.grant_block;
+        key = MsgKey{g.src, g.dst, g.id};
+    }
+    // Grant travels one hop to the sender; the chunk then serializes and
+    // crosses two hops through its virtual circuit.
+    const Picoseconds at = sim_.now() + 3 * cfg_.propagation +
+        txDelay(chunk);
+    deliverChunk(key, chunk, at);
+}
+
+void
+EdmFlowModel::deliverChunk(const MsgKey &key, Bytes chunk, Picoseconds at)
+{
+    auto it = active_.find(key);
+    EDM_ASSERT(it != active_.end(), "grant for unknown flow job");
+    Active &a = it->second;
+    a.delivered += chunk;
+    EDM_ASSERT(a.delivered <= a.job.size, "over-delivery");
+    if (a.delivered < a.job.size)
+        return;
+
+    const Job job = a.job;
+    active_.erase(it);
+    sim_.events().schedule(at, [this, job] {
+        complete(job, sim_.now() + cfg_.fixed_overhead);
+        // Completion frees one slot of the per-pair X budget.
+        const PairKey pair{job.src, job.dst};
+        --outstanding_[pair];
+        auto &parked = parked_[pair];
+        if (!parked.empty()) {
+            const Job next = parked.front();
+            parked.pop_front();
+            ++outstanding_[pair];
+            launch(next);
+        }
+    });
+}
+
+} // namespace proto
+} // namespace edm

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Flow-level EDM fabric model for the scale experiments (paper §4.3).
+ *
+ * Reuses the exact core::Scheduler (priority-PIM, chunk grants, busy
+ * timers) that drives the cycle-level fabric, with hosts modelled as
+ * grant-obeying chunk transmitters. Reads register implicit demands when
+ * the RREQ reaches the switch; writes pay the explicit notify→grant half
+ * round trip. Hosts rate-limit active requests to X per destination pair.
+ */
+
+#ifndef EDM_PROTO_EDM_MODEL_HPP
+#define EDM_PROTO_EDM_MODEL_HPP
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/scheduler.hpp"
+#include "proto/job.hpp"
+
+namespace edm {
+namespace proto {
+
+/** EDM scheduler parameters for the flow model. */
+struct EdmModelConfig
+{
+    Bytes chunk_bytes = 256;            ///< grant chunk (§4.3 setup)
+    int max_notifications = 3;          ///< X (§3.1.2)
+    core::Priority priority = core::Priority::Srpt;
+    double scheduler_ghz = 3.0;         ///< ASIC synthesis rate (§4.1)
+};
+
+/** The EDM fabric at flow granularity. */
+class EdmFlowModel : public FabricModel
+{
+  public:
+    EdmFlowModel(Simulation &sim, const ClusterConfig &cluster,
+                 const EdmModelConfig &cfg = {});
+
+    std::string name() const override { return "EDM"; }
+    void offer(const Job &job) override;
+
+    /** Scheduler statistics (matching iterations, grants). */
+    const core::Scheduler &scheduler() const { return *sched_; }
+
+  private:
+    struct Active
+    {
+        Job job;
+        Bytes delivered = 0;
+    };
+
+    using PairKey = std::pair<core::NodeId, core::NodeId>;
+    using MsgKey = std::tuple<core::NodeId, core::NodeId, core::MsgId>;
+
+    EdmModelConfig mcfg_;
+    core::EdmConfig ecfg_;
+    std::unique_ptr<core::Scheduler> sched_;
+
+    std::map<MsgKey, Active> active_;
+    std::map<PairKey, int> outstanding_;
+    std::map<PairKey, std::deque<Job>> parked_;
+    std::map<PairKey, std::uint8_t> next_id_;
+
+    void admit(const Job &job);
+    void launch(const Job &job);
+    void onGrant(const core::GrantAction &action);
+    void deliverChunk(const MsgKey &key, Bytes chunk, Picoseconds at);
+};
+
+} // namespace proto
+} // namespace edm
+
+#endif // EDM_PROTO_EDM_MODEL_HPP

@@ -1,0 +1,16 @@
+#include "job.hpp"
+
+namespace edm {
+namespace proto {
+
+Picoseconds
+FabricModel::idealLatency(Bytes size, bool is_write) const
+{
+    // Fixed stack/switch latency + four hops (request or notify+grant leg,
+    // then the two-hop data path) + data serialization.
+    (void)is_write;
+    return cfg_.fixed_overhead + 4 * cfg_.propagation + txDelay(size);
+}
+
+} // namespace proto
+} // namespace edm

@@ -1,0 +1,72 @@
+#include "event_queue.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace edm {
+
+EventId
+EventQueue::schedule(Picoseconds when, Callback cb)
+{
+    EDM_ASSERT(when >= now_,
+               "scheduling event in the past: %lld < now %lld",
+               static_cast<long long>(when), static_cast<long long>(now_));
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+    pending_ids_.insert(id);
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Picoseconds delay, Callback cb)
+{
+    EDM_ASSERT(delay >= 0, "negative delay %lld",
+               static_cast<long long>(delay));
+    return schedule(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // Only ids that are still pending can be cancelled; fired or already
+    // cancelled events are not found and return false.
+    return pending_ids_.erase(id) > 0;
+}
+
+bool
+EventQueue::step(Picoseconds horizon)
+{
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        auto it = pending_ids_.find(top.id);
+        if (it == pending_ids_.end()) {
+            // Cancelled: drop lazily on pop.
+            heap_.pop();
+            continue;
+        }
+        if (top.when > horizon)
+            return false;
+        // Move the callback out before popping (top() is const, but we are
+        // about to pop the entry so mutation is safe).
+        Entry entry = std::move(const_cast<Entry &>(top));
+        heap_.pop();
+        pending_ids_.erase(it);
+        now_ = entry.when;
+        entry.cb();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Picoseconds horizon)
+{
+    stop_requested_ = false;
+    std::uint64_t executed = 0;
+    while (!stop_requested_ && step(horizon))
+        ++executed;
+    return executed;
+}
+
+} // namespace edm

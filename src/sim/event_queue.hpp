@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * A binary-heap calendar of (time, sequence, callback) entries. Events
+ * scheduled at the same timestamp fire in scheduling order, which keeps
+ * runs deterministic. Events can be cancelled via the EventId handle.
+ */
+
+#ifndef EDM_SIM_EVENT_QUEUE_HPP
+#define EDM_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace edm {
+
+/** Opaque handle to a scheduled event, usable for cancellation. */
+using EventId = std::uint64_t;
+
+/** Sentinel returned for events that cannot be cancelled. */
+inline constexpr EventId kInvalidEvent = 0;
+
+/**
+ * Priority queue of timestamped callbacks driving a simulation.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulation time. */
+    Picoseconds now() const { return now_; }
+
+    /**
+     * Schedule @p cb at absolute time @p when.
+     * @pre when >= now(): scheduling in the past is a logic error.
+     */
+    EventId schedule(Picoseconds when, Callback cb);
+
+    /** Schedule @p cb at now() + @p delay. */
+    EventId scheduleAfter(Picoseconds delay, Callback cb);
+
+    /**
+     * Cancel a pending event. Returns true if the event was pending and is
+     * now cancelled; false if it already fired or was already cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** True if no runnable events remain. */
+    bool empty() const { return pending_ids_.empty(); }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return pending_ids_.size(); }
+
+    /**
+     * Run events until the queue drains or time would exceed @p horizon.
+     * Returns the number of events executed.
+     */
+    std::uint64_t run(Picoseconds horizon = INT64_MAX);
+
+    /**
+     * Execute exactly one event if any remain at or before @p horizon.
+     * Returns true if an event ran.
+     */
+    bool step(Picoseconds horizon = INT64_MAX);
+
+    /** Request run() to return after the current event completes. */
+    void stop() { stop_requested_ = true; }
+
+  private:
+    struct Entry
+    {
+        Picoseconds when;
+        std::uint64_t seq;
+        EventId id;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::unordered_set<EventId> pending_ids_;
+    Picoseconds now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+    bool stop_requested_ = false;
+};
+
+} // namespace edm
+
+#endif // EDM_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Simulation context: event queue + RNG + run control.
+ */
+
+#ifndef EDM_SIM_SIMULATION_HPP
+#define EDM_SIM_SIMULATION_HPP
+
+#include <cstdint>
+
+#include "common/random.hpp"
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"
+
+namespace edm {
+
+/**
+ * Owns the clock and randomness for one simulation run.
+ *
+ * Components hold a reference to the Simulation and use events() to
+ * schedule work and rng() for stochastic decisions; a run is fully
+ * reproducible from its seed.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1)
+        : rng_(seed)
+    {
+    }
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    EventQueue &events() { return events_; }
+    const EventQueue &events() const { return events_; }
+
+    Rng &rng() { return rng_; }
+
+    /** Current simulation time. */
+    Picoseconds now() const { return events_.now(); }
+
+    /** Drain the event queue (optionally bounded by a horizon). */
+    std::uint64_t run(Picoseconds horizon = INT64_MAX)
+    {
+        return events_.run(horizon);
+    }
+
+  private:
+    EventQueue events_;
+    Rng rng_;
+};
+
+} // namespace edm
+
+#endif // EDM_SIM_SIMULATION_HPP

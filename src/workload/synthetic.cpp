@@ -1,0 +1,186 @@
+#include "synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "core/message.hpp"
+#include "mac/frame.hpp"
+
+namespace edm {
+namespace workload {
+
+namespace wire {
+
+double
+edm(Bytes size, bool is_write)
+{
+    // Data blocks + the 8.25 B notify (writes) plus one grant per chunk.
+    const double data = core::wireBytes(
+        is_write ? core::MemMsgType::WREQ : core::MemMsgType::RRES,
+        size);
+    const double chunks = std::max<double>(
+        1.0, static_cast<double>(size) / 256.0);
+    const double block = 66.0 / 8.0;
+    return data + (is_write ? block : block) + chunks * block;
+}
+
+double
+tcp(Bytes size, bool is_write)
+{
+    (void)is_write;
+    // Segment at the MTU; each segment is a frame with 78 B of overhead
+    // (L2–L4 headers + preamble + IFG), ACKed by an 84 B frame.
+    double total = 0;
+    Bytes left = size;
+    do {
+        const Bytes seg = std::min<Bytes>(1460, left);
+        total += std::max<double>(84.0, static_cast<double>(seg) + 78.0);
+        total += 84.0; // ACK share on the reverse direction
+        left -= seg;
+    } while (left > 0);
+    return total;
+}
+
+double
+rdma(Bytes size, bool is_write)
+{
+    (void)is_write;
+    double total = 0;
+    Bytes left = size;
+    do {
+        const Bytes seg = std::min<Bytes>(1460, left);
+        total += std::max<double>(84.0, static_cast<double>(seg) + 62.0);
+        total += 84.0; // ACK share
+        left -= seg;
+    } while (left > 0);
+    return total;
+}
+
+double
+ethernet(Bytes size, bool is_write)
+{
+    (void)is_write;
+    double total = 0;
+    Bytes left = size;
+    do {
+        const Bytes seg = std::min<Bytes>(1500, left);
+        total += static_cast<double>(mac::wireBytesForPayload(seg));
+        left -= seg;
+    } while (left > 0);
+    return total;
+}
+
+double
+cxl(Bytes size, bool is_write)
+{
+    (void)is_write;
+    const double groups = std::max<double>(
+        1.0, std::ceil(static_cast<double>(size) / 256.0));
+    return static_cast<double>(size) + groups * 24.0;
+}
+
+} // namespace wire
+
+std::vector<proto::Job>
+generateSynthetic(Rng &rng, const SyntheticConfig &cfg,
+                  const WireFn &wire_fn)
+{
+    EDM_ASSERT(cfg.num_nodes >= 2, "need at least two nodes");
+    EDM_ASSERT(cfg.load > 0.0 && cfg.load < 1.0,
+               "load %.2f must be in (0,1)", cfg.load);
+    EDM_ASSERT(cfg.burst_mean >= 1.0, "burst mean below 1");
+
+    // Mean wire bytes per message under this protocol.
+    double mean_wire = 0.0;
+    {
+        const int probes = cfg.size_cdf.empty() ? 1 : 2000;
+        Rng probe_rng(12345);
+        for (int i = 0; i < probes; ++i) {
+            const Bytes sz = cfg.size_cdf.empty()
+                ? cfg.fixed_size
+                : static_cast<Bytes>(
+                      std::max(1.0, cfg.size_cdf.sample(probe_rng)));
+            const bool w = probe_rng.uniform() < cfg.write_fraction;
+            mean_wire += wire_fn(sz, w);
+        }
+        mean_wire /= probes;
+    }
+
+    // Per-source message rate so each direction carries `load`:
+    // rate · mean_wire_bits = load · link_rate.
+    const double bits_per_ps = cfg.link_rate.bitsPerPicosecond();
+    const double msg_rate = cfg.load * bits_per_ps / (mean_wire * 8.0);
+    const double burst_rate = msg_rate / cfg.burst_mean;
+    // Bursts from one source must not overlap (they would interleave
+    // destinations); gaps are measured from the end of a burst, so the
+    // exponential mean is shortened by the mean burst duration to keep
+    // the offered load on target.
+    const double burst_duration_ps =
+        cfg.burst_mean * mean_wire * 8.0 / bits_per_ps;
+    const double mean_gap_ps = std::max(
+        1.0 / burst_rate - burst_duration_ps, 0.02 / burst_rate);
+
+    std::vector<proto::Job> jobs;
+    jobs.reserve(cfg.messages);
+
+    std::vector<double> next_burst(cfg.num_nodes);
+    for (auto &t : next_burst)
+        t = rng.exponential(mean_gap_ps);
+
+    std::uint64_t id = 0;
+    while (jobs.size() < cfg.messages) {
+        // Next source to fire a burst.
+        std::size_t s = 0;
+        for (std::size_t i = 1; i < cfg.num_nodes; ++i) {
+            if (next_burst[i] < next_burst[s])
+                s = i;
+        }
+        const double t0 = next_burst[s];
+
+        // Geometric burst length with the requested mean.
+        std::uint64_t burst = 1;
+        const double p_cont = 1.0 - 1.0 / cfg.burst_mean;
+        while (rng.uniform() < p_cont)
+            ++burst;
+
+        // One random peer per burst; requester is s.
+        std::size_t peer = rng.uniformInt(
+            static_cast<std::uint64_t>(cfg.num_nodes - 1));
+        if (peer >= s)
+            ++peer;
+
+        double t = t0;
+        for (std::uint64_t b = 0; b < burst && jobs.size() < cfg.messages;
+             ++b) {
+            proto::Job job;
+            job.id = id++;
+            job.size = cfg.size_cdf.empty()
+                ? cfg.fixed_size
+                : static_cast<Bytes>(
+                      std::max(1.0, cfg.size_cdf.sample(rng)));
+            job.is_write = rng.uniform() < cfg.write_fraction;
+            if (job.is_write) {
+                job.src = static_cast<proto::NodeId>(s);
+                job.dst = static_cast<proto::NodeId>(peer);
+            } else {
+                job.src = static_cast<proto::NodeId>(peer); // memory node
+                job.dst = static_cast<proto::NodeId>(s);    // requester
+            }
+            job.arrival = static_cast<Picoseconds>(t);
+            jobs.push_back(job);
+            // Back-to-back within the burst at the protocol's own pace.
+            t += wire_fn(job.size, job.is_write) * 8.0 / bits_per_ps;
+        }
+        next_burst[s] = t + rng.exponential(mean_gap_ps);
+    }
+
+    std::sort(jobs.begin(), jobs.end(),
+              [](const proto::Job &a, const proto::Job &b) {
+                  return a.arrival < b.arrival;
+              });
+    return jobs;
+}
+
+} // namespace workload
+} // namespace edm

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic all-to-all workload generation (paper §4.3.1).
+ *
+ * Each source emits bursts of messages to a uniformly random peer.
+ * Burst lengths are geometric (disaggregated memory traffic is bursty —
+ * applications touch contiguous regions; cf. the traces of [22]); message
+ * arrivals follow a Poisson process calibrated so each link direction
+ * carries the target load *under the protocol's own framing*, which is
+ * how the paper's per-protocol normalized results are comparable.
+ */
+
+#ifndef EDM_WORKLOAD_SYNTHETIC_HPP
+#define EDM_WORKLOAD_SYNTHETIC_HPP
+
+#include <functional>
+#include <vector>
+
+#include "common/cdf.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "proto/job.hpp"
+
+namespace edm {
+namespace workload {
+
+/**
+ * Wire bytes one message of @p size costs the protocol per link
+ * direction, including its control/ACK share (used for load calibration).
+ */
+using WireFn = std::function<double(Bytes size, bool is_write)>;
+
+/** Synthetic workload parameters. */
+struct SyntheticConfig
+{
+    std::size_t num_nodes = 144;
+    Gbps link_rate{100.0};
+    double load = 0.5;          ///< target per-direction utilization
+    double write_fraction = 0.5;
+    double burst_mean = 4.0;    ///< geometric burst length (≥ 1)
+    std::uint64_t messages = 100000;
+
+    Bytes fixed_size = 64;      ///< used when size_cdf is empty
+    Cdf size_cdf;               ///< heavy-tailed trace distribution
+};
+
+/**
+ * Generate a job list sorted by arrival time.
+ * @param wire_fn per-protocol wire-cost function for load calibration
+ */
+std::vector<proto::Job> generateSynthetic(Rng &rng,
+                                          const SyntheticConfig &cfg,
+                                          const WireFn &wire_fn);
+
+/** Wire-cost functions for each protocol family (load calibration). */
+namespace wire {
+
+/** EDM: 66-bit blocks + notify/grant share (§3.1.4). */
+double edm(Bytes size, bool is_write);
+
+/** TCP-family: Ethernet frame + headers + reverse ACK share. */
+double tcp(Bytes size, bool is_write);
+
+/** RoCEv2: leaner headers, same MAC constraints + ACK share. */
+double rdma(Bytes size, bool is_write);
+
+/** Raw Ethernet frames (Fastpass data path, IRD data path). */
+double ethernet(Bytes size, bool is_write);
+
+/** CXL flits. */
+double cxl(Bytes size, bool is_write);
+
+} // namespace wire
+
+} // namespace workload
+} // namespace edm
+
+#endif // EDM_WORKLOAD_SYNTHETIC_HPP

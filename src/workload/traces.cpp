@@ -1,0 +1,60 @@
+#include "traces.hpp"
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace workload {
+
+std::vector<AppTrace>
+allTraces()
+{
+    return {AppTrace::HadoopSort, AppTrace::SparkSort, AppTrace::SparkSql,
+            AppTrace::GraphLab, AppTrace::Memcached};
+}
+
+std::string
+traceName(AppTrace trace)
+{
+    switch (trace) {
+      case AppTrace::HadoopSort: return "Hadoop (Sort)";
+      case AppTrace::SparkSort: return "Spark (Sort)";
+      case AppTrace::SparkSql: return "Spark SQL (Query)";
+      case AppTrace::GraphLab: return "GraphLab (Filtering)";
+      case AppTrace::Memcached: return "Memcached (KVstore)";
+    }
+    EDM_PANIC("unknown trace %d", static_cast<int>(trace));
+}
+
+Cdf
+traceSizeCdf(AppTrace trace)
+{
+    // Heavy-tailed mixtures: a body of word/cache-line accesses plus an
+    // application-specific tail of bulk transfers (shuffle spills, query
+    // scans, graph partitions, large values). Values in bytes.
+    switch (trace) {
+      case AppTrace::HadoopSort:
+        // Sort shuffle: mostly cache-line traffic, tail of spill blocks.
+        return Cdf{{64, 0.35}, {128, 0.55}, {512, 0.75}, {2048, 0.88},
+                   {8192, 0.95}, {32768, 0.99}, {131072, 1.0}};
+      case AppTrace::SparkSort:
+        // In-memory shuffle: slightly larger body, similar tail.
+        return Cdf{{64, 0.30}, {256, 0.55}, {1024, 0.78}, {4096, 0.90},
+                   {16384, 0.97}, {65536, 0.995}, {262144, 1.0}};
+      case AppTrace::SparkSql:
+        // Query processing: scan-dominated with mid-size row groups.
+        return Cdf{{64, 0.25}, {512, 0.50}, {2048, 0.75}, {8192, 0.92},
+                   {32768, 0.98}, {131072, 1.0}};
+      case AppTrace::GraphLab:
+        // Netflix filtering: vertex/edge messages with partition pulls.
+        return Cdf{{64, 0.45}, {128, 0.65}, {1024, 0.85}, {4096, 0.94},
+                   {16384, 0.99}, {65536, 1.0}};
+      case AppTrace::Memcached:
+        // YCSB values: small keys/values with occasional large objects.
+        return Cdf{{64, 0.35}, {256, 0.60}, {1024, 0.85}, {4096, 0.95},
+                   {16384, 0.99}, {65536, 1.0}};
+    }
+    EDM_PANIC("unknown trace %d", static_cast<int>(trace));
+}
+
+} // namespace workload
+} // namespace edm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Disaggregated-application message-size profiles (paper §4.3.2).
+ *
+ * The paper generates its §4.3.2 traces synthetically from the
+ * statistical size distributions of public disaggregated-memory traces
+ * ([22] Gao et al., [61] Shoal): Hadoop (Sort), Spark (Sort), Spark SQL
+ * (Query), GraphLab (Netflix filtering), Memcached (YCSB KV store). The
+ * original raw traces are not redistributable here, so these CDFs are
+ * modelled after the published characteristics: a mixture of
+ * word/cache-line-scale accesses (64–512 B) with an application-dependent
+ * heavy tail of page/spill transfers reaching hundreds of KB (see
+ * DESIGN.md, substitutions table). All five are heavy-tailed with equal
+ * read/write proportions, as the paper describes.
+ */
+
+#ifndef EDM_WORKLOAD_TRACES_HPP
+#define EDM_WORKLOAD_TRACES_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/cdf.hpp"
+
+namespace edm {
+namespace workload {
+
+/** The five §4.3.2 applications. */
+enum class AppTrace
+{
+    HadoopSort,
+    SparkSort,
+    SparkSql,
+    GraphLab,
+    Memcached,
+};
+
+/** All traces, in the paper's presentation order. */
+std::vector<AppTrace> allTraces();
+
+/** Display name, e.g. "Hadoop (Sort)". */
+std::string traceName(AppTrace trace);
+
+/** Message-size CDF of the application's memory traffic. */
+Cdf traceSizeCdf(AppTrace trace);
+
+} // namespace workload
+} // namespace edm
+
+#endif // EDM_WORKLOAD_TRACES_HPP

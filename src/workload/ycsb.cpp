@@ -1,0 +1,48 @@
+#include "ycsb.hpp"
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace workload {
+
+std::string
+ycsbName(YcsbWorkload w)
+{
+    switch (w) {
+      case YcsbWorkload::A: return "A";
+      case YcsbWorkload::B: return "B";
+      case YcsbWorkload::F: return "F";
+    }
+    EDM_PANIC("unknown YCSB workload %d", static_cast<int>(w));
+}
+
+double
+ycsbWriteFraction(YcsbWorkload w)
+{
+    switch (w) {
+      case YcsbWorkload::A: return 0.50;
+      case YcsbWorkload::B: return 0.05;
+      case YcsbWorkload::F: return 0.33;
+    }
+    EDM_PANIC("unknown YCSB workload %d", static_cast<int>(w));
+}
+
+YcsbGenerator::YcsbGenerator(YcsbWorkload workload, std::uint64_t num_keys,
+                             std::uint64_t seed)
+    : workload_(workload), num_keys_(num_keys), rng_(seed)
+{
+    EDM_ASSERT(num_keys > 0, "YCSB needs a non-empty key space");
+}
+
+YcsbOp
+YcsbGenerator::next()
+{
+    YcsbOp op;
+    op.key = rng_.zipf(num_keys_, 0.99);
+    op.is_write = rng_.uniform() < ycsbWriteFraction(workload_);
+    op.size = op.is_write ? kWriteBytes : kReadBytes;
+    return op;
+}
+
+} // namespace workload
+} // namespace edm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * YCSB workload generator (paper §4.2.2, Figures 6 and 7).
+ *
+ * Zipfian key popularity (theta = 0.99, the YCSB default) over a fixed
+ * key space; per-workload read/write mixes as the paper states:
+ * A — 50 % writes, B — 5 % writes, F — 33 % writes (read-modify-write).
+ * Reads fetch 1 KB objects; writes carry 100 B.
+ */
+
+#ifndef EDM_WORKLOAD_YCSB_HPP
+#define EDM_WORKLOAD_YCSB_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+
+namespace edm {
+namespace workload {
+
+/** YCSB workload variants used in the paper. */
+enum class YcsbWorkload
+{
+    A, ///< 50 % read / 50 % write (update-heavy)
+    B, ///< 95 % read / 5 % write (read-mostly)
+    F, ///< 67 % read / 33 % read-modify-write
+};
+
+/** Display name ("A", "B", "F"). */
+std::string ycsbName(YcsbWorkload w);
+
+/** Write (or RMW) fraction of the workload. */
+double ycsbWriteFraction(YcsbWorkload w);
+
+/** One key-value operation. */
+struct YcsbOp
+{
+    std::uint64_t key = 0;
+    bool is_write = false; ///< write or read-modify-write
+    Bytes size = 0;        ///< 1 KB reads, 100 B writes (paper §4.2.2)
+};
+
+/** YCSB operation stream. */
+class YcsbGenerator
+{
+  public:
+    YcsbGenerator(YcsbWorkload workload, std::uint64_t num_keys,
+                  std::uint64_t seed = 7);
+
+    /** Draw the next operation. */
+    YcsbOp next();
+
+    std::uint64_t numKeys() const { return num_keys_; }
+
+    static constexpr Bytes kReadBytes = 1024;
+    static constexpr Bytes kWriteBytes = 100;
+
+  private:
+    YcsbWorkload workload_;
+    std::uint64_t num_keys_;
+    Rng rng_;
+};
+
+} // namespace workload
+} // namespace edm
+
+#endif // EDM_WORKLOAD_YCSB_HPP

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the analytic models: Table-1 values must reproduce the
+ * paper's numbers exactly; Figure-5 and Figure-6 arithmetic must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/bandwidth_model.hpp"
+#include "analytic/latency_model.hpp"
+
+namespace edm {
+namespace analytic {
+namespace {
+
+TEST(Table1, EdmReadAndWrite)
+{
+    const auto read = fabricLatency(Stack::Edm, true);
+    EXPECT_NEAR(toNs(read.network_stack), 107.52, 0.01);
+    EXPECT_NEAR(toNs(read.serdes), 152.0, 0.01);   // 8 x 19
+    EXPECT_NEAR(toNs(read.propagation), 40.0, 0.01);
+    EXPECT_NEAR(toNs(read.total), 299.52, 0.01);
+
+    const auto write = fabricLatency(Stack::Edm, false);
+    EXPECT_NEAR(toNs(write.network_stack), 104.96, 0.01);
+    EXPECT_NEAR(toNs(write.total), 296.96, 0.01);
+}
+
+TEST(Table1, EdmPerBoxBreakdown)
+{
+    const auto read = fabricLatency(Stack::Edm, true);
+    EXPECT_NEAR(toNs(read.compute_pcs), 2 * 5.12 + 12.8, 0.01);
+    EXPECT_NEAR(toNs(read.switch_pcs), 4 * 5.12 + 28.16, 0.01);
+    EXPECT_NEAR(toNs(read.memory_pcs), 2 * 5.12 + 25.6, 0.01);
+    EXPECT_EQ(read.switch_l2, 0);
+    EXPECT_EQ(read.compute_mac, 0);
+
+    const auto write = fabricLatency(Stack::Edm, false);
+    EXPECT_NEAR(toNs(write.compute_pcs), 3 * 5.12 + 28.16, 0.01);
+    EXPECT_NEAR(toNs(write.switch_pcs), 4 * 5.12 + 28.16, 0.01);
+    EXPECT_NEAR(toNs(write.memory_pcs), 5.12 + 7.68, 0.01);
+}
+
+TEST(Table1, RawEthernet)
+{
+    const auto read = fabricLatency(Stack::RawEthernet, true);
+    EXPECT_NEAR(toNs(read.network_stack), 922.88, 0.01); // 0.92 us
+    EXPECT_NEAR(toNs(read.total), 1114.88, 0.01);        // 1.11 us
+
+    const auto write = fabricLatency(Stack::RawEthernet, false);
+    EXPECT_NEAR(toNs(write.network_stack), 461.44, 0.01);
+    EXPECT_NEAR(toNs(write.total), 557.44, 0.01);
+}
+
+TEST(Table1, RoceV2)
+{
+    const auto read = fabricLatency(Stack::RoCE, true);
+    EXPECT_NEAR(toNs(read.network_stack), 1843.68, 0.01); // 1.84 us
+    EXPECT_NEAR(toNs(read.total), 2035.68, 0.01);         // 2.03 us
+
+    const auto write = fabricLatency(Stack::RoCE, false);
+    EXPECT_NEAR(toNs(write.total), 1017.84, 0.01);        // 1.02 us
+}
+
+TEST(Table1, TcpIp)
+{
+    const auto read = fabricLatency(Stack::TcpIp, true);
+    EXPECT_NEAR(toNs(read.network_stack), 3587.68, 0.01); // 3.59 us
+    EXPECT_NEAR(toNs(read.total), 3779.68, 0.01);         // 3.79 us
+
+    const auto write = fabricLatency(Stack::TcpIp, false);
+    EXPECT_NEAR(toNs(write.total), 1889.84, 0.01);        // 1.89 us
+}
+
+TEST(Table1, PaperSpeedupClaims)
+{
+    // §4.2.1: read (write) latency 3.7x (1.9x), 6.8x (3.4x), 12.7x (6.4x)
+    // lower than raw Ethernet, RoCEv2 and TCP/IP.
+    const double edm_r = toNs(fabricLatency(Stack::Edm, true).total);
+    const double edm_w = toNs(fabricLatency(Stack::Edm, false).total);
+    EXPECT_NEAR(toNs(fabricLatency(Stack::RawEthernet, true).total) /
+                    edm_r, 3.7, 0.1);
+    EXPECT_NEAR(toNs(fabricLatency(Stack::RawEthernet, false).total) /
+                    edm_w, 1.9, 0.1);
+    EXPECT_NEAR(toNs(fabricLatency(Stack::RoCE, true).total) / edm_r,
+                6.8, 0.1);
+    EXPECT_NEAR(toNs(fabricLatency(Stack::RoCE, false).total) / edm_w,
+                3.4, 0.1);
+    EXPECT_NEAR(toNs(fabricLatency(Stack::TcpIp, true).total) / edm_r,
+                12.7, 0.2);
+    EXPECT_NEAR(toNs(fabricLatency(Stack::TcpIp, false).total) / edm_w,
+                6.4, 0.1);
+}
+
+TEST(Figure5, CycleBreakdownSums)
+{
+    // Network-stack EDM cycles: read 26 (+16 PCS), write 25 (+16 PCS);
+    // 42 cycles = 107.52 ns and 41 cycles = 104.96 ns at 2.56 ns.
+    int read_cycles = 0;
+    for (const auto &s : edmBreakdown(true))
+        read_cycles += s.cycles;
+    EXPECT_EQ(read_cycles, 26);
+
+    int write_cycles = 0;
+    for (const auto &s : edmBreakdown(false))
+        write_cycles += s.cycles;
+    EXPECT_EQ(write_cycles, 25);
+}
+
+TEST(Figure5, StagesNonEmpty)
+{
+    for (bool read : {true, false}) {
+        for (const auto &s : edmBreakdown(read)) {
+            EXPECT_FALSE(s.location.empty());
+            EXPECT_FALSE(s.what.empty());
+            EXPECT_GT(s.cycles, 0);
+        }
+    }
+}
+
+TEST(Figure6, EdmBeatsRdmaOnEveryWorkload)
+{
+    const Gbps rate{100.0};
+    for (auto w : {workload::YcsbWorkload::A, workload::YcsbWorkload::B,
+                   workload::YcsbWorkload::F}) {
+        const double edm = throughputMrps(Framing::Edm, w, rate);
+        const double rdma = throughputMrps(Framing::Rdma, w, rate);
+        EXPECT_GT(edm, rdma) << "workload " << workload::ycsbName(w);
+        // §4.2.2: around 2.7x on average; allow a broad band per point.
+        EXPECT_GT(edm / rdma, 1.5);
+        EXPECT_LT(edm / rdma, 8.0);
+    }
+}
+
+TEST(Figure6, RdmaIsProcessingBound)
+{
+    // The RoCE stack's 230.2 ns per-message occupancy caps it at
+    // ~4.3 Mrps regardless of framing.
+    const double rdma = throughputMrps(Framing::Rdma,
+                                       workload::YcsbWorkload::A,
+                                       Gbps{100.0});
+    EXPECT_NEAR(rdma, 1e6 / 230.2 / 1e3, 0.5);
+}
+
+TEST(Figure6, OverheadArithmetic)
+{
+    // §2.4: 88 % waste for 8 B messages in minimum frames; ~16 % IFG
+    // overhead on 64 B frames.
+    EXPECT_NEAR(minFrameWaste(8), 0.875, 0.01);
+    EXPECT_EQ(minFrameWaste(64), 0.0);
+    EXPECT_NEAR(ifgOverhead(64), 0.238, 0.05);
+    EXPECT_LT(ifgOverhead(1518), ifgOverhead(64));
+}
+
+TEST(Figure6, RequestCostsPositive)
+{
+    for (auto f : {Framing::Edm, Framing::Rdma}) {
+        const auto c = requestCost(f, workload::YcsbWorkload::A);
+        EXPECT_GT(c.uplink_bytes, 0.0);
+        EXPECT_GT(c.downlink_bytes, 0.0);
+        EXPECT_GT(c.processing, 0);
+    }
+}
+
+TEST(StackNames, AllDefined)
+{
+    EXPECT_FALSE(stackName(Stack::TcpIp).empty());
+    EXPECT_FALSE(stackName(Stack::RoCE).empty());
+    EXPECT_FALSE(stackName(Stack::RawEthernet).empty());
+    EXPECT_EQ(stackName(Stack::Edm), "EDM");
+}
+
+} // namespace
+} // namespace analytic
+} // namespace edm

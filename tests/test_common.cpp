@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for src/common: time, units, stats, RNG, CDF.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/cdf.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace edm {
+namespace {
+
+TEST(Time, Conversions)
+{
+    EXPECT_EQ(fromNs(1.0), 1000);
+    EXPECT_EQ(fromNs(2.56), 2560);
+    EXPECT_DOUBLE_EQ(toNs(2560), 2.56);
+    EXPECT_DOUBLE_EQ(toUs(1000000), 1.0);
+    EXPECT_EQ(kPcsBlockSlot, 2560);
+}
+
+TEST(Time, BlockSlotMatchesLineRate)
+{
+    // 25 Gb/s line rate, 64 payload bits per block: 390.625 MHz.
+    EXPECT_NEAR(64.0 / 25e9 * 1e12, static_cast<double>(kPcsBlockSlot),
+                1e-9);
+}
+
+TEST(Units, TransmissionDelayBasics)
+{
+    // 64 B at 25 Gbps = 20.48 ns.
+    EXPECT_EQ(transmissionDelay(64, Gbps{25.0}), 20480);
+    // 1 B at 100 Gbps = 0.08 ns -> rounds up to 80 ps.
+    EXPECT_EQ(transmissionDelay(1, Gbps{100.0}), 80);
+    EXPECT_EQ(transmissionDelay(0, Gbps{100.0}), 0);
+}
+
+TEST(Units, TransmissionDelayRoundsUp)
+{
+    // 3 B at 7 Gbps is not an integral number of picoseconds.
+    const Picoseconds d = transmissionDelay(3, Gbps{7.0});
+    EXPECT_GE(static_cast<double>(d), 3.0 * 8.0 / (7.0 / 1000.0));
+    EXPECT_LT(static_cast<double>(d), 3.0 * 8.0 / (7.0 / 1000.0) + 1.0);
+}
+
+class TransmissionMonotonic : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TransmissionMonotonic, MoreBytesNeverFaster)
+{
+    const Bytes b = static_cast<Bytes>(GetParam());
+    EXPECT_LE(transmissionDelay(b, Gbps{100.0}),
+              transmissionDelay(b + 1, Gbps{100.0}));
+    EXPECT_LE(transmissionDelay(b, Gbps{25.0}),
+              transmissionDelay(b, Gbps{10.0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TransmissionMonotonic,
+                         ::testing::Values(0, 1, 7, 8, 63, 64, 65, 255,
+                                           1459, 1460, 8999, 65535));
+
+TEST(RunningStat, Moments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    RunningStat a, b, all;
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(0, 100);
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Samples, Percentiles)
+{
+    Samples s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(s.percentile(99), 99.01, 1e-9);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+    EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(Samples, SingleValue)
+{
+    Samples s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 42.0);
+}
+
+TEST(Histogram, BinningAndPercentile)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    h.add(-5.0);
+    h.add(1000.0);
+    EXPECT_EQ(h.count(), 102u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 10u);
+    EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.uniformInt(std::uint64_t{10}), 10u);
+        const auto v = rng.uniformInt(std::int64_t{-5}, std::int64_t{5});
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(50.0);
+    EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Rng, ZipfSkewAndRange)
+{
+    Rng rng(13);
+    std::uint64_t head = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const auto k = rng.zipf(1000, 0.99);
+        EXPECT_LT(k, 1000u);
+        head += k < 10;
+    }
+    // With theta 0.99, the ten hottest keys draw a large share.
+    EXPECT_GT(static_cast<double>(head) / n, 0.3);
+}
+
+TEST(Cdf, QuantileInterpolation)
+{
+    Cdf cdf{{10.0, 0.5}, {20.0, 1.0}};
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.75), 15.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 20.0);
+    EXPECT_DOUBLE_EQ(cdf.maxValue(), 20.0);
+}
+
+TEST(Cdf, MeanMatchesSampling)
+{
+    Cdf cdf{{64.0, 0.4}, {1024.0, 0.8}, {65536.0, 1.0}};
+    Rng rng(17);
+    double sum = 0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i)
+        sum += cdf.sample(rng);
+    EXPECT_NEAR(sum / n, cdf.mean(), cdf.mean() * 0.02);
+}
+
+TEST(Cdf, SamplesWithinSupport)
+{
+    Cdf cdf{{64.0, 0.4}, {1024.0, 0.8}, {65536.0, 1.0}};
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = cdf.sample(rng);
+        EXPECT_GE(v, 64.0);
+        EXPECT_LE(v, 65536.0);
+    }
+}
+
+} // namespace
+} // namespace edm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the MAC layer: CRC-32, framing, wire overhead.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "mac/crc32.hpp"
+#include "mac/frame.hpp"
+
+namespace edm {
+namespace mac {
+namespace {
+
+TEST(Crc32, KnownVector)
+{
+    // The canonical CRC-32 check value.
+    const std::vector<std::uint8_t> data = {'1', '2', '3', '4', '5',
+                                            '6', '7', '8', '9'};
+    EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyAndSingleByte)
+{
+    EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+    const std::uint8_t b = 0x00;
+    EXPECT_EQ(crc32(&b, 1), 0xD202EF8Du);
+}
+
+TEST(Crc32, DetectsSingleBitFlips)
+{
+    Rng rng(31);
+    std::vector<std::uint8_t> data(128);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    const std::uint32_t good = crc32(data);
+    for (int bit = 0; bit < 64; ++bit) {
+        auto copy = data;
+        copy[static_cast<std::size_t>(bit) * 2] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_NE(crc32(copy), good);
+    }
+}
+
+class FrameRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FrameRoundTrip, SerializeParseIdentity)
+{
+    const auto payload_size = static_cast<std::size_t>(GetParam());
+    Frame f;
+    f.dst = {1, 2, 3, 4, 5, 6};
+    f.src = {7, 8, 9, 10, 11, 12};
+    f.ethertype = 0x0800;
+    Rng rng(payload_size + 1);
+    f.payload.resize(payload_size);
+    for (auto &b : f.payload)
+        b = static_cast<std::uint8_t>(rng.next());
+
+    const auto bytes = serialize(f);
+    EXPECT_GE(bytes.size(), kMinFrame);
+    const auto parsed = parse(bytes);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->dst, f.dst);
+    EXPECT_EQ(parsed->src, f.src);
+    EXPECT_EQ(parsed->ethertype, f.ethertype);
+    // Padding may extend the payload; the prefix must match.
+    ASSERT_GE(parsed->payload.size(), f.payload.size());
+    for (std::size_t i = 0; i < f.payload.size(); ++i)
+        EXPECT_EQ(parsed->payload[i], f.payload[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, FrameRoundTrip,
+                         ::testing::Values(0, 1, 8, 45, 46, 47, 100, 1000,
+                                           1500));
+
+TEST(Frame, MinimumPadding)
+{
+    Frame f;
+    f.payload = {0xAB}; // 1 byte payload -> pad to 64 B total
+    EXPECT_EQ(serialize(f).size(), kMinFrame);
+}
+
+TEST(Frame, CorruptionDetected)
+{
+    Frame f;
+    f.payload.assign(100, 0x11);
+    auto bytes = serialize(f);
+    bytes[20] ^= 0x01;
+    EXPECT_FALSE(parse(bytes).has_value());
+}
+
+TEST(Frame, TruncatedRejected)
+{
+    EXPECT_FALSE(parse(std::vector<std::uint8_t>(10, 0)).has_value());
+}
+
+TEST(Frame, WireOverheadArithmetic)
+{
+    // Limitation 1 (§2.4): an 8 B message in a minimum frame wastes 88 %
+    // of the frame.
+    EXPECT_NEAR(1.0 - 8.0 / 64.0, 0.875, 1e-12);
+    EXPECT_EQ(wireBytesForPayload(8), kPreambleBytes + 64 + kIfgBytes);
+    // Limitation 2 (§2.4): IFG alone is 16 % overhead on 64 B frames.
+    EXPECT_NEAR(static_cast<double>(kIfgBytes) / (64.0 + kIfgBytes),
+                0.158, 0.01);
+    // Goodput fraction grows with payload.
+    EXPECT_LT(goodputFraction(8), goodputFraction(64));
+    EXPECT_LT(goodputFraction(64), goodputFraction(1460));
+}
+
+TEST(Frame, WireBytesMonotone)
+{
+    for (Bytes p = 1; p < 2000; p += 7)
+        EXPECT_LE(wireBytesForPayload(p), wireBytesForPayload(p + 7));
+}
+
+} // namespace
+} // namespace mac
+} // namespace edm

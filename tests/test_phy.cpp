@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Unit tests for the PHY layer: blocks, scrambler, PCS framing,
+ * intra-frame preemption.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "phy/block.hpp"
+#include "phy/pcs.hpp"
+#include "phy/preemption.hpp"
+#include "phy/scrambler.hpp"
+#include "phy/serdes.hpp"
+
+namespace edm {
+namespace phy {
+namespace {
+
+TEST(Block, ControlRoundTrip)
+{
+    const PhyBlock b = PhyBlock::control(BlockType::MemStart, 0xABCDEF);
+    EXPECT_TRUE(b.isControl());
+    EXPECT_EQ(b.type(), BlockType::MemStart);
+    EXPECT_EQ(b.controlPayload(), 0xABCDEFu);
+}
+
+TEST(Block, DataBlock)
+{
+    const PhyBlock b = PhyBlock::data(0x1122334455667788ULL);
+    EXPECT_TRUE(b.isData());
+    EXPECT_EQ(b.payload, 0x1122334455667788ULL);
+}
+
+TEST(Block, TerminateCodes)
+{
+    for (int n = 0; n <= 7; ++n) {
+        const BlockType t = terminateCode(n);
+        EXPECT_TRUE(isTerminate(t));
+        EXPECT_EQ(terminateDataBytes(t), n);
+    }
+    EXPECT_FALSE(isTerminate(BlockType::Start));
+    EXPECT_FALSE(isTerminate(BlockType::MemTerm));
+}
+
+TEST(Block, EdmTypesAreRecognized)
+{
+    EXPECT_TRUE(isEdmControl(BlockType::MemStart));
+    EXPECT_TRUE(isEdmControl(BlockType::MemTerm));
+    EXPECT_TRUE(isEdmControl(BlockType::MemSingle));
+    EXPECT_TRUE(isEdmControl(BlockType::Notify));
+    EXPECT_TRUE(isEdmControl(BlockType::Grant));
+    EXPECT_FALSE(isEdmControl(BlockType::Idle));
+    EXPECT_FALSE(isEdmControl(BlockType::Start));
+}
+
+TEST(Block, EdmTypeCodesAvoidStandardCodes)
+{
+    // EDM block-type values must not collide with standard 802.3 codes.
+    const BlockType standard[] = {
+        BlockType::Idle, BlockType::Start, BlockType::Ordered,
+        BlockType::Term0, BlockType::Term1, BlockType::Term2,
+        BlockType::Term3, BlockType::Term4, BlockType::Term5,
+        BlockType::Term6, BlockType::Term7,
+    };
+    const BlockType custom[] = {
+        BlockType::MemStart, BlockType::MemTerm, BlockType::MemSingle,
+        BlockType::Notify, BlockType::Grant,
+    };
+    for (auto c : custom) {
+        for (auto s : standard)
+            EXPECT_NE(c, s);
+    }
+}
+
+class ScramblerRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ScramblerRoundTrip, MatchedSeedsRecoverData)
+{
+    Scrambler tx;
+    Descrambler rx(tx.state());
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t data = rng.next();
+        EXPECT_EQ(rx.descramble(tx.scramble(data)), data);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScramblerRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 0xFFFFu, 0xDEADu));
+
+TEST(Scrambler, SelfSynchronizing)
+{
+    // A descrambler starting from a wrong state recovers after 58 bits
+    // (one 64-bit block) of line data.
+    Scrambler tx;
+    Descrambler rx(0); // wrong seed
+    Rng rng(77);
+    (void)rx.descramble(tx.scramble(rng.next())); // sync-up block
+    for (int i = 0; i < 50; ++i) {
+        const std::uint64_t data = rng.next();
+        EXPECT_EQ(rx.descramble(tx.scramble(data)), data);
+    }
+}
+
+TEST(Scrambler, OutputLooksRandom)
+{
+    // All-zero input must not produce all-zero line bits (the whole
+    // point of scrambling: transition density).
+    Scrambler tx(0x155555555555555ULL);
+    int nonzero = 0;
+    for (int i = 0; i < 16; ++i)
+        nonzero += tx.scramble(0) != 0;
+    EXPECT_GE(nonzero, 15);
+}
+
+TEST(Pcs, MinFrameIsNineBlocks)
+{
+    // §3.2: at least 9 PHY blocks per minimum 64 B Ethernet frame.
+    EXPECT_EQ(frameBlockCount(64), 9u);
+    const std::vector<std::uint8_t> frame(64, 0xAA);
+    EXPECT_EQ(encodeFrame(frame).size(), 9u);
+}
+
+class PcsRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PcsRoundTrip, EncodeDecodeIdentity)
+{
+    const auto size = static_cast<std::size_t>(GetParam());
+    std::vector<std::uint8_t> frame(size);
+    Rng rng(size);
+    for (auto &b : frame)
+        b = static_cast<std::uint8_t>(rng.next());
+
+    const auto blocks = encodeFrame(frame);
+    EXPECT_EQ(blocks.size(), frameBlockCount(size));
+    EXPECT_EQ(blocks.front().type(), BlockType::Start);
+    EXPECT_TRUE(isTerminate(blocks.back().type()));
+
+    FrameDecoder dec;
+    std::vector<std::uint8_t> out;
+    for (const auto &b : blocks) {
+        if (auto f = dec.feed(b))
+            out = std::move(*f);
+    }
+    EXPECT_EQ(out, frame);
+    EXPECT_EQ(dec.violations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameSizes, PcsRoundTrip,
+                         ::testing::Values(64, 65, 70, 71, 72, 100, 128,
+                                           512, 1024, 1518, 9018));
+
+TEST(Pcs, DecoderIgnoresIdleBetweenFrames)
+{
+    const std::vector<std::uint8_t> frame(64, 0x42);
+    const auto blocks = encodeFrame(frame);
+    FrameDecoder dec;
+    dec.feed(PhyBlock::idle());
+    int frames = 0;
+    for (const auto &b : blocks) {
+        if (dec.feed(b))
+            ++frames;
+    }
+    dec.feed(PhyBlock::idle());
+    EXPECT_EQ(frames, 1);
+}
+
+TEST(Pcs, DataOutsideFrameCountsViolation)
+{
+    FrameDecoder dec;
+    dec.feed(PhyBlock::data(0x1234));
+    EXPECT_EQ(dec.violations(), 1u);
+}
+
+TEST(Serdes, PaperConstants)
+{
+    EXPECT_EQ(kSerdesCrossing, 19 * kNanosecond);
+    EXPECT_EQ(kHopPropagation, 10 * kNanosecond);
+    EXPECT_EQ(kCrossingsPerTraversal, 2);
+}
+
+// ---- preemption ----
+
+std::vector<PhyBlock>
+memoryMessage(int data_blocks)
+{
+    std::vector<PhyBlock> blocks;
+    blocks.push_back(PhyBlock::control(BlockType::MemStart, 0x1));
+    for (int i = 0; i < data_blocks; ++i)
+        blocks.push_back(PhyBlock::data(static_cast<std::uint64_t>(i)));
+    blocks.push_back(PhyBlock::control(BlockType::MemTerm, 0));
+    return blocks;
+}
+
+TEST(PreemptionMux, IdleWhenEmpty)
+{
+    PreemptionMux mux;
+    EXPECT_FALSE(mux.hasWork());
+    EXPECT_EQ(mux.next(), PhyBlock::idle());
+    EXPECT_EQ(mux.idleSlots(), 1u);
+}
+
+TEST(PreemptionMux, MemoryOnlyStreams)
+{
+    PreemptionMux mux;
+    mux.enqueueMemory(memoryMessage(2));
+    EXPECT_EQ(mux.memoryBacklog(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(mux.next() != PhyBlock::idle());
+    EXPECT_FALSE(mux.hasWork());
+    EXPECT_EQ(mux.memorySlots(), 4u);
+}
+
+TEST(PreemptionMux, FrameBufferBackpressure)
+{
+    PreemptionMux mux;
+    for (std::size_t i = 0; i < PreemptionMux::kFrameBufferBlocks; ++i)
+        EXPECT_TRUE(mux.offerFrameBlock(PhyBlock::data(i)));
+    EXPECT_FALSE(mux.frameSpace());
+    EXPECT_FALSE(mux.offerFrameBlock(PhyBlock::data(99)));
+    (void)mux.next();
+    EXPECT_TRUE(mux.frameSpace());
+}
+
+TEST(PreemptionMux, FairPolicyAlternates)
+{
+    PreemptionMux mux(TxPolicy::Fair);
+    mux.enqueueMemory(PhyBlock::control(BlockType::Notify, 1));
+    mux.enqueueMemory(PhyBlock::control(BlockType::Notify, 2));
+    mux.offerFrameBlock(PhyBlock::data(0xF0));
+    mux.offerFrameBlock(PhyBlock::data(0xF1));
+    // memory, frame, memory, frame
+    EXPECT_EQ(mux.next().type(), BlockType::Notify);
+    EXPECT_TRUE(mux.next().isData());
+    EXPECT_EQ(mux.next().type(), BlockType::Notify);
+    EXPECT_TRUE(mux.next().isData());
+}
+
+TEST(PreemptionMux, MemoryFirstPolicyStarvesFrames)
+{
+    PreemptionMux mux(TxPolicy::MemoryFirst);
+    mux.enqueueMemory(PhyBlock::control(BlockType::Notify, 1));
+    mux.enqueueMemory(PhyBlock::control(BlockType::Notify, 2));
+    mux.offerFrameBlock(PhyBlock::data(0xF0));
+    EXPECT_EQ(mux.next().type(), BlockType::Notify);
+    EXPECT_EQ(mux.next().type(), BlockType::Notify);
+    EXPECT_TRUE(mux.next().isData());
+}
+
+TEST(PreemptionMux, MemoryMessageNotInterleaved)
+{
+    // Once an /MS/ goes out, the whole message streams contiguously even
+    // under the fair policy.
+    PreemptionMux mux(TxPolicy::Fair);
+    mux.enqueueMemory(memoryMessage(3)); // MS D D D MT
+    for (int i = 0; i < 5; ++i)
+        mux.offerFrameBlock(PhyBlock::data(0xF0 + static_cast<unsigned>(i)));
+    std::vector<PhyBlock> out;
+    for (int i = 0; i < 8; ++i)
+        out.push_back(mux.next());
+    // Find MS; everything until MT must be memory blocks.
+    std::size_t ms = 0;
+    while (out[ms].isData() || out[ms].type() != BlockType::MemStart)
+        ++ms;
+    for (std::size_t i = ms + 1; out[i].isControl() == false ||
+             out[i].type() != BlockType::MemTerm; ++i) {
+        EXPECT_TRUE(out[i].isData()) << "interleaved at " << i;
+    }
+}
+
+TEST(PreemptionDemux, ExtractsMemoryAndReassemblesFrame)
+{
+    std::vector<PhyBlock> mem_blocks;
+    std::vector<std::vector<PhyBlock>> frames;
+    PreemptionDemux demux(
+        [&](const PhyBlock &b) { mem_blocks.push_back(b); },
+        [&](std::vector<PhyBlock> f) { frames.push_back(std::move(f)); });
+
+    // A frame preempted mid-way by a memory message.
+    const std::vector<std::uint8_t> payload(64, 0x5A);
+    const auto frame_blocks = encodeFrame(payload);
+    const auto msg = memoryMessage(2);
+
+    std::size_t fi = 0;
+    // First three frame blocks...
+    for (; fi < 3; ++fi)
+        demux.feed(frame_blocks[fi]);
+    // ...the memory message preempts...
+    for (const auto &b : msg)
+        demux.feed(b);
+    EXPECT_EQ(mem_blocks.size(), msg.size());
+    EXPECT_TRUE(frames.empty()); // frame still buffered
+    // ...and the frame resumes.
+    for (; fi < frame_blocks.size(); ++fi)
+        demux.feed(frame_blocks[fi]);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].size(), frame_blocks.size());
+
+    // The released frame decodes to the original bytes.
+    FrameDecoder dec;
+    std::vector<std::uint8_t> out;
+    for (const auto &b : frames[0]) {
+        if (auto f = dec.feed(b))
+            out = *f;
+    }
+    EXPECT_EQ(out, payload);
+}
+
+TEST(PreemptionDemux, FrameHeldUntilTerminate)
+{
+    // §3.2.3: the RX buffers a frame until its /T/ arrives, bounding the
+    // buffer by the maximum frame size.
+    int frames = 0;
+    PreemptionDemux demux([](const PhyBlock &) {},
+                          [&](std::vector<PhyBlock>) { ++frames; });
+    const auto blocks = encodeFrame(std::vector<std::uint8_t>(1518, 1));
+    for (std::size_t i = 0; i + 1 < blocks.size(); ++i)
+        demux.feed(blocks[i]);
+    EXPECT_EQ(frames, 0);
+    EXPECT_EQ(demux.frameBuffered(), blocks.size() - 1);
+    demux.feed(blocks.back());
+    EXPECT_EQ(frames, 1);
+    EXPECT_EQ(demux.frameBuffered(), 0u);
+}
+
+TEST(PreemptionDemux, SingleBlockMessagePassesThrough)
+{
+    std::vector<PhyBlock> mem_blocks;
+    PreemptionDemux demux(
+        [&](const PhyBlock &b) { mem_blocks.push_back(b); },
+        [](std::vector<PhyBlock>) {});
+    demux.feed(PhyBlock::control(BlockType::MemSingle, 0x77));
+    demux.feed(PhyBlock::control(BlockType::Notify, 0x88));
+    demux.feed(PhyBlock::control(BlockType::Grant, 0x99));
+    EXPECT_EQ(mem_blocks.size(), 3u);
+}
+
+} // namespace
+} // namespace phy
+} // namespace edm

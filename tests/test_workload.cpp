@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for workload generation: load calibration, bursts, trace CDFs,
+ * YCSB mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/synthetic.hpp"
+#include "workload/traces.hpp"
+#include "workload/ycsb.hpp"
+
+namespace edm {
+namespace workload {
+namespace {
+
+SyntheticConfig
+baseConfig()
+{
+    SyntheticConfig cfg;
+    cfg.num_nodes = 32;
+    cfg.load = 0.6;
+    cfg.messages = 40000;
+    return cfg;
+}
+
+TEST(Synthetic, ArrivalsSortedAndBounded)
+{
+    Rng rng(1);
+    const auto jobs = generateSynthetic(rng, baseConfig(), wire::edm);
+    ASSERT_EQ(jobs.size(), 40000u);
+    for (std::size_t i = 1; i < jobs.size(); ++i)
+        EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+    for (const auto &j : jobs) {
+        EXPECT_NE(j.src, j.dst);
+        EXPECT_LT(j.src, 32);
+        EXPECT_LT(j.dst, 32);
+        EXPECT_EQ(j.size, 64u);
+    }
+}
+
+TEST(Synthetic, LoadCalibrationHitsTarget)
+{
+    // Offered wire load per requester direction should approximate the
+    // configured load.
+    Rng rng(2);
+    const SyntheticConfig cfg = baseConfig();
+    const auto jobs = generateSynthetic(rng, cfg, wire::edm);
+    double wire_bytes = 0;
+    for (const auto &j : jobs)
+        wire_bytes += wire::edm(j.size, j.is_write);
+    const double duration_ps =
+        static_cast<double>(jobs.back().arrival - jobs.front().arrival);
+    const double per_node_bits =
+        wire_bytes * 8.0 / static_cast<double>(cfg.num_nodes);
+    const double offered = per_node_bits / duration_ps /
+        cfg.link_rate.bitsPerPicosecond();
+    EXPECT_NEAR(offered, cfg.load, cfg.load * 0.15);
+}
+
+TEST(Synthetic, WriteFractionRespected)
+{
+    Rng rng(3);
+    SyntheticConfig cfg = baseConfig();
+    cfg.write_fraction = 0.25;
+    const auto jobs = generateSynthetic(rng, cfg, wire::edm);
+    double writes = 0;
+    for (const auto &j : jobs)
+        writes += j.is_write;
+    EXPECT_NEAR(writes / static_cast<double>(jobs.size()), 0.25, 0.02);
+}
+
+TEST(Synthetic, ReadDirectionIsMemoryToRequester)
+{
+    Rng rng(4);
+    SyntheticConfig cfg = baseConfig();
+    cfg.write_fraction = 0.0;
+    const auto jobs = generateSynthetic(rng, cfg, wire::edm);
+    for (const auto &j : jobs)
+        EXPECT_FALSE(j.is_write);
+}
+
+TEST(Synthetic, CdfSizesWithinSupport)
+{
+    Rng rng(5);
+    SyntheticConfig cfg = baseConfig();
+    cfg.size_cdf = traceSizeCdf(AppTrace::HadoopSort);
+    cfg.messages = 10000;
+    const auto jobs = generateSynthetic(rng, cfg, wire::tcp);
+    for (const auto &j : jobs) {
+        EXPECT_GE(j.size, 1u);
+        EXPECT_LE(j.size, static_cast<Bytes>(cfg.size_cdf.maxValue()));
+    }
+}
+
+TEST(Synthetic, BurstsClusterDestinations)
+{
+    Rng rng(6);
+    SyntheticConfig cfg = baseConfig();
+    cfg.burst_mean = 8.0;
+    const auto jobs = generateSynthetic(rng, cfg, wire::edm);
+    // Consecutive messages from the same requester share a destination
+    // more often than uniform choice would produce.
+    std::map<proto::NodeId, proto::Job> last;
+    int repeats = 0, chances = 0;
+    for (const auto &j : jobs) {
+        const proto::NodeId requester = j.is_write ? j.src : j.dst;
+        const proto::NodeId peer = j.is_write ? j.dst : j.src;
+        auto it = last.find(requester);
+        if (it != last.end()) {
+            const auto &prev = it->second;
+            const proto::NodeId prev_peer =
+                prev.is_write ? prev.dst : prev.src;
+            ++chances;
+            repeats += prev_peer == peer;
+        }
+        last[requester] = j;
+    }
+    EXPECT_GT(static_cast<double>(repeats) / chances, 0.6);
+}
+
+TEST(WireCosts, OrderingMakesSense)
+{
+    // For small messages, EDM blocks are far leaner than MAC framing:
+    // an 8 B read response is 3 blocks (~25 B) vs an 84 B minimum frame.
+    EXPECT_LT(wire::edm(8, false), wire::ethernet(8, false));
+    EXPECT_LT(wire::edm(8, false), wire::rdma(8, false));
+    EXPECT_LT(wire::ethernet(64, true), wire::tcp(64, true));
+    EXPECT_LT(wire::rdma(64, true), wire::tcp(64, true));
+    // CXL flits sit between EDM and Ethernet for 64 B.
+    EXPECT_LT(wire::cxl(64, true), wire::ethernet(64, true));
+    // Costs grow with size for everyone.
+    for (auto fn : {wire::edm, wire::tcp, wire::rdma, wire::ethernet,
+                    wire::cxl})
+        EXPECT_LT(fn(64, false), fn(64 * 1024, false));
+}
+
+TEST(Traces, AllHaveValidHeavyTailedCdfs)
+{
+    for (auto t : allTraces()) {
+        const Cdf cdf = traceSizeCdf(t);
+        EXPECT_FALSE(traceName(t).empty());
+        // Heavy tail: p99 well above the median.
+        EXPECT_GT(cdf.quantile(0.99), 10.0 * cdf.quantile(0.5));
+        // Mean dominated by the tail.
+        EXPECT_GT(cdf.mean(), cdf.quantile(0.5));
+        EXPECT_GE(cdf.quantile(0.0), 64.0);
+    }
+    EXPECT_EQ(allTraces().size(), 5u);
+}
+
+TEST(Ycsb, WriteFractionsMatchPaper)
+{
+    EXPECT_DOUBLE_EQ(ycsbWriteFraction(YcsbWorkload::A), 0.50);
+    EXPECT_DOUBLE_EQ(ycsbWriteFraction(YcsbWorkload::B), 0.05);
+    EXPECT_DOUBLE_EQ(ycsbWriteFraction(YcsbWorkload::F), 0.33);
+}
+
+TEST(Ycsb, OpStreamStatistics)
+{
+    YcsbGenerator gen(YcsbWorkload::A, 10000, 11);
+    int writes = 0;
+    std::map<std::uint64_t, int> hist;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const auto op = gen.next();
+        EXPECT_LT(op.key, 10000u);
+        EXPECT_EQ(op.size, op.is_write ? YcsbGenerator::kWriteBytes
+                                       : YcsbGenerator::kReadBytes);
+        writes += op.is_write;
+        ++hist[op.key];
+    }
+    EXPECT_NEAR(static_cast<double>(writes) / n, 0.5, 0.02);
+    // Zipfian skew: the hottest key is sampled much more than 1/10000.
+    int hottest = 0;
+    for (const auto &[k, c] : hist)
+        hottest = std::max(hottest, c);
+    EXPECT_GT(hottest, n / 1000);
+}
+
+TEST(Ycsb, Names)
+{
+    EXPECT_EQ(ycsbName(YcsbWorkload::A), "A");
+    EXPECT_EQ(ycsbName(YcsbWorkload::B), "B");
+    EXPECT_EQ(ycsbName(YcsbWorkload::F), "F");
+}
+
+} // namespace
+} // namespace workload
+} // namespace edm
