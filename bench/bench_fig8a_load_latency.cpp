@@ -13,6 +13,10 @@
  *
  * Also includes the DESIGN.md ablations: grant chunk size and the
  * per-pair notification cap X (paper: X = 3 works best).
+ *
+ * Every sweep section dispatches its points through runPointsParallel
+ * (ScenarioRunner), so the figure's 100+ simulations use all cores;
+ * per-point seeds are fixed, so the numbers match a serial run exactly.
  */
 
 #include <cstdio>
@@ -35,12 +39,26 @@ loadSweep(bool writes)
     for (auto f : allFabrics())
         std::printf(" %9s", fabricName(f));
     std::printf("\n");
-    for (double load : {0.2, 0.4, 0.6, 0.8, 0.9}) {
+
+    const std::vector<double> loads = {0.2, 0.4, 0.6, 0.8, 0.9};
+    std::vector<PointSpec> points;
+    for (double load : loads)
+        for (auto f : allFabrics()) {
+            PointSpec p;
+            p.fabric = f;
+            p.load = load;
+            p.write_fraction = writes ? 1.0 : 0.0;
+            p.messages = kMessages;
+            points.push_back(p);
+        }
+    const auto results = runPointsParallel(points);
+
+    std::size_t i = 0;
+    for (double load : loads) {
         std::printf("  %-5.1f", load);
         for (auto f : allFabrics()) {
-            const auto r = runPoint(f, load, writes ? 1.0 : 0.0,
-                                    kMessages);
-            std::printf(" %9.3f", r.norm_mean);
+            (void)f;
+            std::printf(" %9.3f", results[i++].norm_mean);
         }
         std::printf("\n");
     }
@@ -58,12 +76,27 @@ mixSweep()
     std::printf("\n");
     const std::pair<int, int> mixes[] = {
         {100, 0}, {80, 20}, {50, 50}, {20, 80}, {0, 100}};
+
+    std::vector<PointSpec> points;
+    for (const auto &[w, r] : mixes) {
+        (void)r;
+        for (auto f : allFabrics()) {
+            PointSpec p;
+            p.fabric = f;
+            p.load = 0.8;
+            p.write_fraction = w / 100.0;
+            p.messages = kMessages;
+            points.push_back(p);
+        }
+    }
+    const auto results = runPointsParallel(points);
+
+    std::size_t i = 0;
     for (const auto &[w, r] : mixes) {
         std::printf("  %3d:%-3d", w, r);
-        const double wf = w / 100.0;
         for (auto f : allFabrics()) {
-            const auto res = runPoint(f, 0.8, wf, kMessages);
-            std::printf(" %9.3f", res.norm_mean);
+            (void)f;
+            std::printf(" %9.3f", results[i++].norm_mean);
         }
         std::printf("\n");
     }
@@ -77,22 +110,38 @@ ablations()
     // Chunking only engages on multi-chunk messages, so the sweep uses a
     // heavy-tailed size mix rather than fixed 64 B.
     const Cdf mixed_sizes{{64, 0.5}, {1024, 0.8}, {65536, 1.0}};
+    const std::vector<Bytes> chunks = {64, 128, 256, 512, 1024, 4096};
+    const std::vector<int> xs = {1, 2, 3, 6, 12};
+
+    std::vector<PointSpec> points;
+    for (Bytes chunk : chunks) {
+        PointSpec p;
+        p.load = 0.8;
+        p.messages = kMessages;
+        p.size_cdf = mixed_sizes;
+        p.edm_chunk = chunk;
+        points.push_back(p);
+    }
+    for (int x : xs) {
+        PointSpec p;
+        p.load = 0.8;
+        p.messages = kMessages;
+        p.edm_x = x;
+        points.push_back(p);
+    }
+    const auto results = runPointsParallel(points);
+
+    std::size_t i = 0;
     std::printf("  chunk size sweep (paper setup: 256 B; heavy-tailed "
                 "sizes):\n");
-    for (Bytes chunk : {64, 128, 256, 512, 1024, 4096}) {
-        const auto r = runPoint(Fabric::Edm, 0.8, 1.0, kMessages,
-                                mixed_sizes, 42, core::Priority::Srpt,
-                                chunk);
+    for (Bytes chunk : chunks)
         std::printf("    chunk %5llu B: %.3f\n",
-                    static_cast<unsigned long long>(chunk), r.norm_mean);
-    }
+                    static_cast<unsigned long long>(chunk),
+                    results[i++].norm_mean);
     std::printf("  per-pair notification cap X (paper: X = 3 works"
                 " best):\n");
-    for (int x : {1, 2, 3, 6, 12}) {
-        const auto r = runPoint(Fabric::Edm, 0.8, 1.0, kMessages, {}, 42,
-                                core::Priority::Srpt, 256, x);
-        std::printf("    X = %2d: %.3f\n", x, r.norm_mean);
-    }
+    for (int x : xs)
+        std::printf("    X = %2d: %.3f\n", x, results[i++].norm_mean);
     std::printf("\n");
 }
 

@@ -10,6 +10,9 @@
  * IRD and pFabric close behind (SRPT helps heavy tails); PFC/DCTCP/CXL
  * several times worse (FIFO + pause/credit head-of-line blocking);
  * Fastpass the worst. Includes the SRPT-vs-FCFS priority ablation.
+ *
+ * All (trace, fabric) points execute in parallel via runPointsParallel;
+ * per-point seeds are fixed, so numbers match a serial run exactly.
  */
 
 #include <cstdio>
@@ -35,22 +38,34 @@ main()
                 kLoad);
     std::printf("(paper: EDM 1.2-1.4x ideal; CXL up to 8x worse than "
                 "EDM; Fastpass worst)\n\n");
+
+    // Main grid: every (trace, fabric) point, trace-major.
+    std::vector<PointSpec> points;
+    for (auto trace : workload::allTraces()) {
+        const Cdf cdf = workload::traceSizeCdf(trace);
+        for (auto f : allFabrics()) {
+            PointSpec p;
+            p.fabric = f;
+            p.load = kLoad;
+            p.write_fraction = 0.5;
+            p.messages = kMessages;
+            p.size_cdf = cdf;
+            points.push_back(p);
+        }
+    }
+    const auto results = runPointsParallel(points);
+
     std::printf("  %-22s", "trace");
     for (auto f : allFabrics())
         std::printf(" %9s", fabricName(f));
     std::printf("\n");
-
-    std::vector<std::vector<double>> p99_rows;
+    std::size_t i = 0;
     for (auto trace : workload::allTraces()) {
-        const Cdf cdf = workload::traceSizeCdf(trace);
         std::printf("  %-22s", workload::traceName(trace).c_str());
-        std::vector<double> p99_row;
         for (auto f : allFabrics()) {
-            const auto r = runPoint(f, kLoad, 0.5, kMessages, cdf);
-            std::printf(" %9.3f", r.norm_mean);
-            p99_row.push_back(r.norm_p99);
+            (void)f;
+            std::printf(" %9.3f", results[i++].norm_mean);
         }
-        p99_rows.push_back(std::move(p99_row));
         std::printf("\n");
     }
 
@@ -60,27 +75,39 @@ main()
     for (auto f : allFabrics())
         std::printf(" %9s", fabricName(f));
     std::printf("\n");
-    std::size_t row = 0;
+    i = 0;
     for (auto trace : workload::allTraces()) {
         std::printf("  %-22s", workload::traceName(trace).c_str());
-        for (double v : p99_rows[row])
-            std::printf(" %9.1f", v);
-        ++row;
+        for (auto f : allFabrics()) {
+            (void)f;
+            std::printf(" %9.1f", results[i++].norm_p99);
+        }
         std::printf("\n");
     }
 
     std::printf("\n--- EDM priority-policy ablation (heavy-tailed traces"
                 " are where SRPT matters) ---\n");
-    std::printf("  %-22s %9s %9s\n", "trace", "SRPT", "FCFS");
+    std::vector<PointSpec> abl;
     for (auto trace : workload::allTraces()) {
-        const Cdf cdf = workload::traceSizeCdf(trace);
-        const auto srpt = runPoint(Fabric::Edm, kLoad, 0.5, kMessages,
-                                   cdf, 42, core::Priority::Srpt);
-        const auto fcfs = runPoint(Fabric::Edm, kLoad, 0.5, kMessages,
-                                   cdf, 42, core::Priority::Fcfs);
+        for (auto prio : {core::Priority::Srpt, core::Priority::Fcfs}) {
+            PointSpec p;
+            p.load = kLoad;
+            p.write_fraction = 0.5;
+            p.messages = kMessages;
+            p.size_cdf = workload::traceSizeCdf(trace);
+            p.edm_priority = prio;
+            abl.push_back(p);
+        }
+    }
+    const auto abl_results = runPointsParallel(abl);
+
+    std::printf("  %-22s %9s %9s\n", "trace", "SRPT", "FCFS");
+    i = 0;
+    for (auto trace : workload::allTraces()) {
+        const double srpt = abl_results[i++].norm_mean;
+        const double fcfs = abl_results[i++].norm_mean;
         std::printf("  %-22s %9.3f %9.3f\n",
-                    workload::traceName(trace).c_str(), srpt.norm_mean,
-                    fcfs.norm_mean);
+                    workload::traceName(trace).c_str(), srpt, fcfs);
     }
     return 0;
 }

@@ -7,20 +7,28 @@
  * at 25 G); with EDM's 66-bit-granularity multiplexing the read latency
  * stays nearly flat.
  *
- * Build & run:   ./build/examples/preemption_interference
+ * The interference sweep (0..8 competing jumbo frames) runs each point
+ * as an independent ScenarioRunner scenario, in parallel.
+ *
+ * Build & run:   ./build/preemption_interference
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "core/fabric.hpp"
 #include "mac/frame.hpp"
+#include "sim/scenario_runner.hpp"
 
-int
-main()
+namespace {
+
+using namespace edm;
+
+/** Measure a 64 B read preempting @p frames queued jumbo frames. */
+void
+interferencePoint(ScenarioContext &ctx, int frames)
 {
-    using namespace edm;
-
-    Simulation sim(5);
+    Simulation &sim = ctx.sim();
     core::EdmConfig cfg;
     cfg.num_nodes = 2;
     cfg.link_rate = Gbps{25.0};
@@ -38,29 +46,57 @@ main()
         return lat;
     };
 
-    // Warm-up (opens the DRAM row) + clean baseline.
+    // Warm-up (opens the DRAM row), then load the uplink and read
+    // through the queued frames.
     measure_read();
-    const Picoseconds clean = measure_read();
-    std::printf("unloaded 64 B read:               %8.2f ns\n",
-                toNs(clean));
-
-    // Saturate the uplink with jumbo frames, then read through them.
     mac::Frame jumbo;
     jumbo.payload.assign(8900, 0xEE);
     const auto bytes = mac::serialize(jumbo);
-    const double frame_tx_ns =
-        toNs(transmissionDelay(bytes.size(), cfg.link_rate));
-    for (int i = 0; i < 8; ++i)
+    for (int i = 0; i < frames; ++i)
         fabric.injectFrame(0, bytes);
-    const Picoseconds loaded = measure_read();
 
-    std::printf("read preempting 8 jumbo frames:   %8.2f ns "
-                "(+%.2f ns)\n", toNs(loaded), toNs(loaded - clean));
-    std::printf("one jumbo frame alone serializes for %.0f ns — without"
-                " preemption the read\nwould wait %.1f us behind the"
-                " frame queue.\n", frame_tx_ns, 8 * frame_tx_ns / 1000);
-    std::printf("frames delivered intact at the far side: %llu\n",
-                static_cast<unsigned long long>(
-                    fabric.host(1).stats().frames_received));
+    ctx.record("read_ns", toNs(measure_read()));
+    ctx.record("frames_delivered",
+               static_cast<double>(
+                   fabric.host(1).stats().frames_received));
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int kMaxFrames = 8;
+
+    ScenarioRunner::Options opts;
+    opts.base_seed = 5;
+    ScenarioRunner runner(opts);
+    for (int frames = 0; frames <= kMaxFrames; ++frames)
+        runner.add("jumbo x" + std::to_string(frames),
+                   [frames](ScenarioContext &ctx) {
+                       interferencePoint(ctx, frames);
+                   });
+    const auto results = runner.runAll();
+
+    mac::Frame jumbo;
+    jumbo.payload.assign(8900, 0xEE);
+    const double frame_tx_ns = toNs(transmissionDelay(
+        mac::serialize(jumbo).size(), Gbps{25.0}));
+
+    const double clean = results[0].metricStat("read_ns").mean();
+    std::printf("unloaded 64 B read: %8.2f ns\n\n", clean);
+    std::printf("  %-10s %12s %12s %10s\n", "frames", "read ns",
+                "+interf ns", "delivered");
+    for (int frames = 1; frames <= kMaxFrames; ++frames) {
+        const auto &r = results[static_cast<std::size_t>(frames)];
+        const double ns = r.metricStat("read_ns").mean();
+        std::printf("  %-10d %12.2f %12.2f %10.0f\n", frames, ns,
+                    ns - clean,
+                    r.metricStat("frames_delivered").mean());
+    }
+    std::printf("\none jumbo frame alone serializes for %.0f ns — "
+                "without preemption the read\nwould wait up to %.1f us "
+                "behind the frame queue.\n", frame_tx_ns,
+                kMaxFrames * frame_tx_ns / 1000);
     return 0;
 }

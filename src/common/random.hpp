@@ -14,6 +14,23 @@
 
 namespace edm {
 
+/**
+ * splitmix64 step: advances @p state and returns the next output.
+ *
+ * The canonical seed-expansion generator (Vigna): used to seed the
+ * xoshiro256** state and to derive decorrelated per-scenario seed
+ * streams from (base_seed, index) pairs.
+ */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 /** xoshiro256** PRNG with convenience distributions. */
 class Rng
 {

@@ -3,7 +3,8 @@
  * PCS framing: MAC frame bytes ↔ 66-bit block sequences.
  *
  * The encoder turns an Ethernet frame (including preamble semantics) into
- * the standard /S/ /D/* /Tn/ block sequence; the decoder reverses it. A
+ * the standard /S/, /D/ (repeated), /Tn/ block sequence; the decoder
+ * reverses it. A
  * minimum Ethernet frame (64 B) plus the start block occupies 9 blocks,
  * matching the paper's description (§3.2). Idle (/E/) blocks form the
  * inter-frame gap; EDM repurposes those slots for memory blocks.
@@ -29,7 +30,7 @@ namespace phy {
  * after the type code); the /Tn/ block carries the final n bytes.
  *
  * @param frame_bytes full MAC frame (dst..fcs), at least 64 bytes
- * @return block sequence: /S/ /D/* /Tn/
+ * @return block sequence: /S/, /D/ (repeated), /Tn/
  */
 std::vector<PhyBlock> encodeFrame(const std::vector<std::uint8_t> &frame);
 

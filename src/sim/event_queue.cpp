@@ -6,16 +6,125 @@
 
 namespace edm {
 
+// ---------------------------------------------------------------------------
+// Slot table
+// ---------------------------------------------------------------------------
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (free_head_ != kNpos) {
+        const std::uint32_t slot = free_head_;
+        free_head_ = slots_[slot].next_free;
+        slots_[slot].next_free = kNpos;
+        return slot;
+    }
+    EDM_ASSERT(slots_.size() < kNpos, "event slot table overflow");
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Slot &s = slots_[slot];
+    s.cb.reset();
+    s.heap_pos = kNpos;
+    // Bumping the generation invalidates every outstanding EventId for
+    // this slot; wrap-around after 2^32 reuses is accepted.
+    ++s.generation;
+    s.next_free = free_head_;
+    free_head_ = slot;
+}
+
+std::uint32_t
+EventQueue::decode(EventId id) const
+{
+    const auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+    const auto generation = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= slots_.size() || slots_[slot].generation != generation ||
+        slots_[slot].heap_pos == kNpos)
+        return kNpos;
+    return slot;
+}
+
+// ---------------------------------------------------------------------------
+// 4-ary heap
+// ---------------------------------------------------------------------------
+
+void
+EventQueue::place(std::uint32_t pos, HeapEntry entry)
+{
+    slots_[entry.slot].heap_pos = pos;
+    heap_[pos] = entry;
+}
+
+void
+EventQueue::siftUp(std::uint32_t pos)
+{
+    HeapEntry entry = heap_[pos];
+    while (pos > 0) {
+        const std::uint32_t parent = (pos - 1) / 4;
+        if (!entry.before(heap_[parent]))
+            break;
+        place(pos, heap_[parent]);
+        pos = parent;
+    }
+    place(pos, entry);
+}
+
+void
+EventQueue::siftDown(std::uint32_t pos)
+{
+    const auto size = static_cast<std::uint32_t>(heap_.size());
+    HeapEntry entry = heap_[pos];
+    for (;;) {
+        const std::uint64_t first = std::uint64_t{pos} * 4 + 1;
+        if (first >= size)
+            break;
+        std::uint32_t best = static_cast<std::uint32_t>(first);
+        const std::uint32_t last =
+            static_cast<std::uint32_t>(
+                first + 4 < size ? first + 4 : size);
+        for (std::uint32_t c = best + 1; c < last; ++c)
+            if (heap_[c].before(heap_[best]))
+                best = c;
+        if (!heap_[best].before(entry))
+            break;
+        place(pos, heap_[best]);
+        pos = best;
+    }
+    place(pos, entry);
+}
+
+void
+EventQueue::removeAt(std::uint32_t pos)
+{
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (pos < heap_.size()) {
+        place(pos, last);
+        siftDown(pos);
+        siftUp(slots_[last.slot].heap_pos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
 EventId
 EventQueue::schedule(Picoseconds when, Callback cb)
 {
     EDM_ASSERT(when >= now_,
                "scheduling event in the past: %lld < now %lld",
                static_cast<long long>(when), static_cast<long long>(now_));
-    const EventId id = next_id_++;
-    heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
-    pending_ids_.insert(id);
-    return id;
+    EDM_ASSERT(static_cast<bool>(cb), "scheduling an empty callback");
+    const std::uint32_t slot = allocSlot();
+    slots_[slot].cb = std::move(cb);
+    heap_.push_back(HeapEntry{when, next_seq_++, slot});
+    siftUp(static_cast<std::uint32_t>(heap_.size() - 1));
+    return makeId(slot, slots_[slot].generation);
 }
 
 EventId
@@ -29,44 +138,62 @@ EventQueue::scheduleAfter(Picoseconds delay, Callback cb)
 bool
 EventQueue::cancel(EventId id)
 {
-    // Only ids that are still pending can be cancelled; fired or already
-    // cancelled events are not found and return false.
-    return pending_ids_.erase(id) > 0;
+    const std::uint32_t slot = decode(id);
+    if (slot == kNpos)
+        return false;
+    removeAt(slots_[slot].heap_pos);
+    freeSlot(slot);
+    return true;
+}
+
+bool
+EventQueue::reschedule(EventId id, Picoseconds when)
+{
+    const std::uint32_t slot = decode(id);
+    if (slot == kNpos)
+        return false;
+    EDM_ASSERT(when >= now_,
+               "rescheduling event into the past: %lld < now %lld",
+               static_cast<long long>(when), static_cast<long long>(now_));
+    const std::uint32_t pos = slots_[slot].heap_pos;
+    heap_[pos].when = when;
+    heap_[pos].seq = next_seq_++;
+    siftDown(pos);
+    siftUp(slots_[slot].heap_pos);
+    return true;
+}
+
+bool
+EventQueue::isPending(EventId id) const
+{
+    return decode(id) != kNpos;
 }
 
 bool
 EventQueue::step(Picoseconds horizon)
 {
-    while (!heap_.empty()) {
-        const Entry &top = heap_.top();
-        auto it = pending_ids_.find(top.id);
-        if (it == pending_ids_.end()) {
-            // Cancelled: drop lazily on pop.
-            heap_.pop();
-            continue;
-        }
-        if (top.when > horizon)
-            return false;
-        // Move the callback out before popping (top() is const, but we are
-        // about to pop the entry so mutation is safe).
-        Entry entry = std::move(const_cast<Entry &>(top));
-        heap_.pop();
-        pending_ids_.erase(it);
-        now_ = entry.when;
-        entry.cb();
-        return true;
-    }
-    return false;
+    if (heap_.empty() || heap_[0].when > horizon)
+        return false;
+    const HeapEntry top = heap_[0];
+    // Detach the callback and retire the entry before invoking: the
+    // callback may schedule, cancel, or reschedule other events freely.
+    Callback cb = std::move(slots_[top.slot].cb);
+    removeAt(0);
+    freeSlot(top.slot);
+    now_ = top.when;
+    ++executed_;
+    cb();
+    return true;
 }
 
 std::uint64_t
 EventQueue::run(Picoseconds horizon)
 {
     stop_requested_ = false;
-    std::uint64_t executed = 0;
+    std::uint64_t ran = 0;
     while (!stop_requested_ && step(horizon))
-        ++executed;
-    return executed;
+        ++ran;
+    return ran;
 }
 
 } // namespace edm

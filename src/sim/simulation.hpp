@@ -25,7 +25,7 @@ class Simulation
 {
   public:
     explicit Simulation(std::uint64_t seed = 1)
-        : rng_(seed)
+        : rng_(seed), seed_(seed)
     {
     }
 
@@ -36,6 +36,9 @@ class Simulation
     const EventQueue &events() const { return events_; }
 
     Rng &rng() { return rng_; }
+
+    /** The seed this run was constructed with (for reproduction logs). */
+    std::uint64_t seed() const { return seed_; }
 
     /** Current simulation time. */
     Picoseconds now() const { return events_.now(); }
@@ -49,6 +52,7 @@ class Simulation
   private:
     EventQueue events_;
     Rng rng_;
+    std::uint64_t seed_;
 };
 
 } // namespace edm

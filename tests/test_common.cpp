@@ -233,5 +233,97 @@ TEST(Cdf, SamplesWithinSupport)
     }
 }
 
+// ---- edge cases ----
+
+TEST(SamplesEdge, EmptyQuantilesAreZero)
+{
+    Samples s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(SamplesEdge, SingleSampleIsEveryQuantile)
+{
+    Samples s;
+    s.add(7.25);
+    for (double p : {0.0, 1.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(s.percentile(p), 7.25);
+    EXPECT_DOUBLE_EQ(s.min(), 7.25);
+    EXPECT_DOUBLE_EQ(s.max(), 7.25);
+}
+
+TEST(RunningStatEdge, EmptyAndMergeWithEmpty)
+{
+    RunningStat empty;
+    EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+
+    RunningStat some;
+    some.add(2.0);
+    some.add(4.0);
+    some.merge(empty); // no-op
+    EXPECT_EQ(some.count(), 2u);
+    EXPECT_DOUBLE_EQ(some.mean(), 3.0);
+
+    RunningStat target;
+    target.merge(some); // adopt
+    EXPECT_EQ(target.count(), 2u);
+    EXPECT_DOUBLE_EQ(target.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(target.min(), 2.0);
+    EXPECT_DOUBLE_EQ(target.max(), 4.0);
+}
+
+TEST(CdfEdge, SinglePointIsDegenerate)
+{
+    const Cdf cdf{{512.0, 1.0}};
+    EXPECT_FALSE(cdf.empty());
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 512.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 512.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 512.0);
+    EXPECT_DOUBLE_EQ(cdf.mean(), 512.0);
+    EXPECT_DOUBLE_EQ(cdf.maxValue(), 512.0);
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(cdf.sample(rng), 512.0);
+}
+
+TEST(UnitsEdge, TransmissionDelaySubPicosecondRoundsUp)
+{
+    // 300 Gbps = 0.3 bits/ps: one byte takes 26.66.. ps and must round
+    // up to 27 so that back-to-back sends never overlap.
+    EXPECT_EQ(transmissionDelay(1, Gbps{300.0}), 27);
+    // Exact multiples must NOT round up: 64 Gbps = 0.064 bits/ps, and
+    // 8 bytes = 64 bits take exactly 1000 ps.
+    EXPECT_EQ(transmissionDelay(8, Gbps{64.0}), 1000);
+    // Zero bytes cost zero time.
+    EXPECT_EQ(transmissionDelay(0, Gbps{100.0}), 0);
+    // 1 byte at 1 Tbps: 8 bits / 1 bit-per-ps = exactly 8 ps.
+    EXPECT_EQ(transmissionDelay(1, Gbps{1000.0}), 8);
+    // 1 byte at 2 Tbps: 4 ps exactly; at 3 Tbps: 2.66.. -> 3 ps.
+    EXPECT_EQ(transmissionDelay(1, Gbps{2000.0}), 4);
+    EXPECT_EQ(transmissionDelay(1, Gbps{3000.0}), 3);
+}
+
+TEST(UnitsEdge, TransmissionDelaySuperadditive)
+{
+    // Ceil rounding means splitting a transfer can only add time:
+    // delay(a) + delay(b) >= delay(a + b).
+    const Gbps rate{25.0};
+    Rng rng(77);
+    for (int i = 0; i < 1000; ++i) {
+        const Bytes a = rng.uniformInt(std::uint64_t{4096}) + 1;
+        const Bytes b = rng.uniformInt(std::uint64_t{4096}) + 1;
+        EXPECT_GE(transmissionDelay(a, rate) + transmissionDelay(b, rate),
+                  transmissionDelay(a + b, rate));
+    }
+}
+
 } // namespace
 } // namespace edm

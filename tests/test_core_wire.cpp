@@ -138,15 +138,17 @@ TEST_P(SerializeRoundTrip, BlocksReassemble)
     EXPECT_EQ(out->dst, m.dst);
     EXPECT_EQ(out->id, m.id);
     EXPECT_EQ(out->len, m.len);
-    if (type != MemMsgType::RRES)
+    if (type != MemMsgType::RRES) {
         EXPECT_EQ(out->addr, m.addr);
+    }
     if (type == MemMsgType::RMWREQ) {
         EXPECT_EQ(out->opcode, m.opcode);
         EXPECT_EQ(out->arg0, m.arg0);
         EXPECT_EQ(out->arg1, m.arg1);
     }
-    if (type == MemMsgType::WREQ || type == MemMsgType::RRES)
+    if (type == MemMsgType::WREQ || type == MemMsgType::RRES) {
         EXPECT_EQ(out->payload, m.payload);
+    }
     EXPECT_EQ(assembler.violations(), 0u);
 }
 

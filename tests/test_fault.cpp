@@ -189,8 +189,8 @@ ModelConservation::factories()
 
 TEST_P(ModelConservation, EveryJobCompletesExactlyOnce)
 {
-    const NamedFactory &nf =
-        factories()[static_cast<std::size_t>(GetParam())];
+    const std::vector<NamedFactory> all = factories();
+    const NamedFactory &nf = all[static_cast<std::size_t>(GetParam())];
     Simulation sim(99);
     proto::ClusterConfig cluster;
     cluster.num_nodes = 32;

@@ -131,13 +131,24 @@ TEST(Simulation, OwnsClockAndRng)
 {
     Simulation sim(5);
     EXPECT_EQ(sim.now(), 0);
+    EXPECT_EQ(sim.seed(), 5u);
     sim.events().schedule(42, [] {});
     sim.run();
     EXPECT_EQ(sim.now(), 42);
     // Determinism of the owned RNG.
     Simulation sim2(5);
-    EXPECT_EQ(sim.rng().next() != 0 || true, true);
-    (void)sim2;
+    EXPECT_EQ(sim.rng().next(), sim2.rng().next());
+}
+
+TEST(Simulation, TracksExecutedEvents)
+{
+    Simulation sim;
+    for (int i = 1; i <= 4; ++i)
+        sim.events().schedule(i * 10, [] {});
+    EXPECT_EQ(sim.run(25), 2u);
+    EXPECT_EQ(sim.events().executed(), 2u);
+    EXPECT_EQ(sim.run(), 2u);
+    EXPECT_EQ(sim.events().executed(), 4u);
 }
 
 } // namespace
