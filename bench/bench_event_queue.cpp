@@ -12,7 +12,7 @@
  *                  timers are rescheduled mid-flight (new engine) or
  *                  cancel+re-add (legacy, which has no reschedule).
  *
- * Run:   ./build/bench_event_queue [events]
+ * Run:   ./build/bench_event_queue [events] [--json <path>]
  */
 
 #include <chrono>
@@ -28,6 +28,8 @@
 
 #include "common/random.hpp"
 #include "sim/event_queue.hpp"
+
+#include "bench_util.hpp"
 
 namespace {
 
@@ -242,13 +244,16 @@ int
 main(int argc, char **argv)
 {
     std::uint64_t n = 1'000'000;
-    if (argc > 1) {
+    if (argc > 1 && argv[1][0] != '-') {
         n = std::strtoull(argv[1], nullptr, 10);
         if (n == 0) {
-            std::fprintf(stderr, "usage: %s [events>0]\n", argv[0]);
+            std::fprintf(stderr, "usage: %s [events>0] [--json <path>]\n",
+                         argv[0]);
             return 2;
         }
     }
+    edm::bench::BenchJson json(
+        "event_queue", edm::bench::BenchJson::pathFromArgs(argc, argv));
     std::printf("=== event queue microbenchmark, %llu events ===\n\n",
                 static_cast<unsigned long long>(n));
 
@@ -264,12 +269,21 @@ main(int argc, char **argv)
     };
 
     std::printf("  %-12s %14s %14s %9s\n", "workload", "legacy Mev/s",
-                "indexed Mev/s", "speedup");
+                "wheel Mev/s", "speedup");
     double geo = 1;
     for (const Row &r : rows) {
         const double mn = static_cast<double>(n) / 1e6;
         std::printf("  %-12s %14.2f %14.2f %8.2fx\n", r.name,
                     mn / r.legacy_s, mn / r.new_s, r.legacy_s / r.new_s);
+        json.record(r.name, "legacy",
+                    {{"events_per_sec", static_cast<double>(n) / r.legacy_s},
+                     {"ns_per_event", r.legacy_s / static_cast<double>(n) *
+                                          1e9}});
+        json.record(r.name, "wheel+heap",
+                    {{"events_per_sec", static_cast<double>(n) / r.new_s},
+                     {"ns_per_event",
+                      r.new_s / static_cast<double>(n) * 1e9},
+                     {"speedup", r.legacy_s / r.new_s}});
         geo *= r.legacy_s / r.new_s;
     }
     std::printf("\n  geometric-mean speedup: %.2fx (target >= 1.5x)\n",

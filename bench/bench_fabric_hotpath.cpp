@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Fabric hot-path microbenchmark: end-to-end blocks/second through the
+ * cycle-level fabric, comparing the PR 1 engine (one event per block
+ * per hop, heap-only event queue) against the block-train transmission
+ * path and the timing-wheel queue front end, separately and combined.
+ *
+ * Three closed-loop workloads on an 8-node fabric (7 compute + 1
+ * memory): bulk 2 KB reads, streaming 2 KB writes, and a mixed
+ * read/write load with MTU-frame interference (frames never train, so
+ * this bounds the win from below). Every configuration produces
+ * bit-identical simulations — test_block_train proves it for trains,
+ * the block-count cross-check here re-asserts it each run — so the
+ * blocks/sec ratios are pure simulator speedup.
+ *
+ * Run:   ./build/bench_fabric_hotpath [ops-per-node] [--json <path>]
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/fabric.hpp"
+#include "mac/frame.hpp"
+
+namespace {
+
+using namespace edm;
+using namespace edm::core;
+
+constexpr std::size_t kNodes = 8;
+constexpr Bytes kOpBytes = 2048;
+
+struct RunStats
+{
+    double wall_s = 0;
+    std::uint64_t blocks = 0; ///< mem blocks handled (TX + RX, all hosts)
+    std::uint64_t events = 0;
+    std::uint64_t completions = 0;
+};
+
+enum class Load
+{
+    BulkRead,
+    WriteStream,
+    MixedFrames,
+};
+
+const char *
+loadName(Load l)
+{
+    switch (l) {
+      case Load::BulkRead: return "bulk-read";
+      case Load::WriteStream: return "write-stream";
+      case Load::MixedFrames: return "mixed+frames";
+    }
+    return "?";
+}
+
+RunStats
+run(Load load, std::size_t max_train, bool wheel,
+    std::uint64_t ops_per_node)
+{
+    Simulation sim;
+    if (!wheel)
+        sim.events().disableWheelForBenchmarking();
+    EdmConfig cfg;
+    cfg.num_nodes = kNodes;
+    cfg.link_rate = Gbps{25.0};
+    cfg.max_train_blocks = max_train;
+    const NodeId mem = kNodes - 1;
+    CycleFabric fab(cfg, sim, {mem});
+    fab.host(mem).store()->write(0x10000,
+                                 std::vector<std::uint8_t>(kOpBytes, 0x5A));
+
+    RunStats rs;
+    // One closed loop per compute node: the next op posts when the
+    // previous completes, keeping every uplink saturated.
+    std::vector<std::uint64_t> remaining(kNodes - 1, ops_per_node);
+    std::function<void(NodeId)> issue = [&](NodeId n) {
+        if (remaining[n] == 0)
+            return;
+        --remaining[n];
+        const bool write_op = load == Load::WriteStream ||
+            (load == Load::MixedFrames && (remaining[n] & 1));
+        if (write_op) {
+            fab.write(n, mem,
+                      0x20000 + static_cast<std::uint64_t>(n) * 0x10000,
+                      std::vector<std::uint8_t>(kOpBytes,
+                                                static_cast<std::uint8_t>(n)),
+                      [&issue, n](Picoseconds) { issue(n); });
+        } else {
+            fab.read(n, mem, 0x10000, kOpBytes,
+                     [&issue, n](std::vector<std::uint8_t>, Picoseconds,
+                                 bool) { issue(n); });
+        }
+        if (load == Load::MixedFrames && (remaining[n] % 4) == 0) {
+            mac::Frame f;
+            f.payload.assign(1400, 0x7B);
+            fab.injectFrame(n, mac::serialize(f));
+        }
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (NodeId n = 0; n < kNodes - 1; ++n)
+        issue(n);
+    sim.run();
+    rs.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    for (NodeId n = 0; n < kNodes; ++n) {
+        const auto &st = fab.host(n).stats();
+        rs.blocks += st.mem_blocks_sent + st.mem_blocks_received;
+        rs.completions += st.reads_completed + st.writes_completed;
+    }
+    rs.events = sim.events().executed();
+    return rs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t ops = 300;
+    if (argc > 1 && argv[1][0] != '-') {
+        ops = std::strtoull(argv[1], nullptr, 10);
+        if (ops == 0) {
+            std::fprintf(stderr,
+                         "usage: %s [ops-per-node>0] [--json <path>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    ops = static_cast<std::uint64_t>(
+        static_cast<double>(ops) * bench::benchScale());
+    if (ops == 0)
+        ops = 1;
+
+    std::printf("=== fabric hot path: per-block events vs block trains, "
+                "%zu nodes, %llu x %llu B ops/node ===\n\n",
+                kNodes, static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(kOpBytes));
+
+    bench::BenchJson json("fabric_hotpath",
+                          bench::BenchJson::pathFromArgs(argc, argv));
+
+    std::printf("  %-13s %15s %15s %9s %9s %9s %13s\n", "workload",
+                "pr1 Mbl/s", "train+wheel", "trains", "wheel", "both",
+                "events saved");
+    double geo = 1;
+    int rows = 0;
+    for (Load load :
+         {Load::BulkRead, Load::WriteStream, Load::MixedFrames}) {
+        // Warm-up then measure; same seed, so identical simulations.
+        // Baseline = the PR 1 engine: one event per block per hop on the
+        // heap-only queue. "train" adds both halves of the rewrite
+        // (block trains + timing wheel); the two middle configurations
+        // split the factor.
+        run(load, 1, false, ops / 4 + 1);
+        const RunStats base = run(load, 1, false, ops);
+        const RunStats trains_only = run(load, 64, false, ops);
+        const RunStats wheel_only = run(load, 1, true, ops);
+        const RunStats train = run(load, 64, true, ops);
+        if (base.blocks != train.blocks ||
+            base.blocks != trains_only.blocks ||
+            base.blocks != wheel_only.blocks || base.completions == 0) {
+            std::fprintf(stderr,
+                         "FATAL: %s block counts diverged (%llu vs %llu)\n",
+                         loadName(load),
+                         static_cast<unsigned long long>(base.blocks),
+                         static_cast<unsigned long long>(train.blocks));
+            return 1;
+        }
+        const double base_rate =
+            static_cast<double>(base.blocks) / base.wall_s / 1e6;
+        const double train_rate =
+            static_cast<double>(train.blocks) / train.wall_s / 1e6;
+        const double speedup = base.wall_s / train.wall_s;
+        const double saved = 1.0 -
+            static_cast<double>(train.events) /
+                static_cast<double>(base.events);
+        std::printf("  %-13s %15.2f %15.2f %8.2fx %8.2fx %8.2fx %12.1f%%\n",
+                    loadName(load), base_rate, train_rate,
+                    base.wall_s / trains_only.wall_s,
+                    base.wall_s / wheel_only.wall_s, speedup,
+                    saved * 100.0);
+        json.record(loadName(load), "pr1-baseline",
+                    {{"blocks_per_sec", base_rate * 1e6},
+                     {"ns_per_block", 1e3 / base_rate},
+                     {"events", static_cast<double>(base.events)}});
+        json.record(loadName(load), "trains-only",
+                    {{"blocks_per_sec",
+                      static_cast<double>(trains_only.blocks) /
+                          trains_only.wall_s},
+                     {"speedup", base.wall_s / trains_only.wall_s}});
+        json.record(loadName(load), "wheel-only",
+                    {{"blocks_per_sec",
+                      static_cast<double>(wheel_only.blocks) /
+                          wheel_only.wall_s},
+                     {"speedup", base.wall_s / wheel_only.wall_s}});
+        json.record(loadName(load), "train+wheel",
+                    {{"blocks_per_sec", train_rate * 1e6},
+                     {"ns_per_block", 1e3 / train_rate},
+                     {"events", static_cast<double>(train.events)},
+                     {"speedup", speedup}});
+        geo *= speedup;
+        ++rows;
+    }
+    std::printf("\n  geometric-mean speedup: %.2fx (target >= 3x on the "
+                "memory streams)\n",
+                std::pow(geo, 1.0 / rows));
+    return 0;
+}

@@ -14,6 +14,7 @@
  * Build & run:   ./build/cluster_load_sweep
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -86,6 +87,20 @@ main()
     // EDM_SWEEP_THREADS pins the pool size (handled by ScenarioRunner).
     ScenarioRunner::Options opts;
     opts.base_seed = 11;
+    // Stream one line per finished point so long sweeps show progress
+    // (ScenarioRunner::Options::on_result). Completion order depends on
+    // thread scheduling, so this goes to stderr: stdout (the result
+    // table) stays bit-identical for any EDM_SWEEP_THREADS.
+    std::atomic<int> done{0};
+    const int total = 3 * kLoadPoints;
+    opts.on_result = [&done, total](const ScenarioResult &r) {
+        std::fprintf(stderr,
+                     "  [%2d/%d] %-16s norm_mean=%.3f (%llu events,"
+                     " %.0f ms)\n",
+                     ++done, total, r.name.c_str(),
+                     r.metricStat("norm_mean").mean(),
+                     static_cast<unsigned long long>(r.events), r.wall_ms);
+    };
     ScenarioRunner runner(opts);
 
     // 3 fabrics x 16 loads = 48 independent scenarios. Registration

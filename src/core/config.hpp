@@ -71,6 +71,18 @@ struct EdmConfig
     Picoseconds read_timeout = 0;
 
     /**
+     * Simulator (not hardware) knob: upper bound on the block-train
+     * length — the number of back-to-back mid-message data blocks a TX
+     * pump may emit and deliver through a single event. 1 restores the
+     * one-event-per-block hot path (the timing-equivalence baseline);
+     * the fabric additionally caps trains at hop-latency/cycle + 2 so a
+     * train's delivery event never fires before its last block left the
+     * transmitter (keeping mid-train fault injection exact). Observable
+     * timing is identical for every value.
+     */
+    std::size_t max_train_blocks = 64;
+
+    /**
      * Layer-2 forwarding pipeline latency for coexisting non-memory
      * frames (parser + match-action + packet manager + crossbar;
      * Table 1 caption). Memory traffic never pays this.

@@ -32,6 +32,8 @@ CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
     switch_ = std::make_unique<SwitchStack>(
         cfg_, sim_.events(), [this](NodeId port) { pumpSwitchPort(port); });
 
+    train_cap_ = trainCap();
+
     // Route write-delivery reports from memory nodes back to the writer
     // so its completion callback sees the true delivery latency. This is
     // a measurement channel, not a protocol message (the paper measures
@@ -61,15 +63,82 @@ CycleFabric::hopLatency() const
         phy::kHopPropagation;
 }
 
+CycleFabric::Train
+CycleFabric::acquireTrain()
+{
+    // Trains churn at line rate; recycling the two vectors avoids an
+    // allocator round trip per train.
+    if (train_pool_.empty())
+        return Train{};
+    Train t = std::move(train_pool_.back());
+    train_pool_.pop_back();
+    t.blocks.clear();
+    t.avails.clear();
+    t.delivery = kInvalidEvent;
+    return t;
+}
+
+void
+CycleFabric::releaseTrain(Train t)
+{
+    if (train_pool_.size() < 64)
+        train_pool_.push_back(std::move(t));
+}
+
+std::size_t
+CycleFabric::trainCap() const
+{
+    // A train's single delivery event fires at the *first* block's
+    // arrival, first emission + cycle + hopLatency(). Capping the length
+    // at hop/cycle + 2 keeps that instant at or after the last block's
+    // emission slot, so a mid-train fault injection can still pull
+    // not-yet-emitted blocks back out of the pump (abortUplinkTrain)
+    // before anything downstream has seen them.
+    const auto safety =
+        static_cast<std::size_t>(hopLatency() / cfg_.cycle) + 2;
+    return std::max<std::size_t>(1,
+                                 std::min(cfg_.max_train_blocks, safety));
+}
+
+// ---------------------------------------------------------------------------
+// TX pumps
+//
+// Each pump owns one emit event. While blocks flow it self-reschedules
+// every cycle (or every train); when queued work is still in flight
+// upstream it parks at the head block's availability; with nothing
+// queued it deactivates and pumpWake restarts it, exactly like the
+// original activate-on-work design.
+// ---------------------------------------------------------------------------
+
+void
+CycleFabric::pumpWake(TxPump &p, Picoseconds ready,
+                      EventQueue::Callback emit)
+{
+    Picoseconds start = std::max(sim_.now(), p.next_slot);
+    if (ready > start)
+        start = ready;
+    if (!p.active) {
+        p.active = true;
+        p.emit_at = start;
+        p.emit_ev = sim_.events().schedule(start, std::move(emit));
+    } else if (p.emit_ev != kInvalidEvent && start < p.emit_at) {
+        // Parked waiting on in-flight blocks, but fresher work (e.g. a
+        // grant) is emittable sooner. Rescheduling re-sequences the
+        // event, just as a fresh activation would have.
+        sim_.events().reschedule(p.emit_ev, start);
+        p.emit_at = start;
+    }
+}
+
 void
 CycleFabric::pumpHost(NodeId id)
 {
-    TxPump &p = host_pumps_[id];
-    if (p.active)
+    const Picoseconds ready = frame_backlog_[id].empty()
+        ? hosts_[id]->mux().readyAt(sim_.now())
+        : sim_.now();
+    if (ready == phy::PreemptionMux::kNever)
         return;
-    p.active = true;
-    const Picoseconds start = std::max(sim_.now(), p.next_slot);
-    sim_.events().schedule(start, [this, id] { emitHost(id); });
+    pumpWake(host_pumps_[id], ready, [this, id] { emitHost(id); });
 }
 
 void
@@ -77,6 +146,7 @@ CycleFabric::emitHost(NodeId id)
 {
     TxPump &p = host_pumps_[id];
     auto &mux = hosts_[id]->mux();
+    p.emit_ev = kInvalidEvent;
 
     // Top up the mux's bounded frame staging buffer from the backlog
     // (models the MAC responding to freed buffer space).
@@ -86,20 +156,68 @@ CycleFabric::emitHost(NodeId id)
         backlog.pop_front();
     }
 
-    if (!mux.hasWork()) {
+    const Picoseconds now = sim_.now();
+    if (now < p.next_slot) {
+        // Train-continuation sentinel: it fires at the train's *last*
+        // slot so that the next real emit is sequenced here — exactly
+        // where baseline's per-slot chain would have scheduled it —
+        // keeping same-timestamp ordering against enqueue events.
+        p.emit_at = p.next_slot;
+        p.emit_ev = sim_.events().schedule(p.next_slot,
+                                           [this, id] { emitHost(id); });
+        return;
+    }
+    const Picoseconds ready = mux.readyAt(now);
+    if (ready == phy::PreemptionMux::kNever) {
         p.active = false;
         return;
     }
+    if (ready > now) {
+        // Queued blocks are still in flight upstream: park until the
+        // head becomes emittable.
+        p.emit_at = std::max(ready, p.next_slot);
+        p.emit_ev = sim_.events().schedule(p.emit_at,
+                                           [this, id] { emitHost(id); });
+        return;
+    }
 
-    const phy::PhyBlock block = mux.next();
-    const Picoseconds now = sim_.now();
+    LinkHealth &health = uplink_health_[id];
+
+    // Train path: mid-message the mux is committed to the memory stream,
+    // so a run of ready data blocks can leave back-to-back as one unit —
+    // no mux refill, preemption decision or backlog top-up can claim any
+    // of its slots. Fault injection falls back to per-block emission
+    // (and aborts in-flight trains) so corruption lands on exactly the
+    // blocks it would have.
+    if (train_cap_ > 1 && health.corrupt_next == 0 && !health.disabled) {
+        Train t = acquireTrain();
+        const std::size_t run = mux.takeTrainRun(now, cfg_.cycle,
+                                                 train_cap_, 2, t.blocks,
+                                                 t.avails);
+        if (run >= 2) {
+            t.start = now;
+            t.delivery = sim_.events().schedule(
+                now + cfg_.cycle + hopLatency(),
+                [this, id] { deliverHostTrain(id); });
+            p.trains.push_back(std::move(t));
+            p.next_slot = now +
+                static_cast<Picoseconds>(run) * cfg_.cycle;
+            p.emit_at = now +
+                static_cast<Picoseconds>(run - 1) * cfg_.cycle;
+            p.emit_ev = sim_.events().schedule(
+                p.emit_at, [this, id] { emitHost(id); });
+            return;
+        }
+        releaseTrain(std::move(t));
+    }
+
+    const phy::PhyBlock block = mux.next(now);
     p.next_slot = now + cfg_.cycle;
 
     // Fault handling (§3.3): a damaged link corrupts blocks; the
     // scrambler-side monitor detects them and, past the threshold, EDM
     // disables the link rather than retransmitting (the errors are not
     // transient). Corrupt or disabled-link blocks never reach the switch.
-    LinkHealth &health = uplink_health_[id];
     bool deliver = !health.disabled;
     if (deliver && health.corrupt_next > 0) {
         --health.corrupt_next;
@@ -112,26 +230,118 @@ CycleFabric::emitHost(NodeId id)
         }
     }
 
-    const Picoseconds delivery = cfg_.cycle // serialization slot
-        + hopLatency();
     if (deliver) {
-        sim_.events().schedule(now + delivery, [this, id, block] {
-            switch_->rxBlock(id, block);
-        });
+        sim_.events().schedule(now + cfg_.cycle + hopLatency(),
+                               [this, id, block] {
+                                   switch_->rxBlock(id, block);
+                               });
     }
 
-    sim_.events().schedule(p.next_slot, [this, id] { emitHost(id); });
+    p.emit_at = p.next_slot;
+    p.emit_ev = sim_.events().schedule(p.next_slot,
+                                       [this, id] { emitHost(id); });
+}
+
+void
+CycleFabric::deliverHostTrain(NodeId id)
+{
+    TxPump &p = host_pumps_[id];
+    EDM_ASSERT(!p.trains.empty(), "train delivery without a train");
+    Train t = std::move(p.trains.front());
+    p.trains.pop_front();
+    // now() is the first block's arrival; later blocks arrive (and are
+    // timestamped) one serialization slot apart.
+    switch_->rxBlockTrain(id, t.blocks.data(), t.blocks.size(),
+                          sim_.now(), cfg_.cycle);
+    releaseTrain(std::move(t));
+}
+
+void
+CycleFabric::abortUplinkTrain(NodeId id)
+{
+    TxPump &p = host_pumps_[id];
+    if (p.trains.empty())
+        return;
+    // Only the newest train can still be mid-emission: trains earlier in
+    // the FIFO finished their slots before this one started.
+    Train &t = p.trains.back();
+    const Picoseconds now = sim_.now();
+    const auto len = static_cast<Picoseconds>(t.blocks.size());
+    if (now > t.start + (len - 1) * cfg_.cycle)
+        return; // every block already left the transmitter
+
+    // Blocks whose emission slot has passed (slot <= now: the emit ran
+    // before this abort in event order) stay committed; the rest go back
+    // to the head of the mux so the per-block path re-emits them under
+    // the fault model.
+    const auto committed = std::min<std::size_t>(
+        static_cast<std::size_t>((now - t.start) / cfg_.cycle) + 1,
+        t.blocks.size());
+    hosts_[id]->mux().restoreMemoryRun(t.blocks.data() + committed,
+                                       t.avails.data() + committed,
+                                       t.blocks.size() - committed);
+    // committed >= 1 always: the emit event that formed the train ran
+    // at t.start before any same-instant abort, so the delivery event
+    // survives with a non-empty prefix.
+    t.blocks.resize(committed);
+    t.avails.resize(committed);
+    p.next_slot = t.start +
+        static_cast<Picoseconds>(committed) * cfg_.cycle;
+    if (p.emit_ev != kInvalidEvent) {
+        p.emit_at = std::max(now, p.next_slot);
+        sim_.events().reschedule(p.emit_ev, p.emit_at);
+    }
+}
+
+void
+CycleFabric::trimEgressTrain(NodeId port)
+{
+    // An egress train may commit blocks that are still in flight from
+    // the ingress (available by their slot, not yet at formation time).
+    // A block enqueued meanwhile with an earlier availability — a grant
+    // /G/ is the canonical case — would have gone on the wire *before*
+    // those, so the overtaken tail un-commits and re-queues behind it.
+    TxPump &p = switch_pumps_[port];
+    if (p.trains.empty())
+        return;
+    Train &t = p.trains.back();
+    const Picoseconds now = sim_.now();
+    const auto len = static_cast<Picoseconds>(t.blocks.size());
+    if (now >= t.start + (len - 1) * cfg_.cycle)
+        return; // every block already on the wire
+    auto &mux = switch_->egressMux(port);
+    const Picoseconds head = mux.headAvail();
+    if (head == phy::PreemptionMux::kNever)
+        return;
+    const auto committed = static_cast<std::size_t>(
+        (now - t.start) / cfg_.cycle) + 1;
+    std::size_t keep = committed;
+    while (keep < t.blocks.size() && t.avails[keep] <= head)
+        ++keep;
+    if (keep >= t.blocks.size())
+        return;
+    mux.restoreMemoryRun(t.blocks.data() + keep, t.avails.data() + keep,
+                         t.blocks.size() - keep);
+    t.blocks.resize(keep);
+    t.avails.resize(keep);
+    p.next_slot = t.start + static_cast<Picoseconds>(keep) * cfg_.cycle;
+    if (p.emit_ev != kInvalidEvent) {
+        p.emit_at = std::max(now, p.next_slot);
+        sim_.events().reschedule(p.emit_ev, p.emit_at);
+    }
 }
 
 void
 CycleFabric::pumpSwitchPort(NodeId port)
 {
-    TxPump &p = switch_pumps_[port];
-    if (p.active)
+    trimEgressTrain(port);
+    const Picoseconds ready = switch_->egressFrameBacklog(port).empty()
+        ? switch_->egressMux(port).readyAt(sim_.now())
+        : sim_.now();
+    if (ready == phy::PreemptionMux::kNever)
         return;
-    p.active = true;
-    const Picoseconds start = std::max(sim_.now(), p.next_slot);
-    sim_.events().schedule(start, [this, port] { emitSwitchPort(port); });
+    pumpWake(switch_pumps_[port], ready,
+             [this, port] { emitSwitchPort(port); });
 }
 
 void
@@ -139,6 +349,7 @@ CycleFabric::emitSwitchPort(NodeId port)
 {
     TxPump &p = switch_pumps_[port];
     auto &mux = switch_->egressMux(port);
+    p.emit_ev = kInvalidEvent;
 
     // Top up the bounded frame staging buffer from the L2 backlog.
     auto &backlog = switch_->egressFrameBacklog(port);
@@ -147,23 +358,75 @@ CycleFabric::emitSwitchPort(NodeId port)
         backlog.pop_front();
     }
 
-    if (!mux.hasWork()) {
+    const Picoseconds now = sim_.now();
+    if (now < p.next_slot) {
+        // Train-continuation sentinel (see emitHost).
+        p.emit_at = p.next_slot;
+        p.emit_ev = sim_.events().schedule(
+            p.next_slot, [this, port] { emitSwitchPort(port); });
+        return;
+    }
+    const Picoseconds ready = mux.readyAt(now);
+    if (ready == phy::PreemptionMux::kNever) {
         p.active = false;
         return;
     }
+    if (ready > now) {
+        p.emit_at = std::max(ready, p.next_slot);
+        p.emit_ev = sim_.events().schedule(
+            p.emit_at, [this, port] { emitSwitchPort(port); });
+        return;
+    }
 
-    const phy::PhyBlock block = mux.next();
-    const Picoseconds now = sim_.now();
+    // Train path (downlinks have no fault model). Only already-available
+    // blocks join a train: a cut-through stream is delivered to this mux
+    // ahead of time with future availability stamps, and a grant /G/ may
+    // still lawfully slot in between those future blocks.
+    if (train_cap_ > 1) {
+        Train t = acquireTrain();
+        const std::size_t run = mux.takeTrainRun(now, cfg_.cycle,
+                                                 train_cap_, 2, t.blocks,
+                                                 t.avails);
+        if (run >= 2) {
+            t.start = now;
+            t.delivery = sim_.events().schedule(
+                now + cfg_.cycle + hopLatency(),
+                [this, port] { deliverSwitchTrain(port); });
+            p.trains.push_back(std::move(t));
+            p.next_slot = now +
+                static_cast<Picoseconds>(run) * cfg_.cycle;
+            p.emit_at = now +
+                static_cast<Picoseconds>(run - 1) * cfg_.cycle;
+            p.emit_ev = sim_.events().schedule(
+                p.emit_at, [this, port] { emitSwitchPort(port); });
+            return;
+        }
+        releaseTrain(std::move(t));
+    }
+
+    const phy::PhyBlock block = mux.next(now);
     p.next_slot = now + cfg_.cycle;
 
-    const Picoseconds delivery = cfg_.cycle + hopLatency();
-    sim_.events().schedule(now + delivery, [this, port, block] {
-        hosts_[port]->rxBlock(block);
-    });
+    sim_.events().schedule(now + cfg_.cycle + hopLatency(),
+                           [this, port, block] {
+                               hosts_[port]->rxBlock(block);
+                           });
 
-    sim_.events().schedule(p.next_slot, [this, port] {
+    p.emit_at = p.next_slot;
+    p.emit_ev = sim_.events().schedule(p.next_slot, [this, port] {
         emitSwitchPort(port);
     });
+}
+
+void
+CycleFabric::deliverSwitchTrain(NodeId port)
+{
+    TxPump &p = switch_pumps_[port];
+    EDM_ASSERT(!p.trains.empty(), "train delivery without a train");
+    Train t = std::move(p.trains.front());
+    p.trains.pop_front();
+    hosts_[port]->rxBlockTrain(t.blocks.data(), t.blocks.size());
+    releaseTrain(std::move(t));
 }
 
 void
@@ -213,6 +476,10 @@ CycleFabric::corruptUplink(NodeId src, int blocks)
 {
     EDM_ASSERT(src < uplink_health_.size(), "node %u out of range", src);
     uplink_health_[src].corrupt_next += blocks;
+    // Corruption must land on the blocks that have not yet left the
+    // transmitter, including any already committed to an in-flight
+    // train: pull those back so the per-block path re-emits them.
+    abortUplinkTrain(src);
 }
 
 std::uint64_t

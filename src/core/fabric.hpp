@@ -108,10 +108,28 @@ class CycleFabric
     Picoseconds hopLatency() const;
 
   private:
+    /**
+     * A burst of cycle-spaced blocks committed to the wire as one unit:
+     * emitted by a single pump event and delivered by a single rx event
+     * (block i leaves at start + i·cycle). Queued FIFO per pump because
+     * several trains can be in flight across the hop latency at once.
+     */
+    struct Train
+    {
+        std::vector<phy::PhyBlock> blocks;
+        std::vector<Picoseconds> avails; ///< per-block availability
+        Picoseconds start = 0;        ///< first block's emission slot
+        EventId delivery = kInvalidEvent;
+    };
+
     struct TxPump
     {
         bool active = false;
         Picoseconds next_slot = 0;
+        /** Pending emit event while active (cadence or parked-waiting). */
+        EventId emit_ev = kInvalidEvent;
+        Picoseconds emit_at = 0;
+        std::deque<Train> trains; ///< in-flight, delivery events pending
     };
 
     EdmConfig cfg_;
@@ -135,10 +153,24 @@ class CycleFabric
     Samples write_lat_;
     Samples rmw_lat_;
 
+    /** Effective train cap: min(cfg knob, hop/cycle + 2). See trainCap(). */
+    std::size_t train_cap_ = 1;
+
+    std::vector<Train> train_pool_; ///< recycled train vectors
+
+    std::size_t trainCap() const;
+    Train acquireTrain();
+    void releaseTrain(Train t);
+    void pumpWake(TxPump &p, Picoseconds ready,
+                  EventQueue::Callback emit);
     void pumpHost(NodeId id);
     void emitHost(NodeId id);
+    void deliverHostTrain(NodeId id);
+    void abortUplinkTrain(NodeId id);
     void pumpSwitchPort(NodeId port);
+    void trimEgressTrain(NodeId port);
     void emitSwitchPort(NodeId port);
+    void deliverSwitchTrain(NodeId port);
 };
 
 } // namespace core

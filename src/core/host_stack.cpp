@@ -170,7 +170,7 @@ HostStack::enqueueMemBlocks(std::vector<phy::PhyBlock> blocks,
 {
     stats_.mem_blocks_sent += blocks.size();
     events_.scheduleAfter(delay, [this, blocks = std::move(blocks)] {
-        mux_.enqueueMemory(blocks);
+        mux_.enqueueMemory(blocks, events_.now());
         on_tx_work_();
     });
 }
@@ -179,6 +179,17 @@ void
 HostStack::rxBlock(const phy::PhyBlock &block)
 {
     demux_.feed(block);
+}
+
+void
+HostStack::rxBlockTrain(const phy::PhyBlock *blocks, std::size_t count)
+{
+    EDM_ASSERT(demux_.inMemoryMessage(),
+               "host %u received a train outside a memory message", id_);
+    for (std::size_t i = 0; i < count; ++i) {
+        EDM_ASSERT(blocks[i].isData(), "control block in a train");
+        demux_.feed(blocks[i]);
+    }
 }
 
 void

@@ -122,6 +122,15 @@ class HostStack
     /** Deliver one received line block (post PCS-RX). */
     void rxBlock(const phy::PhyBlock &block);
 
+    /**
+     * Deliver a train of @p count contiguous memory *data* blocks in one
+     * call. Mid-message data blocks only accumulate in the RX assembler
+     * (completion rides the per-block /MT/ that follows the train), so
+     * no per-block timestamps are needed: processing them early is
+     * invisible to the simulation.
+     */
+    void rxBlockTrain(const phy::PhyBlock *blocks, std::size_t count);
+
     /** Local memory (memory-node role); null on pure compute nodes. */
     mem::BackingStore *store() { return store_.get(); }
 

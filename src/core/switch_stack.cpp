@@ -1,5 +1,7 @@
 #include "switch_stack.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace edm {
@@ -37,7 +39,8 @@ SwitchStack::emitToEgress(NodeId port, std::vector<phy::PhyBlock> blocks,
 {
     events_.scheduleAfter(delay,
                           [this, port, blocks = std::move(blocks)] {
-                              ports_[port]->egress.enqueueMemory(blocks);
+                              ports_[port]->egress.enqueueMemory(
+                                  blocks, events_.now());
                               on_tx_work_(port);
                           });
 }
@@ -53,11 +56,13 @@ SwitchStack::onGrantAction(const GrantAction &action)
         ++stats_.requests_forwarded;
         const auto blocks = serialize(*action.forward_request);
         const NodeId target = action.target;
+        const std::uint64_t seq = ++sched_fwd_seq_;
         events_.scheduleAfter(cycles(cfg_.costs.sw_forward),
-                              [this, target, blocks] {
+                              [this, target, seq, blocks] {
                                   for (const auto &b : blocks)
                                       egressAccept(target,
-                                                   kSchedulerIngress, b);
+                                                   kSchedulerIngress, seq,
+                                                   b);
                               });
     } else {
         EDM_ASSERT(action.grant_block.has_value(),
@@ -76,14 +81,61 @@ SwitchStack::forwardBlock(NodeId ingress, Port &port,
 {
     ++stats_.blocks_forwarded;
     const NodeId egress = port.egress_port;
+    const std::uint64_t seq = port.fwd_seq;
     events_.scheduleAfter(cycles(cfg_.costs.sw_forward),
-                          [this, egress, ingress, block] {
-                              egressAccept(egress, ingress, block);
+                          [this, egress, ingress, seq, block] {
+                              egressAccept(egress, ingress, seq, block);
                           });
 }
 
 void
-SwitchStack::egressAccept(NodeId egress, NodeId ingress,
+SwitchStack::stagePush(Port &ep, NodeId ingress, std::uint64_t seq,
+                       const phy::PhyBlock &block, Picoseconds at)
+{
+    // Stamp-ordered stable insert. A train is delivered (and staged)
+    // when its *first* block arrives, which can precede the per-block
+    // /MS/ still paying the forwarding crossing; ordering the stage by
+    // semantic arrival keeps the /MS/ ahead of the data that follows it.
+    auto &q = ep.staged[ingress];
+    auto it = q.end();
+    while (it != q.begin() && std::prev(it)->at > at)
+        --it;
+    q.insert(it, Port::StagedBlock{block, at, seq});
+}
+
+void
+SwitchStack::adoptStaged(NodeId egress, NodeId ingress, std::uint64_t seq)
+{
+    // An /MS/ just claimed the egress: release the blocks of *its own*
+    // stream that a train delivered early. Later streams of the same
+    // ingress (strictly later stamps, different seq) stay staged.
+    Port &ep = *ports_[egress];
+    auto it = ep.staged.find(ingress);
+    if (it == ep.staged.end())
+        return;
+    auto &q = it->second;
+    const Picoseconds now = events_.now();
+    std::vector<phy::PhyBlock> blocks;
+    std::vector<Picoseconds> avails;
+    while (!q.empty() && q.front().seq == seq) {
+        const Port::StagedBlock &sb = q.front();
+        EDM_ASSERT(sb.block.isData(),
+                   "control block staged behind its own /MS/");
+        blocks.push_back(sb.block);
+        avails.push_back(std::max(sb.at, now));
+        q.pop_front();
+    }
+    if (q.empty())
+        ep.staged.erase(it);
+    if (!blocks.empty()) {
+        ep.egress.enqueueMemoryList(blocks.data(), avails.data(),
+                                    blocks.size());
+        on_tx_work_(egress);
+    }
+}
+
+void
+SwitchStack::egressAccept(NodeId egress, NodeId ingress, std::uint64_t seq,
                           const phy::PhyBlock &block)
 {
     Port &ep = *ports_[egress];
@@ -94,8 +146,8 @@ SwitchStack::egressAccept(NodeId egress, NodeId ingress,
     const bool is_mt = block.isControl() &&
         block.type() == phy::BlockType::MemTerm;
 
-    if (ep.stream_owner == ingress) {
-        ep.egress.enqueueMemory(block);
+    if (ep.stream_owner == ingress && ep.owner_seq == seq) {
+        ep.egress.enqueueMemory(block, events_.now());
         on_tx_work_(egress);
         if (is_mt) {
             ep.stream_owner = Port::kNoOwner;
@@ -104,42 +156,66 @@ SwitchStack::egressAccept(NodeId egress, NodeId ingress,
         return;
     }
     if (ep.stream_owner == Port::kNoOwner) {
-        if (is_ms)
-            ep.stream_owner = ingress;
-        ep.egress.enqueueMemory(block);
+        ep.egress.enqueueMemory(block, events_.now());
         on_tx_work_(egress);
-        if (is_mt)
-            ep.stream_owner = Port::kNoOwner;
+        if (is_ms) {
+            ep.stream_owner = ingress;
+            ep.owner_seq = seq;
+            adoptStaged(egress, ingress, seq);
+        }
         return;
     }
     // Another circuit currently owns this egress: stage until /MT/.
-    ep.staged[ingress].push_back(block);
+    stagePush(ep, ingress, seq, block, events_.now());
 }
 
 void
 SwitchStack::drainStaged(NodeId egress)
 {
     Port &ep = *ports_[egress];
-    if (ep.stream_owner != Port::kNoOwner || ep.staged.empty())
+    if (ep.stream_owner != Port::kNoOwner)
         return;
-    // Adopt one staged stream; emit what has arrived so far. If its /MT/
-    // is already here the stream completes and the next one drains; if
-    // not, the new owner's remaining blocks cut through on arrival.
-    const NodeId ingress = ep.staged.begin()->first;
-    std::deque<phy::PhyBlock> blocks = std::move(ep.staged.begin()->second);
-    ep.staged.erase(ep.staged.begin());
+    // Adopt one staged stream — the first (in port order) whose head
+    // block has semantically arrived. Early-delivered train blocks can
+    // sit here with future stamps before their own /MS/ has cleared the
+    // forwarding pipeline; such streams are not contenders yet (their
+    // /MS/ accept will claim them), exactly as when every block arrived
+    // by its own event.
+    const Picoseconds now = events_.now();
+    auto cand = ep.staged.begin();
+    while (cand != ep.staged.end() && cand->second.front().at > now)
+        ++cand;
+    if (cand == ep.staged.end())
+        return;
+    // Emit what has arrived so far. If the stream's /MT/ is already here
+    // it completes and the next one drains; if not, the new owner's
+    // remaining blocks cut through on arrival.
+    const NodeId ingress = cand->first;
+    std::deque<Port::StagedBlock> blocks = std::move(cand->second);
+    ep.staged.erase(cand);
     ep.stream_owner = ingress;
     while (!blocks.empty()) {
-        const phy::PhyBlock b = blocks.front();
+        const phy::PhyBlock b = blocks.front().block;
+        // Blocks that arrived while another stream held the egress went
+        // on the wire at adoption; train blocks staged ahead of their
+        // arrival stay available at that (future) arrival instant.
+        const Picoseconds at = std::max(blocks.front().at, now);
+        ep.owner_seq = blocks.front().seq;
         blocks.pop_front();
-        ep.egress.enqueueMemory(b);
+        ep.egress.enqueueMemory(b, at);
         on_tx_work_(egress);
         const bool terminates = b.isControl() &&
             (b.type() == phy::BlockType::MemTerm ||
              b.type() == phy::BlockType::MemSingle);
         if (terminates) {
             ep.stream_owner = Port::kNoOwner;
-            EDM_ASSERT(blocks.empty(), "blocks staged past /MT/");
+            if (!blocks.empty()) {
+                // This ingress's *next* message piled up behind the
+                // /MT/ while the egress was owned (or was delivered
+                // early by a train): it re-enters staging as a fresh
+                // contender for the now-free egress.
+                ep.staged[ingress] = std::move(blocks);
+            }
             drainStaged(egress);
             return;
         }
@@ -178,9 +254,11 @@ SwitchStack::rxBlock(NodeId ingress, const phy::PhyBlock &block)
                 port.assembler.feed(block);
             } else {
                 // Data stream on a granted virtual circuit: forward with
-                // zero processing (property 2, §3.1.1).
+                // zero processing (property 2, §3.1.1). A new stream
+                // head starts a new forwarded-stream epoch.
                 port.forwarding = true;
                 port.egress_port = hdr.dst;
+                ++port.fwd_seq;
                 forwardBlock(ingress, port, block);
             }
             return;
@@ -190,6 +268,7 @@ SwitchStack::rxBlock(NodeId ingress, const phy::PhyBlock &block)
             unpackHeader(block.controlPayload(), hdr);
             if (hdr.type == MemMsgType::RRES) {
                 port.egress_port = hdr.dst;
+                ++port.fwd_seq;
                 forwardBlock(ingress, port, block);
             } else {
                 EDM_WARN("unexpected /MST/ type %d on port %u",
@@ -247,6 +326,69 @@ SwitchStack::rxBlock(NodeId ingress, const phy::PhyBlock &block)
         forwardBlock(ingress, port, block);
     } else if (port.in_l2_frame) {
         port.l2_buf.push_back(block);
+    }
+}
+
+void
+SwitchStack::rxBlockTrain(NodeId ingress, const phy::PhyBlock *blocks,
+                          std::size_t count, Picoseconds first_at,
+                          Picoseconds stride)
+{
+    EDM_ASSERT(ingress < ports_.size(), "ingress port %u out of range",
+               ingress);
+    Port &port = *ports_[ingress];
+#ifndef NDEBUG
+    for (std::size_t i = 0; i < count; ++i)
+        EDM_ASSERT(blocks[i].isData(), "control block in a train");
+#endif
+    // The port's stream state cannot change mid-train (no events run
+    // inside this call, and message boundaries travel per-block), so the
+    // whole train takes one path.
+    if (port.absorbing) {
+        // Buffering into the ingress assembler has no side effects
+        // until /MT/ (which arrives per-block, after the train).
+        for (std::size_t i = 0; i < count; ++i)
+            port.assembler.feed(blocks[i]);
+        return;
+    }
+    if (port.forwarding) {
+        stats_.blocks_forwarded += count;
+        const NodeId egress = port.egress_port;
+        const std::uint64_t seq = port.fwd_seq;
+        Port &ep = *ports_[egress];
+        const Picoseconds first_avail =
+            first_at + cycles(cfg_.costs.sw_forward);
+        if (ep.stream_owner == ingress && ep.owner_seq == seq) {
+            // Cut through with each block's true arrival instant: the
+            // egress mux is handed the whole train early, but block i
+            // only becomes emittable when its per-block accept event
+            // would have enqueued it.
+            ep.egress.enqueueMemoryRun(blocks, count, first_avail,
+                                       stride);
+            on_tx_work_(egress);
+        } else {
+            // Our /MS/ is still in the forwarding pipeline behind this
+            // early train, or a competing stream owns the egress: stage
+            // with arrival stamps; the /MS/ accept or the adoption
+            // drain releases them. Stamps are non-decreasing, so the
+            // whole train appends behind what is already staged.
+            auto &q = ep.staged[ingress];
+            EDM_ASSERT(q.empty() || q.back().at <= first_avail,
+                       "train staged out of order");
+            for (std::size_t i = 0; i < count; ++i)
+                q.push_back(Port::StagedBlock{
+                    blocks[i],
+                    first_avail + static_cast<Picoseconds>(i) * stride,
+                    seq});
+        }
+        return;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        if (port.in_l2_frame)
+            port.l2_buf.push_back(blocks[i]);
+        else
+            EDM_WARN("train data block without stream on port %u",
+                     ingress);
     }
 }
 

@@ -11,6 +11,13 @@
  *    RX→TX clock-domain crossing.
  * Grants from the scheduler leave as /G/ blocks (or as the buffered
  * request forwarded to the memory node, for a response's first grant).
+ *
+ * Blocks arrive either one per event (rxBlock) or as a *block train*
+ * (rxBlockTrain): a run of contiguous mid-message data blocks delivered
+ * by a single event with explicit per-block timestamps. Train blocks
+ * bypass the per-block forwarding event by entering the egress mux with
+ * an availability stamp equal to the instant their own accept event
+ * would have fired, so the wire is bit-identical either way.
  */
 
 #ifndef EDM_CORE_SWITCH_STACK_HPP
@@ -58,6 +65,22 @@ class SwitchStack
     /** Deliver one received block on @p ingress (post PCS-RX). */
     void rxBlock(NodeId ingress, const phy::PhyBlock &block);
 
+    /**
+     * Deliver a block train: @p count contiguous memory *data* blocks
+     * received on @p ingress, block i at time @p first_at + i *
+     * @p stride. Equivalent to @p count rxBlock() events at those
+     * instants: data blocks only buffer into the ingress assembler or
+     * cut through to the egress mux with an explicit availability
+     * timestamp, so batching them into one event is invisible to the
+     * simulation. Message boundaries (/MS/ /MT/), notifications and all
+     * other control blocks must keep using per-block rxBlock() — their
+     * processing takes and releases shared state (scheduler queues,
+     * egress stream ownership) whose update order matters.
+     */
+    void rxBlockTrain(NodeId ingress, const phy::PhyBlock *blocks,
+                      std::size_t count, Picoseconds first_at,
+                      Picoseconds stride);
+
     /** Egress mux for @p port (drained by the fabric, one block/slot). */
     phy::PreemptionMux &egressMux(NodeId port);
 
@@ -81,6 +104,16 @@ class SwitchStack
         bool forwarding = false;    ///< mid-WREQ/RRES stream
         NodeId egress_port = 0;     ///< circuit target while forwarding
 
+        /**
+         * Forwarded-stream sequence number, bumped at each stream head
+         * (/MS/ or /MST/). A train delivered at its first block's
+         * arrival can precede the egress-side accept of its own /MS/ —
+         * or trail the /MT/ of this ingress's *previous* stream — so
+         * "same ingress" alone cannot prove a block belongs to the
+         * stream that currently owns an egress; (ingress, seq) can.
+         */
+        std::uint64_t fwd_seq = 0;
+
         // Conventional (non-memory) Ethernet traffic takes the layer-2
         // path: frames reassemble at ingress, pay the forwarding
         // pipeline latency, and flood to the other ports (a ToR with an
@@ -91,13 +124,24 @@ class SwitchStack
         std::deque<phy::PhyBlock> frame_backlog;
 
         // Egress stream ownership: virtual circuits are cut-through
-        // while one ingress owns the egress; a competing stream that
-        // arrives a few cycles early (pipeline jitter between chunks of
-        // different flows) stages here until the /MT/ boundary, keeping
-        // /MS/../MT/ sequences atomic on the wire.
+        // while one (ingress, stream) owns the egress; a competing
+        // stream that arrives early (pipeline jitter between chunks of
+        // different flows, or a train outrunning its own /MS/) stages
+        // here until the /MT/ boundary or its /MS/ accept, keeping
+        // /MS/../MT/ sequences atomic on the wire. Staged blocks keep
+        // their arrival timestamp: when released they become available
+        // at max(arrival, release), matching per-block delivery.
         static constexpr NodeId kNoOwner = 0xFFFF;
         NodeId stream_owner = kNoOwner;
-        std::map<NodeId, std::deque<phy::PhyBlock>> staged;
+        std::uint64_t owner_seq = 0;
+
+        struct StagedBlock
+        {
+            phy::PhyBlock block;
+            Picoseconds at;
+            std::uint64_t seq;
+        };
+        std::map<NodeId, std::deque<StagedBlock>> staged;
     };
 
     EdmConfig cfg_;
@@ -106,6 +150,7 @@ class SwitchStack
     std::vector<std::unique_ptr<Port>> ports_;
     std::unique_ptr<Scheduler> scheduler_;
     SwitchStats stats_;
+    std::uint64_t sched_fwd_seq_ = 0; ///< stream seq for request forwards
 
     Picoseconds cycles(int n) const
     {
@@ -118,8 +163,11 @@ class SwitchStack
     void onGrantAction(const GrantAction &action);
     void forwardBlock(NodeId ingress, Port &port,
                       const phy::PhyBlock &block);
-    void egressAccept(NodeId egress, NodeId ingress,
+    void egressAccept(NodeId egress, NodeId ingress, std::uint64_t seq,
                       const phy::PhyBlock &block);
+    void stagePush(Port &ep, NodeId ingress, std::uint64_t seq,
+                   const phy::PhyBlock &block, Picoseconds at);
+    void adoptStaged(NodeId egress, NodeId ingress, std::uint64_t seq);
     void drainStaged(NodeId egress);
     void floodFrame(NodeId ingress, std::vector<phy::PhyBlock> frame);
     void emitToEgress(NodeId port, std::vector<phy::PhyBlock> blocks,

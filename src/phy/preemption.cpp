@@ -6,16 +6,62 @@ namespace edm {
 namespace phy {
 
 void
-PreemptionMux::enqueueMemory(const std::vector<PhyBlock> &blocks)
+PreemptionMux::enqueueMemory(const std::vector<PhyBlock> &blocks,
+                             Picoseconds ready)
 {
     for (const auto &b : blocks)
-        mem_q_.push_back(b);
+        enqueueMemory(b, ready);
 }
 
 void
-PreemptionMux::enqueueMemory(const PhyBlock &block)
+PreemptionMux::enqueueMemory(const PhyBlock &block, Picoseconds ready)
 {
-    mem_q_.push_back(block);
+    // Availability-ordered stable insert. A block enqueued by an event
+    // at time t must precede blocks that only become available later —
+    // the order FIFO produced when every arrival was its own event. In
+    // the common case (no in-flight burst ahead) this is a plain
+    // push_back; bursts are short, so the backward scan is a few steps.
+    auto it = mem_q_.end();
+    while (it != mem_q_.begin() && std::prev(it)->ready > ready)
+        --it;
+    mem_q_.insert(it, TimedBlock{block, ready});
+}
+
+void
+PreemptionMux::enqueueMemoryRun(const PhyBlock *blocks, std::size_t count,
+                                Picoseconds first_avail, Picoseconds stride)
+{
+    // Stream stamps are non-decreasing, so when the first block sorts
+    // at the tail the whole run appends; an out-of-order head (rare:
+    // something with a later stamp already queued) falls back to the
+    // per-block ordered insert.
+    if (!mem_q_.empty() && mem_q_.back().ready > first_avail) {
+        for (std::size_t i = 0; i < count; ++i)
+            enqueueMemory(blocks[i],
+                          first_avail +
+                              static_cast<Picoseconds>(i) * stride);
+        return;
+    }
+    for (std::size_t i = 0; i < count; ++i)
+        mem_q_.push_back(TimedBlock{
+            blocks[i],
+            first_avail + static_cast<Picoseconds>(i) * stride});
+}
+
+void
+PreemptionMux::enqueueMemoryList(const PhyBlock *blocks,
+                                 const Picoseconds *avails,
+                                 std::size_t count)
+{
+    if (count == 0)
+        return;
+    if (!mem_q_.empty() && mem_q_.back().ready > avails[0]) {
+        for (std::size_t i = 0; i < count; ++i)
+            enqueueMemory(blocks[i], avails[i]);
+        return;
+    }
+    for (std::size_t i = 0; i < count; ++i)
+        mem_q_.push_back(TimedBlock{blocks[i], avails[i]});
 }
 
 bool
@@ -27,10 +73,20 @@ PreemptionMux::offerFrameBlock(const PhyBlock &block)
     return true;
 }
 
-bool
-PreemptionMux::pickMemory() const
+Picoseconds
+PreemptionMux::readyAt(Picoseconds now) const
 {
-    if (mem_q_.empty())
+    if (!frame_q_.empty())
+        return now;
+    if (!mem_q_.empty())
+        return mem_q_.front().ready > now ? mem_q_.front().ready : now;
+    return kNever;
+}
+
+bool
+PreemptionMux::pickMemory(Picoseconds now) const
+{
+    if (!memoryEligible(now))
         return false;
     if (frame_q_.empty())
         return true;
@@ -48,15 +104,10 @@ PreemptionMux::pickMemory() const
 }
 
 PhyBlock
-PreemptionMux::next()
+PreemptionMux::next(Picoseconds now)
 {
-    if (!hasWork()) {
-        ++idle_slots_;
-        last_was_memory_ = false;
-        return PhyBlock::idle();
-    }
-    if (pickMemory()) {
-        PhyBlock b = mem_q_.front();
+    if (pickMemory(now)) {
+        PhyBlock b = mem_q_.front().block;
         mem_q_.pop_front();
         ++memory_slots_;
         last_was_memory_ = true;
@@ -67,11 +118,74 @@ PreemptionMux::next()
         }
         return b;
     }
-    PhyBlock b = frame_q_.front();
-    frame_q_.pop_front();
-    ++frame_slots_;
+    if (!frame_q_.empty()) {
+        PhyBlock b = frame_q_.front();
+        frame_q_.pop_front();
+        ++frame_slots_;
+        last_was_memory_ = false;
+        return b;
+    }
+    ++idle_slots_;
     last_was_memory_ = false;
-    return b;
+    return PhyBlock::idle();
+}
+
+std::size_t
+PreemptionMux::takeTrainRun(Picoseconds start, Picoseconds cycle,
+                            std::size_t max, std::size_t min_run,
+                            std::vector<PhyBlock> &blocks,
+                            std::vector<Picoseconds> &avails)
+{
+    // Only mid-message is a burst commitment safe: /MS/ pinned the line
+    // to the memory stream until /MT/, so neither frame arrivals nor
+    // policy alternation can claim one of the train's slots.
+    if (!mid_memory_message_)
+        return 0;
+    std::size_t n = 0;
+    Picoseconds slot = start;
+    for (const TimedBlock &tb : mem_q_) {
+        if (n >= max || !tb.block.isData() || tb.ready > slot)
+            break;
+        blocks.push_back(tb.block);
+        avails.push_back(tb.ready);
+        ++n;
+        slot += cycle;
+    }
+    if (n < min_run) {
+        blocks.resize(blocks.size() - n);
+        avails.resize(avails.size() - n);
+        return 0;
+    }
+    mem_q_.erase(mem_q_.begin(),
+                 mem_q_.begin() + static_cast<std::ptrdiff_t>(n));
+    memory_slots_ += n;
+    last_was_memory_ = true;
+    return n;
+}
+
+void
+PreemptionMux::restoreMemoryRun(const PhyBlock *blocks,
+                                const Picoseconds *avails,
+                                std::size_t count)
+{
+    EDM_ASSERT(mid_memory_message_,
+               "restoring a train outside a memory message");
+    // Merge by availability, restored-first on ties: a grant-overtake
+    // trim returns blocks *because* something with an earlier stamp
+    // (the grant) slipped in front of them, so a plain push_front would
+    // invert the queue's availability order and bury that grant behind
+    // not-yet-available blocks. On the fault-abort path every entry
+    // ahead shares the restored blocks' enqueue stamp, so the merge
+    // degenerates to the old push_front.
+    auto it = mem_q_.begin();
+    for (std::size_t i = 0; i < count; ++i) {
+        while (it != mem_q_.end() && it->ready < avails[i])
+            ++it;
+        it = mem_q_.insert(it, TimedBlock{blocks[i], avails[i]});
+        ++it;
+    }
+    EDM_ASSERT(memory_slots_ >= count, "restoring more slots than taken");
+    memory_slots_ -= count;
 }
 
 PreemptionDemux::PreemptionDemux(MemoryHandler on_memory,

@@ -10,6 +10,13 @@
  * contiguously (they are at most a chunk long); non-memory frames can be
  * preempted at any block boundary.
  *
+ * Memory entries carry an availability timestamp so an upstream stage may
+ * enqueue a whole burst in one event while each block becomes emittable
+ * only at the instant it would have arrived had every block been its own
+ * event (the block-train transmission path). Entries are kept ordered by
+ * availability with stable ties, which is exactly the FIFO order the
+ * per-event design produced; callers that never timestamp see plain FIFO.
+ *
  * RX side: blocks of a preempted frame arrive in order but in
  * non-consecutive slots. The decoder and MAC require consecutive delivery,
  * so the demux buffers frame blocks until the /T/ block arrives, then
@@ -26,6 +33,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/time.hpp"
 #include "phy/block.hpp"
 
 namespace edm {
@@ -47,16 +55,39 @@ class PreemptionMux
     /** Staging-buffer bound for non-memory blocks (4 per §3.2.3). */
     static constexpr std::size_t kFrameBufferBlocks = 4;
 
+    /** readyAt() result when no block is queued at all. */
+    static constexpr Picoseconds kNever = INT64_MAX;
+
     explicit PreemptionMux(TxPolicy policy = TxPolicy::Fair)
         : policy_(policy)
     {
     }
 
-    /** Queue a contiguous memory message / control block sequence. */
-    void enqueueMemory(const std::vector<PhyBlock> &blocks);
+    /**
+     * Queue a contiguous memory message / control block sequence, every
+     * block available from @p ready on (pass the current simulation time;
+     * the default keeps timestamp-free unit-test use working).
+     */
+    void enqueueMemory(const std::vector<PhyBlock> &blocks,
+                       Picoseconds ready = 0);
 
-    /** Queue one memory control block (/N/ or /G/). */
-    void enqueueMemory(const PhyBlock &block);
+    /** Queue one memory control block (/N/ or /G/), available at @p ready. */
+    void enqueueMemory(const PhyBlock &block, Picoseconds ready = 0);
+
+    /**
+     * Queue a cut-through burst: @p count blocks, block i available at
+     * @p first_avail + i * @p stride. One call per train instead of one
+     * ordered insert per block; equivalent to enqueueMemory() in a loop.
+     */
+    void enqueueMemoryRun(const PhyBlock *blocks, std::size_t count,
+                          Picoseconds first_avail, Picoseconds stride);
+
+    /**
+     * Queue @p count blocks with explicit non-decreasing availability
+     * stamps (adoption drains); equivalent to enqueueMemory() per block.
+     */
+    void enqueueMemoryList(const PhyBlock *blocks,
+                           const Picoseconds *avails, std::size_t count);
 
     /**
      * Offer one non-memory frame block to the staging buffer.
@@ -68,20 +99,71 @@ class PreemptionMux
     /** True when the staging buffer can accept another frame block. */
     bool frameSpace() const { return frame_q_.size() < kFrameBufferBlocks; }
 
-    /** True if either stream has a block waiting. */
+    /** True if either stream has a block queued (ready or not). */
     bool hasWork() const { return !mem_q_.empty() || !frame_q_.empty(); }
 
     /**
-     * Emit the block for the next line slot. With no work queued this is
-     * an idle /E/ block (the slot EDM can otherwise repurpose).
+     * Earliest instant a line slot could carry a queued block: now when
+     * a frame or a ready memory block waits, the head memory block's
+     * availability when everything queued is still in flight upstream,
+     * kNever when both streams are empty.
      */
-    PhyBlock next();
+    Picoseconds readyAt(Picoseconds now) const;
 
-    /** Pending memory blocks. */
+    /**
+     * Emit the block for the next line slot at time @p now. Memory
+     * blocks that are not yet available are invisible, exactly as they
+     * were before their per-block arrival event in the per-event design.
+     * With no (visible) work queued this is an idle /E/ block (the slot
+     * EDM can otherwise repurpose).
+     */
+    PhyBlock next(Picoseconds now = INT64_MAX);
+
+    /**
+     * Pop the emittable block train: the run of memory *data* blocks at
+     * the queue head where block i is available by its slot @p start +
+     * i * @p cycle, capped at @p max — but only when at least
+     * @p min_run blocks long (otherwise nothing is popped and 0
+     * returns). Nonzero only mid-message (between /MS/ and /MT/),
+     * where the mux is committed to the memory stream regardless of
+     * frame arrivals, so a burst emission cannot change any scheduling
+     * decision. Blocks may still be in flight upstream (available
+     * after @p start but by their slot); a later insert that would
+     * overtake one of them must trim the train (restoreMemoryRun).
+     * Blocks and their availability stamps (needed to re-insert on
+     * abort) append to @p blocks / @p avails; slot statistics are
+     * charged as next() would have.
+     */
+    std::size_t takeTrainRun(Picoseconds start, Picoseconds cycle,
+                             std::size_t max, std::size_t min_run,
+                             std::vector<PhyBlock> &blocks,
+                             std::vector<Picoseconds> &avails);
+
+    /**
+     * Return the uncommitted tail of a train to the head of the memory
+     * queue (train abort: fault injection, or an insert that would
+     * overtake an in-flight block): the blocks go back in order with
+     * their original availability stamps, and the slot statistics taken
+     * by takeTrainBlock() are credited back.
+     */
+    void restoreMemoryRun(const PhyBlock *blocks,
+                          const Picoseconds *avails, std::size_t count);
+
+    /** Availability of the head memory block; kNever when none queued. */
+    Picoseconds
+    headAvail() const
+    {
+        return mem_q_.empty() ? kNever : mem_q_.front().ready;
+    }
+
+    /** Pending memory blocks (including not-yet-available ones). */
     std::size_t memoryBacklog() const { return mem_q_.size(); }
 
     /** Pending non-memory blocks in the staging buffer. */
     std::size_t frameBacklog() const { return frame_q_.size(); }
+
+    /** True while emitting a memory message (/MS/ seen, /MT/ pending). */
+    bool midMemoryMessage() const { return mid_memory_message_; }
 
     /** Total slots emitted, by category (for utilization accounting). */
     std::uint64_t memorySlots() const { return memory_slots_; }
@@ -89,8 +171,15 @@ class PreemptionMux
     std::uint64_t idleSlots() const { return idle_slots_; }
 
   private:
+    /** A queued memory block and the time it becomes emittable. */
+    struct TimedBlock
+    {
+        PhyBlock block;
+        Picoseconds ready;
+    };
+
     TxPolicy policy_;
-    std::deque<PhyBlock> mem_q_;
+    std::deque<TimedBlock> mem_q_;
     std::deque<PhyBlock> frame_q_;
     bool last_was_memory_ = false; ///< fair-policy alternation state
     bool mid_memory_message_ = false;
@@ -98,8 +187,13 @@ class PreemptionMux
     std::uint64_t frame_slots_ = 0;
     std::uint64_t idle_slots_ = 0;
 
-    bool memoryEligible() const { return !mem_q_.empty(); }
-    bool pickMemory() const;
+    bool
+    memoryEligible(Picoseconds now) const
+    {
+        return !mem_q_.empty() && mem_q_.front().ready <= now;
+    }
+
+    bool pickMemory(Picoseconds now) const;
 };
 
 /**

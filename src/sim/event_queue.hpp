@@ -2,32 +2,40 @@
  * @file
  * Discrete-event simulation engine.
  *
- * An indexed 4-ary heap of (time, sequence) keys over a slot table of
- * callbacks. Events scheduled at the same timestamp fire in scheduling
- * order, which keeps runs deterministic. Events can be cancelled or
- * rescheduled in O(log n) via the EventId handle: the handle encodes a
- * slot index plus a generation counter, so stale handles (fired or
- * already-cancelled events) are rejected without any hash lookup.
+ * A hierarchical timing wheel fronts an indexed 4-ary heap. Near-future
+ * events — the "now + a few cycles" timer class that dominates the
+ * cycle-level fabric — are filed into one of four 256-slot wheel levels
+ * (1 ps ticks at level 0, ×256 per level, ~4.3 ms total span) in O(1);
+ * events beyond the wheel span overflow to the heap. Per-level occupancy
+ * bitmaps make "find the next event" a handful of countr_zero scans, and
+ * buckets cascade toward level 0 lazily as simulated time advances
+ * (Varghese & Lauck's hashed hierarchical wheel, adapted to the exact
+ * (time, sequence) ordering a deterministic simulator needs).
  *
- * Design notes (vs the original std::function + std::unordered_set
- * lazy-deletion queue):
- *  - 4-ary layout halves the tree depth of a binary heap; sift-down
- *    touches four children per level but they share a cache line pair,
- *    which wins for the large queues produced by cluster runs.
- *  - Cancellation removes the entry from the heap immediately instead
- *    of leaving a tombstone, so heavily-cancelled workloads (retry
- *    timers, timeout guards) do not inflate the heap.
- *  - Callbacks are SmallFunction (small-buffer optimized, move-only):
- *    typical capture sets live inline in the slot table, so scheduling
- *    does not allocate.
+ * Ordering contract (identical to the pure-heap engine): events fire in
+ * (time, schedule-sequence) order, so same-timestamp events run in
+ * scheduling order regardless of which structure held them — level-0
+ * buckets are 1 ps wide, making every bucket a single-timestamp FIFO
+ * list, and wheel/heap candidates are tie-broken by sequence on pop.
+ *
+ * Events can be cancelled or rescheduled via the EventId handle: the
+ * handle encodes a slot index plus a generation counter, so stale
+ * handles (fired or already-cancelled events) are rejected without any
+ * hash lookup. Cancellation unlinks wheel events in O(1) and removes
+ * heap events in O(log n); rescheduling migrates freely between wheel
+ * and heap. Callbacks are SmallFunction (small-buffer optimized,
+ * move-only): typical capture sets live inline in the slot table, so
+ * scheduling does not allocate.
  */
 
 #ifndef EDM_SIM_EVENT_QUEUE_HPP
 #define EDM_SIM_EVENT_QUEUE_HPP
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "common/small_function.hpp"
 #include "common/time.hpp"
 
@@ -79,10 +87,10 @@ class EventQueue
     bool isPending(EventId id) const;
 
     /** True if no runnable events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return heap_.empty() && wheel_count_ == 0; }
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return heap_.size() + wheel_count_; }
 
     /** Total number of events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
@@ -102,8 +110,32 @@ class EventQueue
     /** Request run() to return after the current event completes. */
     void stop() { stop_requested_ = true; }
 
+    /**
+     * Route every future event through the overflow heap, disabling the
+     * timing-wheel fast path. This restores the engine the PR 1
+     * baseline shipped (indexed 4-ary heap for everything) so
+     * benchmarks can measure the wheel's contribution honestly; it is
+     * not meant for production use.
+     * @pre no events pending.
+     */
+    void
+    disableWheelForBenchmarking()
+    {
+        EDM_ASSERT(pending() == 0,
+                   "wheel can only be disabled on an empty queue");
+        wheel_enabled_ = false;
+    }
+
   private:
     static constexpr std::uint32_t kNpos = 0xFFFFFFFFu;
+
+    // ---- timing-wheel geometry ----
+    static constexpr int kWheelLevels = 4;
+    static constexpr int kLevelBits = 8;
+    static constexpr std::uint32_t kLevelSlots = 1u << kLevelBits;
+    static constexpr std::uint32_t kSlotMask = kLevelSlots - 1;
+    /** Bits of `when` resolved by the wheel; beyond that, the heap. */
+    static constexpr int kWheelBits = kWheelLevels * kLevelBits;
 
     /** Heap entry: ordering key plus the owning slot. */
     struct HeapEntry
@@ -123,9 +155,21 @@ class EventQueue
     struct Slot
     {
         Callback cb;
+        Picoseconds when = 0;
+        std::uint64_t seq = 0;
         std::uint32_t generation = 1; ///< bumped when the slot is freed
-        std::uint32_t heap_pos = kNpos;
+        std::uint32_t heap_pos = kNpos;  ///< position if heap-resident
+        std::uint32_t bucket = kNpos;    ///< bucket if wheel-resident
+        std::uint32_t wheel_prev = kNpos;
+        std::uint32_t wheel_next = kNpos;
         std::uint32_t next_free = kNpos;
+    };
+
+    /** Intrusive FIFO list of slots sharing a wheel bucket. */
+    struct Bucket
+    {
+        std::uint32_t head = kNpos;
+        std::uint32_t tail = kNpos;
     };
 
     static EventId
@@ -140,13 +184,60 @@ class EventQueue
     std::uint32_t allocSlot();
     void freeSlot(std::uint32_t slot);
 
+    // ---- heap ----
     void siftUp(std::uint32_t pos);
     void siftDown(std::uint32_t pos);
     void removeAt(std::uint32_t pos);
-    void place(std::uint32_t pos, HeapEntry entry);
+    void placeHeap(std::uint32_t pos, HeapEntry entry);
+
+    // ---- wheel ----
+    /** File a detached slot into the wheel or the overflow heap. */
+    void placeEvent(std::uint32_t slot);
+    /** Unlink a wheel-resident slot from its bucket. */
+    void wheelUnlink(std::uint32_t slot);
+    void wheelAppend(int level, std::uint32_t index, std::uint32_t slot);
+    /** Re-file every event of a bucket relative to the current time. */
+    void cascade(int level, std::uint32_t index);
+    /** Advance the wheel clock to @p t, cascading entered windows. */
+    void advanceTo(Picoseconds t);
+    /**
+     * Earliest wheel event as (when, seq, found); O(bitmap scan) plus a
+     * list walk when the candidate lives above level 0.
+     */
+    bool wheelPeek(Picoseconds &when, std::uint64_t &seq) const;
+
+    static std::uint32_t
+    bucketIndex(int level, std::uint32_t index)
+    {
+        return static_cast<std::uint32_t>(level) * kLevelSlots + index;
+    }
+
+    void
+    bitmapSet(int level, std::uint32_t index)
+    {
+        bitmap_[static_cast<std::size_t>(level)][index >> 6] |=
+            std::uint64_t{1} << (index & 63);
+    }
+
+    void
+    bitmapClear(int level, std::uint32_t index)
+    {
+        bitmap_[static_cast<std::size_t>(level)][index >> 6] &=
+            ~(std::uint64_t{1} << (index & 63));
+    }
+
+    /** First set bitmap index >= @p from at @p level, or kNpos. */
+    std::uint32_t bitmapScan(int level, std::uint32_t from) const;
 
     std::vector<HeapEntry> heap_;
     std::vector<Slot> slots_;
+    std::array<Bucket, kWheelLevels * kLevelSlots> buckets_{};
+    std::array<std::array<std::uint64_t, kLevelSlots / 64>, kWheelLevels>
+        bitmap_{};
+    /** Events resident per level: lets the peek skip empty levels. */
+    std::array<std::uint32_t, kWheelLevels> level_count_{};
+    std::size_t wheel_count_ = 0;
+    bool wheel_enabled_ = true;
     std::uint32_t free_head_ = kNpos;
     Picoseconds now_ = 0;
     std::uint64_t next_seq_ = 0;

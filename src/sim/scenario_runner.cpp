@@ -143,6 +143,7 @@ ScenarioRunner::runAll()
     std::atomic<bool> failed{false};
     std::exception_ptr first_error;
     std::mutex error_mu;
+    std::mutex result_mu; // serializes the streaming callback
     auto worker = [&] {
         while (!failed.load(std::memory_order_relaxed)) {
             const std::size_t i = next.fetch_add(1);
@@ -169,6 +170,21 @@ ScenarioRunner::runAll()
                 std::chrono::duration<double, std::milli>(t1 - t0)
                     .count();
             r.metrics = std::move(ctx.metrics_);
+            if (opts_.on_result) {
+                // A throwing streaming callback must surface from
+                // runAll() exactly like a throwing scenario body, not
+                // std::terminate the pool thread.
+                try {
+                    const std::lock_guard<std::mutex> lock(result_mu);
+                    opts_.on_result(r);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> lock(error_mu);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                    return;
+                }
+            }
         }
     };
 

@@ -103,12 +103,24 @@ class ScenarioRunner
   public:
     using ScenarioFn = std::function<void(ScenarioContext &)>;
 
+    /**
+     * Invoked as each scenario completes, before runAll() returns —
+     * long sweeps can stream results instead of reporting only at the
+     * end. Calls are serialized (one at a time) but arrive in
+     * *completion* order, which depends on thread scheduling; the
+     * vector runAll() returns stays in registration order and is
+     * bit-identical with or without a callback installed.
+     */
+    using ResultCallback = std::function<void(const ScenarioResult &)>;
+
     struct Options
     {
         /** Worker threads; 0 means std::thread::hardware_concurrency(). */
         unsigned threads = 0;
         /** Root of every per-scenario seed derivation. */
         std::uint64_t base_seed = 1;
+        /** Streaming completion callback (may be empty). */
+        ResultCallback on_result;
     };
 
     ScenarioRunner() : ScenarioRunner(Options{}) {}

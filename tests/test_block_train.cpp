@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Block-train equivalence tests: the batched transmission path
+ * (EdmConfig::max_train_blocks > 1) must be *observably identical* to
+ * per-block emission (max_train_blocks = 1) — every completion latency,
+ * every counter, every fault outcome — while executing far fewer
+ * events. Each test runs one scenario under both configurations and
+ * compares the full outcome, including the raw latency sample vectors.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fabric.hpp"
+#include "mac/frame.hpp"
+
+namespace edm {
+namespace core {
+namespace {
+
+EdmConfig
+config(std::size_t nodes, std::size_t max_train)
+{
+    EdmConfig cfg;
+    cfg.num_nodes = nodes;
+    cfg.link_rate = Gbps{25.0};
+    cfg.max_train_blocks = max_train;
+    return cfg;
+}
+
+/** Everything observable about one fabric run. */
+struct Outcome
+{
+    std::vector<double> read_lat;
+    std::vector<double> write_lat;
+    std::vector<double> rmw_lat;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rmws = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t frames_flooded = 0;
+    std::uint64_t grants_sent = 0;
+    std::uint64_t blocks_forwarded = 0;
+    std::uint64_t link_errors = 0;
+    bool link_disabled = false;
+    std::uint64_t events = 0;
+    Picoseconds end_time = 0;
+};
+
+void
+expectIdentical(const Outcome &per_block, const Outcome &trains)
+{
+    EXPECT_EQ(per_block.read_lat, trains.read_lat);
+    EXPECT_EQ(per_block.write_lat, trains.write_lat);
+    EXPECT_EQ(per_block.rmw_lat, trains.rmw_lat);
+    EXPECT_EQ(per_block.reads, trains.reads);
+    EXPECT_EQ(per_block.writes, trains.writes);
+    EXPECT_EQ(per_block.rmws, trains.rmws);
+    EXPECT_EQ(per_block.timeouts, trains.timeouts);
+    EXPECT_EQ(per_block.frames_flooded, trains.frames_flooded);
+    EXPECT_EQ(per_block.grants_sent, trains.grants_sent);
+    EXPECT_EQ(per_block.blocks_forwarded, trains.blocks_forwarded);
+    EXPECT_EQ(per_block.link_errors, trains.link_errors);
+    EXPECT_EQ(per_block.link_disabled, trains.link_disabled);
+    EXPECT_EQ(per_block.end_time, trains.end_time);
+}
+
+template <typename Scenario>
+Outcome
+runScenario(std::size_t nodes, std::size_t max_train, Scenario scenario)
+{
+    Simulation sim;
+    CycleFabric fab(config(nodes, max_train), sim,
+                    {static_cast<NodeId>(nodes - 1)});
+    scenario(sim, fab);
+    sim.run();
+
+    Outcome o;
+    o.read_lat = fab.readLatency().raw();
+    o.write_lat = fab.writeLatency().raw();
+    o.rmw_lat = fab.rmwLatency().raw();
+    for (NodeId n = 0; n < nodes; ++n) {
+        o.reads += fab.host(n).stats().reads_completed;
+        o.writes += fab.host(n).stats().writes_completed;
+        o.rmws += fab.host(n).stats().rmws_completed;
+        o.timeouts += fab.host(n).stats().read_timeouts;
+        o.link_errors += fab.linkErrors(n);
+        o.link_disabled = o.link_disabled || fab.linkDisabled(n);
+    }
+    o.frames_flooded = fab.switchStack().stats().frames_flooded;
+    o.grants_sent = fab.switchStack().stats().grants_sent;
+    o.blocks_forwarded = fab.switchStack().stats().blocks_forwarded;
+    o.events = sim.events().executed();
+    o.end_time = sim.now();
+    return o;
+}
+
+TEST(BlockTrain, SingleOpsBitIdenticalAndFewerEvents)
+{
+    auto scenario = [](Simulation &, CycleFabric &fab) {
+        fab.host(1).store()->write(0x1000,
+                                   std::vector<std::uint8_t>(1024, 0xAB));
+        fab.read(0, 1, 0x1000, 1024, {});
+        fab.write(0, 1, 0x2000, std::vector<std::uint8_t>(512, 0x55), {});
+        fab.rmw(0, 1, 0x1000, mem::RmwOp::FetchAndAdd, 7, 0, {});
+    };
+    const Outcome per_block = runScenario(2, 1, scenario);
+    const Outcome trains = runScenario(2, 64, scenario);
+    expectIdentical(per_block, trains);
+    ASSERT_EQ(trains.read_lat.size(), 1u);
+    // The point of the exercise: identical timing from far fewer events.
+    EXPECT_LT(trains.events, per_block.events * 2 / 3)
+        << "train path did not engage";
+}
+
+TEST(BlockTrain, ContendedMixedTrafficBitIdentical)
+{
+    // Three compute nodes hammer one memory node with reads, writes and
+    // RMWs while MTU frames flood both ways — chunk interleaving, grant
+    // scheduling, egress staging and frame preemption all active.
+    auto scenario = [](Simulation &, CycleFabric &fab) {
+        for (int i = 0; i < 64; ++i)
+            fab.host(3).store()->write64(
+                0x1000 + static_cast<std::uint64_t>(i) * 8,
+                static_cast<std::uint64_t>(i) * 3 + 1);
+        mac::Frame f;
+        f.payload.assign(1400, 0x7B);
+        const auto frame = mac::serialize(f);
+        for (int i = 0; i < 24; ++i) {
+            fab.injectFrame(static_cast<NodeId>(i % 3), frame);
+            fab.read(static_cast<NodeId>(i % 3), 3,
+                     0x1000 + static_cast<std::uint64_t>(i % 64) * 8, 256,
+                     {});
+            fab.write(static_cast<NodeId>((i + 1) % 3), 3,
+                      0x8000 + static_cast<std::uint64_t>(i) * 512,
+                      std::vector<std::uint8_t>(
+                          512, static_cast<std::uint8_t>(i)),
+                      {});
+            fab.rmw(static_cast<NodeId>((i + 2) % 3), 3, 0x1000,
+                    mem::RmwOp::FetchAndAdd, 1, 0, {});
+        }
+    };
+    const Outcome per_block = runScenario(4, 1, scenario);
+    const Outcome trains = runScenario(4, 64, scenario);
+    expectIdentical(per_block, trains);
+    ASSERT_EQ(trains.read_lat.size(), 24u);
+    ASSERT_EQ(trains.write_lat.size(), 24u);
+    // Frames stay per-block by design, and this scenario is deliberately
+    // frame-heavy, so the reduction is smaller than in the pure-memory
+    // tests (~20% here vs 3x+ on clean streams).
+    EXPECT_LT(trains.events, per_block.events * 9 / 10)
+        << "train path did not engage";
+}
+
+TEST(BlockTrain, OutstandingMixedOpsBitIdentical)
+{
+    // Many concurrently outstanding reads and writes with *no* frame
+    // traffic: RRES cut-through streams and grant deliveries contend
+    // for the same egresses, so grants routinely overtake in-flight
+    // train tails (the trimEgressTrain path). A trim that re-queues the
+    // overtaken blocks ahead of the grant that displaced them inverts
+    // the wire order — this exact shape once lost a read completion at
+    // 2 nodes and paniced with nested /MS/ at 3.
+    for (std::size_t nodes : {2u, 3u, 4u}) {
+        auto scenario = [nodes](Simulation &, CycleFabric &fab) {
+            const NodeId mem = static_cast<NodeId>(nodes - 1);
+            fab.host(mem).store()->write(
+                0x1000, std::vector<std::uint8_t>(4096, 0x77));
+            for (int i = 0; i < 12; ++i) {
+                const NodeId src =
+                    static_cast<NodeId>(i % (nodes - 1 ? nodes - 1 : 1));
+                fab.read(src, mem, 0x1000, 1024, {});
+                fab.write(src, mem,
+                          0x8000 + static_cast<std::uint64_t>(i) * 512,
+                          std::vector<std::uint8_t>(
+                              512, static_cast<std::uint8_t>(i)),
+                          {});
+            }
+        };
+        const Outcome per_block = runScenario(nodes, 1, scenario);
+        const Outcome trains = runScenario(nodes, 64, scenario);
+        expectIdentical(per_block, trains);
+        EXPECT_EQ(trains.write_lat.size(), 12u) << nodes << " nodes";
+        EXPECT_LT(trains.events, per_block.events * 2 / 3)
+            << "train path did not engage at " << nodes << " nodes";
+    }
+}
+
+TEST(BlockTrain, MidStreamFaultInjectionBitIdentical)
+{
+    // Corrupt the memory node's uplink *while* an RRES stream is in
+    // flight, at a sweep of instants — many of which land inside an
+    // in-flight train, forcing the abort path to pull not-yet-emitted
+    // blocks back into the mux. Outcomes (which blocks got corrupted,
+    // when the link trips, which reads time out, every latency) must
+    // match per-block emission exactly.
+    for (int step = 0; step < 8; ++step) {
+        const Picoseconds corrupt_at = 150 * kNanosecond +
+            step * (kPcsBlockSlot * 3 + 170); // deliberately unaligned
+        auto scenario = [corrupt_at](Simulation &sim, CycleFabric &fab) {
+            fab.host(1).store()->write(
+                0x1000, std::vector<std::uint8_t>(2048, 0x5A));
+            for (int r = 0; r < 4; ++r)
+                fab.read(0, 1, 0x1000, 1024, {});
+            sim.events().schedule(corrupt_at, [&fab] {
+                fab.corruptUplink(1, 20); // trips the damage threshold
+            });
+        };
+        const Outcome per_block = runScenario(2, 1, scenario);
+        const Outcome trains = runScenario(2, 64, scenario);
+        expectIdentical(per_block, trains);
+        EXPECT_GT(trains.link_errors, 0u) << "fault never engaged";
+    }
+}
+
+TEST(BlockTrain, ReadTimeoutPathBitIdentical)
+{
+    // Disable the link under load with read timeouts armed: lost RRES
+    // data converts into NULL responses (§3.3) at identical instants.
+    auto scenario = [](Simulation &sim, CycleFabric &fab) {
+        fab.host(1).store()->write(0x1000,
+                                   std::vector<std::uint8_t>(4096, 0x11));
+        for (int r = 0; r < 6; ++r)
+            fab.read(0, 1, 0x1000, 2048, {});
+        sim.events().schedule(200 * kNanosecond, [&fab] {
+            fab.corruptUplink(1, 64);
+        });
+    };
+    auto with_timeout = [&](std::size_t max_train) {
+        Simulation sim;
+        EdmConfig cfg = config(2, max_train);
+        cfg.read_timeout = 40 * kMicrosecond;
+        CycleFabric fab(cfg, sim, {1});
+        scenario(sim, fab);
+        sim.run();
+        Outcome o;
+        o.read_lat = fab.readLatency().raw();
+        o.timeouts = fab.host(0).stats().read_timeouts;
+        o.link_errors = fab.linkErrors(1);
+        o.link_disabled = fab.linkDisabled(1);
+        o.end_time = sim.now();
+        return o;
+    };
+    const Outcome per_block = with_timeout(1);
+    const Outcome trains = with_timeout(64);
+    EXPECT_EQ(per_block.read_lat, trains.read_lat);
+    EXPECT_EQ(per_block.timeouts, trains.timeouts);
+    EXPECT_EQ(per_block.link_errors, trains.link_errors);
+    EXPECT_EQ(per_block.link_disabled, trains.link_disabled);
+    EXPECT_EQ(per_block.end_time, trains.end_time);
+    EXPECT_GT(trains.timeouts, 0u) << "timeout path never engaged";
+}
+
+TEST(BlockTrain, TrainCapRespectsConfig)
+{
+    // max_train_blocks = 1 must behave exactly like the pre-train
+    // engine: no train delivery events at all (checked indirectly: a
+    // 2-block cap still beats it on event count for a bulk read).
+    auto scenario = [](Simulation &, CycleFabric &fab) {
+        fab.host(1).store()->write(0x0, std::vector<std::uint8_t>(4096, 1));
+        fab.read(0, 1, 0x0, 4096, {});
+    };
+    const Outcome cap1 = runScenario(2, 1, scenario);
+    const Outcome cap2 = runScenario(2, 2, scenario);
+    const Outcome cap64 = runScenario(2, 64, scenario);
+    EXPECT_EQ(cap1.read_lat, cap2.read_lat);
+    EXPECT_EQ(cap1.read_lat, cap64.read_lat);
+    EXPECT_LT(cap2.events, cap1.events);
+    EXPECT_LT(cap64.events, cap2.events);
+}
+
+} // namespace
+} // namespace core
+} // namespace edm

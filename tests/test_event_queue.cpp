@@ -1,13 +1,19 @@
 /**
  * @file
- * Deep tests for the indexed 4-ary heap event queue: FIFO tie-breaking,
- * cancellation life cycle, rescheduling, SBO callback semantics, and a
- * 1M-event randomized stress that checks the heap invariants end to end.
+ * Deep tests for the event queue (hierarchical timing wheel over an
+ * indexed 4-ary overflow heap): FIFO tie-breaking, cancellation life
+ * cycle, rescheduling, wheel-specific behaviour (level wrap-around,
+ * far-future heap overflow, wheel-to-heap migration, same-tick FIFO),
+ * SBO callback semantics, and a 1M-event randomized stress that checks
+ * the ordering invariants end to end.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/random.hpp"
@@ -204,6 +210,174 @@ TEST(EventQueueCounters, ExecutedAccumulatesAcrossRuns)
  *  - fire times are monotonically non-decreasing,
  *  - exactly the never-cancelled events fire, each exactly once.
  */
+// ---------------------------------------------------------------------------
+// Timing-wheel specifics. The wheel files events below ~2^32 ps of the
+// current time across four 256-slot levels; everything farther overflows
+// to the heap. None of this is observable except through timing, which
+// is exactly what these tests pin.
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueWheel, FiresAcrossEveryLevelBoundary)
+{
+    // Delays that land on each wheel level and straddle level windows
+    // (256, 65536, 2^24 ps), including exact powers where the window
+    // wrap-around happens.
+    EventQueue q;
+    std::vector<Picoseconds> fired;
+    const Picoseconds delays[] = {0,       1,       255,      256,
+                                  257,     65535,   65536,    65537,
+                                  1 << 20, 1 << 24, (1 << 24) + 1,
+                                  Picoseconds{1} << 31};
+    for (Picoseconds d : delays)
+        q.scheduleAfter(d, [&fired, &q] { fired.push_back(q.now()); });
+    q.run();
+    std::vector<Picoseconds> expected(std::begin(delays),
+                                      std::end(delays));
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(fired, expected);
+}
+
+TEST(EventQueueWheel, WrapAroundReusesSlots)
+{
+    // March time far enough that every level-0 slot index is reused
+    // many times, with events scheduled relative to a moving now.
+    EventQueue q;
+    std::uint64_t fired = 0;
+    Picoseconds expect = 0;
+    bool ok = true;
+    std::function<void()> tick = [&] {
+        ok = ok && q.now() == expect;
+        ++fired;
+        if (fired < 3000) {
+            // 97 is coprime with 256, so slot indices cycle through
+            // every position at every level-0 window phase.
+            expect += 97;
+            q.scheduleAfter(97, tick);
+        }
+    };
+    q.scheduleAfter(0, tick);
+    q.run();
+    EXPECT_EQ(fired, 3000u);
+    EXPECT_TRUE(ok);
+}
+
+TEST(EventQueueWheel, FarFutureOverflowsToHeapAndStillFires)
+{
+    EventQueue q;
+    std::vector<int> order;
+    // Beyond the 2^32 ps wheel span: heap-resident from the start.
+    const Picoseconds far = (Picoseconds{1} << 33) + 12345;
+    q.schedule(far, [&] { order.push_back(2); });
+    q.schedule(100, [&] { order.push_back(0); });
+    q.schedule(far - 1, [&] { order.push_back(1); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(q.now(), far);
+}
+
+TEST(EventQueueWheel, HeapAndWheelTieBreakBySequence)
+{
+    // An event scheduled far ahead (heap) and one scheduled later at
+    // the same timestamp once it is near (wheel) must fire in schedule
+    // order.
+    EventQueue q;
+    std::vector<int> order;
+    const Picoseconds when = (Picoseconds{1} << 32) + 500;
+    q.schedule(when, [&] { order.push_back(0); }); // heap resident
+    q.schedule(when - (1 << 20), [&, when] {
+        // now within the wheel span of `when`.
+        q.schedule(when, [&] { order.push_back(1); }); // wheel resident
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueueWheel, CancelAndRescheduleMigrateBetweenWheelAndHeap)
+{
+    EventQueue q;
+    int fired = -1;
+    // Starts on the wheel...
+    const EventId id = q.schedule(1000, [&] { fired = 0; });
+    // ...migrates to the heap (far future)...
+    ASSERT_TRUE(q.reschedule(id, Picoseconds{1} << 40));
+    ASSERT_TRUE(q.isPending(id));
+    // ...and back to the wheel.
+    ASSERT_TRUE(q.reschedule(id, 2000));
+    q.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(q.now(), 2000);
+    EXPECT_FALSE(q.isPending(id));
+
+    // Cancel works in both residencies.
+    const EventId w = q.schedule(q.now() + 10, [&] { fired = 1; });
+    const EventId h =
+        q.schedule(q.now() + (Picoseconds{1} << 40), [&] { fired = 2; });
+    EXPECT_TRUE(q.cancel(w));
+    EXPECT_TRUE(q.cancel(h));
+    q.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueWheel, FifoWithinOneTickAcrossCascades)
+{
+    // Events at one exact timestamp, scheduled at different distances
+    // (so they enter at different wheel levels and cascade down), must
+    // still fire in schedule order.
+    EventQueue q;
+    std::vector<int> order;
+    const Picoseconds when = (1 << 20) + 777;
+    q.schedule(when, [&] { order.push_back(0); });     // level 2 entry
+    q.schedule(when - (1 << 18), [&, when] {
+        q.schedule(when, [&] { order.push_back(1); }); // level 2, later
+    });
+    q.schedule(when - 100, [&, when] {
+        q.schedule(when, [&] { order.push_back(2); }); // level 0 entry
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueWheel, DisableWheelKeepsIdenticalOrdering)
+{
+    // The heap-only benchmarking mode must replay the exact same
+    // schedule: run one randomized workload under both engines.
+    auto workload = [](EventQueue &q) {
+        Rng rng(77);
+        std::vector<std::pair<Picoseconds, int>> fired;
+        std::vector<EventId> live;
+        for (int i = 0; i < 5000; ++i) {
+            const auto d =
+                static_cast<Picoseconds>(rng.uniformInt(std::uint64_t{1}
+                                                        << 22));
+            live.push_back(q.schedule(
+                q.now() + d, [&fired, &q, i] {
+                    fired.emplace_back(q.now(), i);
+                }));
+            const double roll = rng.uniform();
+            if (roll < 0.2) {
+                const std::size_t pick = rng.uniformInt(live.size());
+                q.cancel(live[pick]);
+            } else if (roll < 0.3) {
+                const std::size_t pick = rng.uniformInt(live.size());
+                q.reschedule(live[pick],
+                             q.now() + static_cast<Picoseconds>(
+                                           rng.uniformInt(
+                                               std::uint64_t{1} << 22)));
+            } else if (roll < 0.4) {
+                for (int k = 0; k < 8; ++k)
+                    q.step();
+            }
+        }
+        q.run();
+        return fired;
+    };
+    EventQueue with_wheel;
+    EventQueue heap_only;
+    heap_only.disableWheelForBenchmarking();
+    EXPECT_EQ(workload(with_wheel), workload(heap_only));
+}
+
 TEST(EventQueueStress, MillionRandomEventsFireInOrder)
 {
     constexpr int kEvents = 1'000'000;

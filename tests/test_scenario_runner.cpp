@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -236,6 +238,59 @@ TEST(ScenarioRunnerDeterminism, DifferentSeedsDiffer)
         any_diff = a[i].metricStat("latency_ns").mean() !=
             b[i].metricStat("latency_ns").mean();
     EXPECT_TRUE(any_diff);
+}
+
+TEST(ScenarioRunnerStreaming, CallbackSeesEveryResultOnce)
+{
+    ScenarioRunner::Options opts;
+    opts.base_seed = 5;
+    std::mutex mu;
+    std::vector<std::string> streamed;
+    double streamed_sum = 0;
+    opts.on_result = [&](const ScenarioResult &r) {
+        // Serialized by the runner; the mutex guards against that
+        // contract regressing.
+        const std::lock_guard<std::mutex> lock(mu);
+        streamed.push_back(r.name);
+        streamed_sum += r.metricStat("v").mean();
+    };
+    ScenarioRunner runner(opts);
+    for (int i = 0; i < 12; ++i)
+        runner.add("s" + std::to_string(i), [i](ScenarioContext &ctx) {
+            ctx.record("v", static_cast<double>(i));
+        });
+    const auto results = runner.runAll();
+
+    // Every scenario streamed exactly once (completion order may vary).
+    ASSERT_EQ(streamed.size(), 12u);
+    std::vector<std::string> sorted_names = streamed;
+    std::sort(sorted_names.begin(), sorted_names.end());
+    EXPECT_EQ(std::unique(sorted_names.begin(), sorted_names.end()),
+              sorted_names.end());
+    EXPECT_DOUBLE_EQ(streamed_sum, 66.0);
+    // And the returned vector is still registration-ordered.
+    for (int i = 0; i < 12; ++i)
+        EXPECT_EQ(results[static_cast<std::size_t>(i)].name,
+                  "s" + std::to_string(i));
+}
+
+TEST(ScenarioRunnerStreaming, CallbackDoesNotPerturbResults)
+{
+    auto sweep = [](bool streaming) {
+        ScenarioRunner::Options opts;
+        opts.base_seed = 9;
+        int seen = 0;
+        if (streaming)
+            opts.on_result = [&seen](const ScenarioResult &) { ++seen; };
+        ScenarioRunner runner(opts);
+        for (int i = 0; i < 6; ++i)
+            runner.add("pt", [](ScenarioContext &ctx) {
+                smallClusterScenario(ctx, 0.5);
+            });
+        auto results = runner.runAll();
+        return ScenarioRunner::mergedMetric(results, "norm_mean").raw();
+    };
+    EXPECT_EQ(sweep(false), sweep(true));
 }
 
 } // namespace
