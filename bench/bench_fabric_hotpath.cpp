@@ -1,17 +1,20 @@
 /**
  * @file
  * Fabric hot-path microbenchmark: end-to-end blocks/second through the
- * cycle-level fabric, comparing the PR 1 engine (one event per block
- * per hop, heap-only event queue) against the block-train transmission
- * path and the timing-wheel queue front end, separately and combined.
+ * cycle-level fabric across three engine generations:
  *
- * Three closed-loop workloads on an 8-node fabric (7 compute + 1
- * memory): bulk 2 KB reads, streaming 2 KB writes, and a mixed
- * read/write load with MTU-frame interference (frames never train, so
- * this bounds the win from below). Every configuration produces
- * bit-identical simulations — test_block_train proves it for trains,
- * the block-count cross-check here re-asserts it each run — so the
- * blocks/sec ratios are pure simulator speedup.
+ *   pr1  one event per block per hop, heap-only event queue
+ *   pr2  memory block trains + timing-wheel queue (frames per-block)
+ *   pr3  payload-agnostic trains: frame bursts train too, and the
+ *        egress path runs on pooled allocation-free storage
+ *
+ * Four closed-loop workloads on an 8-node fabric (7 compute + 1
+ * memory): bulk 2 KB reads, streaming 2 KB writes, a mixed read/write
+ * load with MTU-frame interference, and a frames-heavy load where L2
+ * floods dominate the line. Every configuration produces bit-identical
+ * simulations — test_block_train / test_frame_train prove it, the
+ * cross-check here re-asserts it each run — so the blocks/sec ratios
+ * are pure simulator speedup.
  *
  * Run:   ./build/bench_fabric_hotpath [ops-per-node] [--json <path>]
  */
@@ -39,9 +42,11 @@ constexpr Bytes kOpBytes = 2048;
 struct RunStats
 {
     double wall_s = 0;
-    std::uint64_t blocks = 0; ///< mem blocks handled (TX + RX, all hosts)
+    std::uint64_t blocks = 0; ///< mem + frame blocks handled (all hops)
     std::uint64_t events = 0;
     std::uint64_t completions = 0;
+    std::uint64_t frames = 0;
+    edm::Picoseconds end_time = 0;
 };
 
 enum class Load
@@ -49,6 +54,7 @@ enum class Load
     BulkRead,
     WriteStream,
     MixedFrames,
+    FramesHeavy,
 };
 
 const char *
@@ -58,25 +64,45 @@ loadName(Load l)
       case Load::BulkRead: return "bulk-read";
       case Load::WriteStream: return "write-stream";
       case Load::MixedFrames: return "mixed+frames";
+      case Load::FramesHeavy: return "frames-heavy";
     }
     return "?";
 }
 
+/** One engine generation = (memory trains, frame trains, wheel). */
+struct Engine
+{
+    const char *name;
+    std::size_t max_train;
+    std::size_t max_frame_train;
+    bool wheel;
+};
+
+constexpr Engine kEngines[] = {
+    {"pr1-baseline", 1, 1, false},
+    {"pr2-trains+wheel", 64, 1, true},
+    {"pr3-frame-trains", 64, 64, true},
+};
+
 RunStats
-run(Load load, std::size_t max_train, bool wheel,
-    std::uint64_t ops_per_node)
+run(Load load, const Engine &eng, std::uint64_t ops_per_node)
 {
     Simulation sim;
-    if (!wheel)
+    if (!eng.wheel)
         sim.events().disableWheelForBenchmarking();
     EdmConfig cfg;
     cfg.num_nodes = kNodes;
     cfg.link_rate = Gbps{25.0};
-    cfg.max_train_blocks = max_train;
+    cfg.max_train_blocks = eng.max_train;
+    cfg.max_frame_train_blocks = eng.max_frame_train;
     const NodeId mem = kNodes - 1;
     CycleFabric fab(cfg, sim, {mem});
     fab.host(mem).store()->write(0x10000,
                                  std::vector<std::uint8_t>(kOpBytes, 0x5A));
+
+    mac::Frame mtu;
+    mtu.payload.assign(1400, 0x7B);
+    const auto mtu_bytes = mac::serialize(mtu);
 
     RunStats rs;
     // One closed loop per compute node: the next op posts when the
@@ -86,6 +112,17 @@ run(Load load, std::size_t max_train, bool wheel,
         if (remaining[n] == 0)
             return;
         --remaining[n];
+        if (load == Load::FramesHeavy) {
+            // Two MTU frames per 64 B read: the line is frame-dominated
+            // (flooding multiplies every frame by the other 7 ports)
+            // while the read keeps a closed completion loop alive.
+            fab.injectFrame(n, mtu_bytes);
+            fab.injectFrame(n, mtu_bytes);
+            fab.read(n, mem, 0x10000, 64,
+                     [&issue, n](std::vector<std::uint8_t>, Picoseconds,
+                                 bool) { issue(n); });
+            return;
+        }
         const bool write_op = load == Load::WriteStream ||
             (load == Load::MixedFrames && (remaining[n] & 1));
         if (write_op) {
@@ -99,11 +136,8 @@ run(Load load, std::size_t max_train, bool wheel,
                      [&issue, n](std::vector<std::uint8_t>, Picoseconds,
                                  bool) { issue(n); });
         }
-        if (load == Load::MixedFrames && (remaining[n] % 4) == 0) {
-            mac::Frame f;
-            f.payload.assign(1400, 0x7B);
-            fab.injectFrame(n, mac::serialize(f));
-        }
+        if (load == Load::MixedFrames && (remaining[n] % 4) == 0)
+            fab.injectFrame(n, mtu_bytes);
     };
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -118,8 +152,14 @@ run(Load load, std::size_t max_train, bool wheel,
         const auto &st = fab.host(n).stats();
         rs.blocks += st.mem_blocks_sent + st.mem_blocks_received;
         rs.completions += st.reads_completed + st.writes_completed;
+        rs.frames += st.frames_received;
+        // Frame blocks cross the line too: count emitted frame slots on
+        // both hops (uplink host mux + downlink egress mux).
+        rs.blocks += fab.host(n).mux().frameSlots();
+        rs.blocks += fab.switchStack().egressMux(n).frameSlots();
     }
     rs.events = sim.events().executed();
+    rs.end_time = sim.now();
     return rs;
 }
 
@@ -151,70 +191,63 @@ main(int argc, char **argv)
     bench::BenchJson json("fabric_hotpath",
                           bench::BenchJson::pathFromArgs(argc, argv));
 
-    std::printf("  %-13s %15s %15s %9s %9s %9s %13s\n", "workload",
-                "pr1 Mbl/s", "train+wheel", "trains", "wheel", "both",
-                "events saved");
-    double geo = 1;
+    std::printf("  %-13s %12s %12s %12s %9s %9s %13s\n", "workload",
+                "pr1 Mbl/s", "pr2 Mbl/s", "pr3 Mbl/s", "pr3/pr1",
+                "pr3/pr2", "events saved");
+    double geo_pr1 = 1, geo_pr2 = 1;
     int rows = 0;
-    for (Load load :
-         {Load::BulkRead, Load::WriteStream, Load::MixedFrames}) {
-        // Warm-up then measure; same seed, so identical simulations.
-        // Baseline = the PR 1 engine: one event per block per hop on the
-        // heap-only queue. "train" adds both halves of the rewrite
-        // (block trains + timing wheel); the two middle configurations
-        // split the factor.
-        run(load, 1, false, ops / 4 + 1);
-        const RunStats base = run(load, 1, false, ops);
-        const RunStats trains_only = run(load, 64, false, ops);
-        const RunStats wheel_only = run(load, 1, true, ops);
-        const RunStats train = run(load, 64, true, ops);
-        if (base.blocks != train.blocks ||
-            base.blocks != trains_only.blocks ||
-            base.blocks != wheel_only.blocks || base.completions == 0) {
-            std::fprintf(stderr,
-                         "FATAL: %s block counts diverged (%llu vs %llu)\n",
-                         loadName(load),
-                         static_cast<unsigned long long>(base.blocks),
-                         static_cast<unsigned long long>(train.blocks));
-            return 1;
+    for (Load load : {Load::BulkRead, Load::WriteStream,
+                      Load::MixedFrames, Load::FramesHeavy}) {
+        // Frames-heavy runs fewer (much bigger) ops per node.
+        const std::uint64_t row_ops =
+            load == Load::FramesHeavy ? ops / 4 + 1 : ops;
+        // Warm-up, then one measured run per engine generation. Same
+        // seedless deterministic workload -> identical simulations.
+        run(load, kEngines[2], row_ops / 4 + 1);
+        RunStats r[3];
+        for (int e = 0; e < 3; ++e)
+            r[e] = run(load, kEngines[e], row_ops);
+        for (int e = 1; e < 3; ++e) {
+            if (r[0].blocks != r[e].blocks ||
+                r[0].end_time != r[e].end_time ||
+                r[0].frames != r[e].frames ||
+                r[0].completions != r[e].completions ||
+                r[0].completions == 0) {
+                std::fprintf(
+                    stderr,
+                    "FATAL: %s diverged between %s and %s "
+                    "(%llu vs %llu blocks)\n",
+                    loadName(load), kEngines[0].name, kEngines[e].name,
+                    static_cast<unsigned long long>(r[0].blocks),
+                    static_cast<unsigned long long>(r[e].blocks));
+                return 1;
+            }
         }
-        const double base_rate =
-            static_cast<double>(base.blocks) / base.wall_s / 1e6;
-        const double train_rate =
-            static_cast<double>(train.blocks) / train.wall_s / 1e6;
-        const double speedup = base.wall_s / train.wall_s;
+        double rate[3];
+        for (int e = 0; e < 3; ++e)
+            rate[e] = static_cast<double>(r[e].blocks) / r[e].wall_s / 1e6;
+        const double vs_pr1 = r[0].wall_s / r[2].wall_s;
+        const double vs_pr2 = r[1].wall_s / r[2].wall_s;
         const double saved = 1.0 -
-            static_cast<double>(train.events) /
-                static_cast<double>(base.events);
-        std::printf("  %-13s %15.2f %15.2f %8.2fx %8.2fx %8.2fx %12.1f%%\n",
-                    loadName(load), base_rate, train_rate,
-                    base.wall_s / trains_only.wall_s,
-                    base.wall_s / wheel_only.wall_s, speedup,
-                    saved * 100.0);
-        json.record(loadName(load), "pr1-baseline",
-                    {{"blocks_per_sec", base_rate * 1e6},
-                     {"ns_per_block", 1e3 / base_rate},
-                     {"events", static_cast<double>(base.events)}});
-        json.record(loadName(load), "trains-only",
-                    {{"blocks_per_sec",
-                      static_cast<double>(trains_only.blocks) /
-                          trains_only.wall_s},
-                     {"speedup", base.wall_s / trains_only.wall_s}});
-        json.record(loadName(load), "wheel-only",
-                    {{"blocks_per_sec",
-                      static_cast<double>(wheel_only.blocks) /
-                          wheel_only.wall_s},
-                     {"speedup", base.wall_s / wheel_only.wall_s}});
-        json.record(loadName(load), "train+wheel",
-                    {{"blocks_per_sec", train_rate * 1e6},
-                     {"ns_per_block", 1e3 / train_rate},
-                     {"events", static_cast<double>(train.events)},
-                     {"speedup", speedup}});
-        geo *= speedup;
+            static_cast<double>(r[2].events) /
+                static_cast<double>(r[0].events);
+        std::printf("  %-13s %12.2f %12.2f %12.2f %8.2fx %8.2fx %12.1f%%\n",
+                    loadName(load), rate[0], rate[1], rate[2], vs_pr1,
+                    vs_pr2, saved * 100.0);
+        for (int e = 0; e < 3; ++e) {
+            json.record(loadName(load), kEngines[e].name,
+                        {{"blocks_per_sec", rate[e] * 1e6},
+                         {"ns_per_block", 1e3 / rate[e]},
+                         {"events", static_cast<double>(r[e].events)},
+                         {"speedup_vs_pr1", r[0].wall_s / r[e].wall_s}});
+        }
+        geo_pr1 *= vs_pr1;
+        geo_pr2 *= vs_pr2;
         ++rows;
     }
-    std::printf("\n  geometric-mean speedup: %.2fx (target >= 3x on the "
-                "memory streams)\n",
-                std::pow(geo, 1.0 / rows));
+    std::printf("\n  geometric-mean speedup: %.2fx vs pr1, %.2fx vs pr2 "
+                "(target >= 1.5x on mixed+frames vs pr2)\n",
+                std::pow(geo_pr1, 1.0 / rows),
+                std::pow(geo_pr2, 1.0 / rows));
     return 0;
 }

@@ -83,6 +83,17 @@ struct EdmConfig
     std::size_t max_train_blocks = 64;
 
     /**
+     * Simulator knob: upper bound on the *frame* block-train length —
+     * back-to-back L2 frame blocks (between frame start and the /Tn/
+     * boundary) emitted and delivered through a single event while the
+     * memory stream cannot claim their slots. 1 restores per-block
+     * frame emission (the timing-equivalence baseline); the same
+     * hop-latency safety cap as max_train_blocks applies. Observable
+     * timing is identical for every value.
+     */
+    std::size_t max_frame_train_blocks = 64;
+
+    /**
      * Layer-2 forwarding pipeline latency for coexisting non-memory
      * frames (parser + match-action + packet manager + crossbar;
      * Table 1 caption). Memory traffic never pays this.

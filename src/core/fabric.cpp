@@ -32,7 +32,8 @@ CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
     switch_ = std::make_unique<SwitchStack>(
         cfg_, sim_.events(), [this](NodeId port) { pumpSwitchPort(port); });
 
-    train_cap_ = trainCap();
+    train_cap_ = trainCap(cfg_.max_train_blocks);
+    frame_train_cap_ = trainCap(cfg_.max_frame_train_blocks);
 
     // Route write-delivery reports from memory nodes back to the writer
     // so its completion callback sees the true delivery latency. This is
@@ -74,6 +75,7 @@ CycleFabric::acquireTrain()
     train_pool_.pop_back();
     t.blocks.clear();
     t.avails.clear();
+    t.kind = Train::Kind::Memory;
     t.delivery = kInvalidEvent;
     return t;
 }
@@ -86,7 +88,7 @@ CycleFabric::releaseTrain(Train t)
 }
 
 std::size_t
-CycleFabric::trainCap() const
+CycleFabric::trainCap(std::size_t knob) const
 {
     // A train's single delivery event fires at the *first* block's
     // arrival, first emission + cycle + hopLatency(). Capping the length
@@ -96,8 +98,50 @@ CycleFabric::trainCap() const
     // before anything downstream has seen them.
     const auto safety =
         static_cast<std::size_t>(hopLatency() / cfg_.cycle) + 2;
-    return std::max<std::size_t>(1,
-                                 std::min(cfg_.max_train_blocks, safety));
+    return std::max<std::size_t>(1, std::min(knob, safety));
+}
+
+void
+CycleFabric::commitTrain(TxPump &p, Train t, std::size_t run,
+                         Picoseconds now, EventQueue::Callback deliver,
+                         EventQueue::Callback emit)
+{
+    t.start = now;
+    t.delivery = sim_.events().schedule(now + cfg_.cycle + hopLatency(),
+                                        std::move(deliver));
+    p.trains.push_back(std::move(t));
+    p.next_slot = now + static_cast<Picoseconds>(run) * cfg_.cycle;
+    p.emit_at = now + static_cast<Picoseconds>(run - 1) * cfg_.cycle;
+    p.emit_ev = sim_.events().schedule(p.emit_at, std::move(emit));
+}
+
+void
+CycleFabric::topUpFrames(phy::PreemptionMux &mux, phy::BlockFifo &backlog)
+{
+    // Models the MAC reacting to freed staging-buffer space (costs no
+    // time). The per-slot path, the train refill hook and the switch
+    // egress all share this exact rule — the train path's timing
+    // equivalence depends on them never diverging.
+    while (!backlog.empty() && mux.frameSpace()) {
+        mux.offerFrameBlock(backlog.front());
+        backlog.pop_front();
+    }
+}
+
+std::size_t
+CycleFabric::takeFrameTrain(phy::PreemptionMux &mux,
+                            phy::BlockFifo &backlog, Picoseconds now,
+                            Train &t)
+{
+    // The staging buffer holds at most 4 blocks; the refill hook tops it
+    // up from the backlog between runs exactly as the per-slot path
+    // would have.
+    t.kind = Train::Kind::Frame;
+    return mux.takeFrameTrainRun(now, cfg_.cycle, frame_train_cap_, 2,
+                                 [&mux, &backlog] {
+                                     topUpFrames(mux, backlog);
+                                 },
+                                 t.blocks);
 }
 
 // ---------------------------------------------------------------------------
@@ -133,6 +177,7 @@ CycleFabric::pumpWake(TxPump &p, Picoseconds ready,
 void
 CycleFabric::pumpHost(NodeId id)
 {
+    trimUplinkTrain(id);
     const Picoseconds ready = frame_backlog_[id].empty()
         ? hosts_[id]->mux().readyAt(sim_.now())
         : sim_.now();
@@ -148,13 +193,9 @@ CycleFabric::emitHost(NodeId id)
     auto &mux = hosts_[id]->mux();
     p.emit_ev = kInvalidEvent;
 
-    // Top up the mux's bounded frame staging buffer from the backlog
-    // (models the MAC responding to freed buffer space).
+    // Top up the mux's bounded frame staging buffer from the backlog.
     auto &backlog = frame_backlog_[id];
-    while (!backlog.empty() && mux.frameSpace()) {
-        mux.offerFrameBlock(backlog.front());
-        backlog.pop_front();
-    }
+    topUpFrames(mux, backlog);
 
     const Picoseconds now = sim_.now();
     if (now < p.next_slot) {
@@ -189,23 +230,37 @@ CycleFabric::emitHost(NodeId id)
     // of its slots. Fault injection falls back to per-block emission
     // (and aborts in-flight trains) so corruption lands on exactly the
     // blocks it would have.
-    if (train_cap_ > 1 && health.corrupt_next == 0 && !health.disabled) {
+    const bool trains_ok = health.corrupt_next == 0 && !health.disabled;
+    if (train_cap_ > 1 && trains_ok) {
         Train t = acquireTrain();
         const std::size_t run = mux.takeTrainRun(now, cfg_.cycle,
                                                  train_cap_, 2, t.blocks,
                                                  t.avails);
         if (run >= 2) {
-            t.start = now;
-            t.delivery = sim_.events().schedule(
-                now + cfg_.cycle + hopLatency(),
-                [this, id] { deliverHostTrain(id); });
-            p.trains.push_back(std::move(t));
-            p.next_slot = now +
-                static_cast<Picoseconds>(run) * cfg_.cycle;
-            p.emit_at = now +
-                static_cast<Picoseconds>(run - 1) * cfg_.cycle;
-            p.emit_ev = sim_.events().schedule(
-                p.emit_at, [this, id] { emitHost(id); });
+            commitTrain(p, std::move(t), run, now,
+                        [this, id] { deliverHostTrain(id); },
+                        [this, id] { emitHost(id); });
+            return;
+        }
+        releaseTrain(std::move(t));
+    }
+
+    // Frame-train path: outside a memory message, a run of staged L2
+    // blocks can leave back-to-back while the memory queue sleeps past
+    // their slots (memory preempts a frame the instant its head becomes
+    // available, so a memory arrival mid-train trims the tail —
+    // trimUplinkTrain). Gated off inside memory messages so a train
+    // never carries frame blocks the receive side would classify by
+    // /MS/../MT/ state, and skipped outright when no frame work is
+    // queued (memory-only traffic must not pay for the attempt).
+    if (frame_train_cap_ > 1 && trains_ok && !mux.midMemoryMessage() &&
+        (mux.frameBacklog() > 0 || !backlog.empty())) {
+        Train t = acquireTrain();
+        const std::size_t run = takeFrameTrain(mux, backlog, now, t);
+        if (run >= 2) {
+            commitTrain(p, std::move(t), run, now,
+                        [this, id] { deliverHostTrain(id); },
+                        [this, id] { emitHost(id); });
             return;
         }
         releaseTrain(std::move(t));
@@ -251,8 +306,11 @@ CycleFabric::deliverHostTrain(NodeId id)
     p.trains.pop_front();
     // now() is the first block's arrival; later blocks arrive (and are
     // timestamped) one serialization slot apart.
-    switch_->rxBlockTrain(id, t.blocks.data(), t.blocks.size(),
-                          sim_.now(), cfg_.cycle);
+    if (t.kind == Train::Kind::Memory)
+        switch_->rxBlockTrain(id, t.blocks.data(), t.blocks.size(),
+                              sim_.now(), cfg_.cycle);
+    else
+        switch_->rxFrameTrain(id, t.blocks.data(), t.blocks.size());
     releaseTrain(std::move(t));
 }
 
@@ -277,20 +335,86 @@ CycleFabric::abortUplinkTrain(NodeId id)
     const auto committed = std::min<std::size_t>(
         static_cast<std::size_t>((now - t.start) / cfg_.cycle) + 1,
         t.blocks.size());
-    hosts_[id]->mux().restoreMemoryRun(t.blocks.data() + committed,
-                                       t.avails.data() + committed,
-                                       t.blocks.size() - committed);
+    if (t.kind == Train::Kind::Memory) {
+        hosts_[id]->mux().restoreMemoryRun(t.blocks.data() + committed,
+                                           t.avails.data() + committed,
+                                           t.blocks.size() - committed);
+        t.avails.resize(committed);
+    } else {
+        hosts_[id]->mux().restoreFrameRun(t.blocks.data() + committed,
+                                          t.blocks.size() - committed);
+    }
     // committed >= 1 always: the emit event that formed the train ran
     // at t.start before any same-instant abort, so the delivery event
     // survives with a non-empty prefix.
     t.blocks.resize(committed);
-    t.avails.resize(committed);
     p.next_slot = t.start +
         static_cast<Picoseconds>(committed) * cfg_.cycle;
     if (p.emit_ev != kInvalidEvent) {
         p.emit_at = std::max(now, p.next_slot);
         sim_.events().reschedule(p.emit_ev, p.emit_at);
     }
+}
+
+void
+CycleFabric::trimFrameTrain(TxPump &p, Train &t, phy::PreemptionMux &mux)
+{
+    // A frame train committed slots on the bet that the memory queue
+    // sleeps past them; a memory block that has just arrived (or been
+    // made available) claims every slot its availability reaches —
+    // after a frame slot the mux always prefers eligible memory — so
+    // the overtaken tail un-commits and returns to the staging head.
+    const Picoseconds now = sim_.now();
+    const auto len = static_cast<Picoseconds>(t.blocks.size());
+    // Strict >: a memory block landing exactly on the *last* slot still
+    // wins it (same tie rule as mid-train, below) — only past the last
+    // slot is every block irrevocably on the wire.
+    if (now > t.start + (len - 1) * cfg_.cycle)
+        return;
+    const Picoseconds head = mux.headAvail();
+    if (head == phy::PreemptionMux::kNever)
+        return;
+    // Slots strictly before now are gone. A slot exactly at now is the
+    // tie case: every memory enqueue event is scheduled at least one
+    // full cycle ahead, so in the per-block engine it runs before the
+    // slot's emit event and wins the slot — except at the train's own
+    // start, where the forming emit demonstrably ran first.
+    const Picoseconds delta = now - t.start;
+    std::size_t emitted;
+    if (delta == 0)
+        emitted = 1;
+    else
+        emitted = static_cast<std::size_t>(delta / cfg_.cycle) +
+            (delta % cfg_.cycle != 0 ? 1 : 0);
+    std::size_t keep = emitted;
+    while (keep < t.blocks.size() &&
+           t.start + static_cast<Picoseconds>(keep) * cfg_.cycle < head)
+        ++keep;
+    if (keep >= t.blocks.size())
+        return;
+    mux.restoreFrameRun(t.blocks.data() + keep, t.blocks.size() - keep);
+    t.blocks.resize(keep);
+    p.next_slot = t.start + static_cast<Picoseconds>(keep) * cfg_.cycle;
+    if (p.emit_ev != kInvalidEvent) {
+        p.emit_at = std::max(now, p.next_slot);
+        sim_.events().reschedule(p.emit_ev, p.emit_at);
+    }
+}
+
+void
+CycleFabric::trimUplinkTrain(NodeId id)
+{
+    // Host-side memory trains need no trim: every host mux enqueue is
+    // stamped with its event time, so the availability-sorted queue
+    // never lets fresh work overtake an in-flight train. Frame trains
+    // do: a memory arrival preempts their remaining slots.
+    TxPump &p = host_pumps_[id];
+    if (p.trains.empty())
+        return;
+    Train &t = p.trains.back();
+    if (t.kind != Train::Kind::Frame)
+        return;
+    trimFrameTrain(p, t, hosts_[id]->mux());
 }
 
 void
@@ -305,11 +429,15 @@ CycleFabric::trimEgressTrain(NodeId port)
     if (p.trains.empty())
         return;
     Train &t = p.trains.back();
+    auto &mux = switch_->egressMux(port);
+    if (t.kind == Train::Kind::Frame) {
+        trimFrameTrain(p, t, mux);
+        return;
+    }
     const Picoseconds now = sim_.now();
     const auto len = static_cast<Picoseconds>(t.blocks.size());
-    if (now >= t.start + (len - 1) * cfg_.cycle)
+    if (now > t.start + (len - 1) * cfg_.cycle)
         return; // every block already on the wire
-    auto &mux = switch_->egressMux(port);
     const Picoseconds head = mux.headAvail();
     if (head == phy::PreemptionMux::kNever)
         return;
@@ -353,10 +481,7 @@ CycleFabric::emitSwitchPort(NodeId port)
 
     // Top up the bounded frame staging buffer from the L2 backlog.
     auto &backlog = switch_->egressFrameBacklog(port);
-    while (!backlog.empty() && mux.frameSpace()) {
-        mux.offerFrameBlock(backlog.front());
-        backlog.pop_front();
-    }
+    topUpFrames(mux, backlog);
 
     const Picoseconds now = sim_.now();
     if (now < p.next_slot) {
@@ -388,17 +513,26 @@ CycleFabric::emitSwitchPort(NodeId port)
                                                  train_cap_, 2, t.blocks,
                                                  t.avails);
         if (run >= 2) {
-            t.start = now;
-            t.delivery = sim_.events().schedule(
-                now + cfg_.cycle + hopLatency(),
-                [this, port] { deliverSwitchTrain(port); });
-            p.trains.push_back(std::move(t));
-            p.next_slot = now +
-                static_cast<Picoseconds>(run) * cfg_.cycle;
-            p.emit_at = now +
-                static_cast<Picoseconds>(run - 1) * cfg_.cycle;
-            p.emit_ev = sim_.events().schedule(
-                p.emit_at, [this, port] { emitSwitchPort(port); });
+            commitTrain(p, std::move(t), run, now,
+                        [this, port] { deliverSwitchTrain(port); },
+                        [this, port] { emitSwitchPort(port); });
+            return;
+        }
+        releaseTrain(std::move(t));
+    }
+
+    // Frame-train path (see emitHost): flooded L2 bursts leave
+    // back-to-back while no queued memory block can claim a slot; a
+    // memory enqueue mid-train trims the overtaken tail
+    // (trimEgressTrain dispatches to trimFrameTrain).
+    if (frame_train_cap_ > 1 && !mux.midMemoryMessage() &&
+        (mux.frameBacklog() > 0 || !backlog.empty())) {
+        Train t = acquireTrain();
+        const std::size_t run = takeFrameTrain(mux, backlog, now, t);
+        if (run >= 2) {
+            commitTrain(p, std::move(t), run, now,
+                        [this, port] { deliverSwitchTrain(port); },
+                        [this, port] { emitSwitchPort(port); });
             return;
         }
         releaseTrain(std::move(t));
@@ -425,7 +559,10 @@ CycleFabric::deliverSwitchTrain(NodeId port)
     EDM_ASSERT(!p.trains.empty(), "train delivery without a train");
     Train t = std::move(p.trains.front());
     p.trains.pop_front();
-    hosts_[port]->rxBlockTrain(t.blocks.data(), t.blocks.size());
+    if (t.kind == Train::Kind::Memory)
+        hosts_[port]->rxBlockTrain(t.blocks.data(), t.blocks.size());
+    else
+        hosts_[port]->rxFrameTrain(t.blocks.data(), t.blocks.size());
     releaseTrain(std::move(t));
 }
 
@@ -498,8 +635,7 @@ void
 CycleFabric::injectFrame(NodeId src, const std::vector<std::uint8_t> &frame)
 {
     const auto blocks = phy::encodeFrame(frame);
-    auto &backlog = frame_backlog_[src];
-    backlog.insert(backlog.end(), blocks.begin(), blocks.end());
+    frame_backlog_[src].append(blocks.data(), blocks.size());
     pumpHost(src);
 }
 

@@ -7,6 +7,12 @@
  * PCS pipeline cycles, SerDes crossings and propagation, and delivered to
  * the peer's demux. Latency constants are shared with the analytic
  * Table-1 model through EdmConfig::costs.
+ *
+ * Transmission is payload-agnostic: memory-stream data and L2 frame
+ * bursts both travel as pooled, kind-tagged block trains (one emit +
+ * one delivery event per train) whenever the mux's scheduling decisions
+ * cannot change mid-run, with per-block emission as the exact fallback
+ * and the timing-equivalence baseline.
  */
 
 #ifndef EDM_CORE_FABRIC_HPP
@@ -21,6 +27,7 @@
 #include "core/config.hpp"
 #include "core/host_stack.hpp"
 #include "core/switch_stack.hpp"
+#include "phy/block_fifo.hpp"
 #include "sim/simulation.hpp"
 
 namespace edm {
@@ -109,15 +116,25 @@ class CycleFabric
 
   private:
     /**
-     * A burst of cycle-spaced blocks committed to the wire as one unit:
-     * emitted by a single pump event and delivered by a single rx event
-     * (block i leaves at start + i·cycle). Queued FIFO per pump because
+     * A burst of cycle-spaced blocks committed to the wire as one unit
+     * (the transmission unit of the payload-agnostic pipeline): emitted
+     * by a single pump event and delivered by a single rx event (block
+     * i leaves at start + i·cycle). Queued FIFO per pump because
      * several trains can be in flight across the hop latency at once.
+     * Memory trains carry mid-message /MD/ data; frame trains carry L2
+     * /S/ + data runs (the /Tn/ boundary always travels per-block).
      */
     struct Train
     {
+        enum class Kind
+        {
+            Memory,
+            Frame,
+        };
+
         std::vector<phy::PhyBlock> blocks;
-        std::vector<Picoseconds> avails; ///< per-block availability
+        std::vector<Picoseconds> avails; ///< per-block availability (memory)
+        Kind kind = Kind::Memory;
         Picoseconds start = 0;        ///< first block's emission slot
         EventId delivery = kInvalidEvent;
     };
@@ -146,27 +163,38 @@ class CycleFabric
 
     std::vector<TxPump> host_pumps_;
     std::vector<TxPump> switch_pumps_;
-    std::vector<std::deque<phy::PhyBlock>> frame_backlog_;
+    std::vector<phy::BlockFifo> frame_backlog_;
     std::vector<LinkHealth> uplink_health_;
 
     Samples read_lat_;
     Samples write_lat_;
     Samples rmw_lat_;
 
-    /** Effective train cap: min(cfg knob, hop/cycle + 2). See trainCap(). */
+    /** Effective train caps: min(cfg knob, hop/cycle + 2). See trainCap(). */
     std::size_t train_cap_ = 1;
+    std::size_t frame_train_cap_ = 1;
 
     std::vector<Train> train_pool_; ///< recycled train vectors
 
-    std::size_t trainCap() const;
+    std::size_t trainCap(std::size_t knob) const;
+    static void topUpFrames(phy::PreemptionMux &mux,
+                            phy::BlockFifo &backlog);
     Train acquireTrain();
     void releaseTrain(Train t);
     void pumpWake(TxPump &p, Picoseconds ready,
                   EventQueue::Callback emit);
+    void commitTrain(TxPump &p, Train t, std::size_t run, Picoseconds now,
+                     EventQueue::Callback deliver,
+                     EventQueue::Callback emit);
+    std::size_t takeFrameTrain(phy::PreemptionMux &mux,
+                               phy::BlockFifo &backlog, Picoseconds now,
+                               Train &t);
+    void trimFrameTrain(TxPump &p, Train &t, phy::PreemptionMux &mux);
     void pumpHost(NodeId id);
     void emitHost(NodeId id);
     void deliverHostTrain(NodeId id);
     void abortUplinkTrain(NodeId id);
+    void trimUplinkTrain(NodeId id);
     void pumpSwitchPort(NodeId port);
     void trimEgressTrain(NodeId port);
     void emitSwitchPort(NodeId port);

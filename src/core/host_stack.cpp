@@ -193,6 +193,23 @@ HostStack::rxBlockTrain(const phy::PhyBlock *blocks, std::size_t count)
 }
 
 void
+HostStack::rxFrameTrain(const phy::PhyBlock *blocks, std::size_t count)
+{
+    // The emitting mux was outside any memory message for the train's
+    // whole span (frame trains never form mid-/MS/), so the demux state
+    // at delivery is pure L2: blocks buffer until the per-block /Tn/.
+    EDM_ASSERT(!demux_.inMemoryMessage(),
+               "host %u received a frame train inside a memory message",
+               id_);
+    for (std::size_t i = 0; i < count; ++i) {
+        EDM_ASSERT(!(blocks[i].isControl() &&
+                     phy::isTerminate(blocks[i].type())),
+                   "terminate block in a frame train");
+        demux_.feed(blocks[i]);
+    }
+}
+
+void
 HostStack::onMemoryBlock(const phy::PhyBlock &block)
 {
     ++stats_.mem_blocks_received;

@@ -131,6 +131,15 @@ class HostStack
      */
     void rxBlockTrain(const phy::PhyBlock *blocks, std::size_t count);
 
+    /**
+     * Deliver a train of @p count contiguous L2 frame blocks (an /S/
+     * and/or data — never a terminate) in one call. Frame blocks only
+     * accumulate in the demux reassembly buffer; the frame handler
+     * fires from the per-block /Tn/ that follows the train, at its
+     * exact per-block instant.
+     */
+    void rxFrameTrain(const phy::PhyBlock *blocks, std::size_t count);
+
     /** Local memory (memory-node role); null on pure compute nodes. */
     mem::BackingStore *store() { return store_.get(); }
 

@@ -13,8 +13,11 @@ SwitchStack::SwitchStack(const EdmConfig &cfg, EventQueue &events,
 {
     EDM_ASSERT(on_tx_work_, "switch needs a TX-work callback");
     ports_.reserve(cfg_.num_nodes);
-    for (std::size_t i = 0; i < cfg_.num_nodes; ++i)
+    for (std::size_t i = 0; i < cfg_.num_nodes; ++i) {
         ports_.push_back(std::make_unique<Port>());
+        // One staging queue per possible ingress + the scheduler.
+        ports_.back()->staged.resize(cfg_.num_nodes + 1);
+    }
     scheduler_ = std::make_unique<Scheduler>(
         cfg_, events_, [this](const GrantAction &a) { onGrantAction(a); });
 }
@@ -26,7 +29,7 @@ SwitchStack::egressMux(NodeId port)
     return ports_[port]->egress;
 }
 
-std::deque<phy::PhyBlock> &
+phy::BlockFifo &
 SwitchStack::egressFrameBacklog(NodeId port)
 {
     EDM_ASSERT(port < ports_.size(), "egress port %u out of range", port);
@@ -96,11 +99,18 @@ SwitchStack::stagePush(Port &ep, NodeId ingress, std::uint64_t seq,
     // when its *first* block arrives, which can precede the per-block
     // /MS/ still paying the forwarding crossing; ordering the stage by
     // semantic arrival keeps the /MS/ ahead of the data that follows it.
-    auto &q = ep.staged[ingress];
-    auto it = q.end();
-    while (it != q.begin() && std::prev(it)->at > at)
-        --it;
-    q.insert(it, Port::StagedBlock{block, at, seq});
+    StagedList &q = ep.staged[stagedIndex(ingress)];
+    StagedBlock *pos = q.back();
+    while (pos != nullptr && pos->at > at)
+        pos = pos->prev;
+    StagedBlock *node = ep.staged_pool.acquire();
+    node->block = block;
+    node->at = at;
+    node->seq = seq;
+    if (pos == nullptr)
+        q.push_front(node);
+    else
+        q.insert_before(pos->next, node);
 }
 
 void
@@ -110,26 +120,22 @@ SwitchStack::adoptStaged(NodeId egress, NodeId ingress, std::uint64_t seq)
     // stream that a train delivered early. Later streams of the same
     // ingress (strictly later stamps, different seq) stay staged.
     Port &ep = *ports_[egress];
-    auto it = ep.staged.find(ingress);
-    if (it == ep.staged.end())
-        return;
-    auto &q = it->second;
+    StagedList &q = ep.staged[stagedIndex(ingress)];
     const Picoseconds now = events_.now();
-    std::vector<phy::PhyBlock> blocks;
-    std::vector<Picoseconds> avails;
-    while (!q.empty() && q.front().seq == seq) {
-        const Port::StagedBlock &sb = q.front();
-        EDM_ASSERT(sb.block.isData(),
+    scratch_blocks_.clear();
+    scratch_avails_.clear();
+    while (!q.empty() && q.front()->seq == seq) {
+        StagedBlock *sb = q.pop_front();
+        EDM_ASSERT(sb->block.isData(),
                    "control block staged behind its own /MS/");
-        blocks.push_back(sb.block);
-        avails.push_back(std::max(sb.at, now));
-        q.pop_front();
+        scratch_blocks_.push_back(sb->block);
+        scratch_avails_.push_back(std::max(sb->at, now));
+        ep.staged_pool.release(sb);
     }
-    if (q.empty())
-        ep.staged.erase(it);
-    if (!blocks.empty()) {
-        ep.egress.enqueueMemoryList(blocks.data(), avails.data(),
-                                    blocks.size());
+    if (!scratch_blocks_.empty()) {
+        ep.egress.enqueueMemoryList(scratch_blocks_.data(),
+                                    scratch_avails_.data(),
+                                    scratch_blocks_.size());
         on_tx_work_(egress);
     }
 }
@@ -175,33 +181,36 @@ SwitchStack::drainStaged(NodeId egress)
     Port &ep = *ports_[egress];
     if (ep.stream_owner != Port::kNoOwner)
         return;
-    // Adopt one staged stream — the first (in port order) whose head
-    // block has semantically arrived. Early-delivered train blocks can
-    // sit here with future stamps before their own /MS/ has cleared the
-    // forwarding pipeline; such streams are not contenders yet (their
-    // /MS/ accept will claim them), exactly as when every block arrived
-    // by its own event.
+    // Adopt one staged stream — the first (in port order, scheduler
+    // last) whose head block has semantically arrived. Early-delivered
+    // train blocks can sit here with future stamps before their own
+    // /MS/ has cleared the forwarding pipeline; such streams are not
+    // contenders yet (their /MS/ accept will claim them), exactly as
+    // when every block arrived by its own event.
     const Picoseconds now = events_.now();
-    auto cand = ep.staged.begin();
-    while (cand != ep.staged.end() && cand->second.front().at > now)
-        ++cand;
-    if (cand == ep.staged.end())
+    std::size_t idx = 0;
+    while (idx < ep.staged.size() &&
+           (ep.staged[idx].empty() || ep.staged[idx].front()->at > now))
+        ++idx;
+    if (idx == ep.staged.size())
         return;
     // Emit what has arrived so far. If the stream's /MT/ is already here
     // it completes and the next one drains; if not, the new owner's
     // remaining blocks cut through on arrival.
-    const NodeId ingress = cand->first;
-    std::deque<Port::StagedBlock> blocks = std::move(cand->second);
-    ep.staged.erase(cand);
+    const NodeId ingress = idx == cfg_.num_nodes
+        ? kSchedulerIngress
+        : static_cast<NodeId>(idx);
+    StagedList blocks = std::move(ep.staged[idx]);
     ep.stream_owner = ingress;
     while (!blocks.empty()) {
-        const phy::PhyBlock b = blocks.front().block;
+        StagedBlock *sb = blocks.pop_front();
+        const phy::PhyBlock b = sb->block;
         // Blocks that arrived while another stream held the egress went
         // on the wire at adoption; train blocks staged ahead of their
         // arrival stay available at that (future) arrival instant.
-        const Picoseconds at = std::max(blocks.front().at, now);
-        ep.owner_seq = blocks.front().seq;
-        blocks.pop_front();
+        const Picoseconds at = std::max(sb->at, now);
+        ep.owner_seq = sb->seq;
+        ep.staged_pool.release(sb);
         ep.egress.enqueueMemory(b, at);
         on_tx_work_(egress);
         const bool terminates = b.isControl() &&
@@ -214,7 +223,7 @@ SwitchStack::drainStaged(NodeId egress)
                 // /MT/ while the egress was owned (or was delivered
                 // early by a train): it re-enters staging as a fresh
                 // contender for the now-free egress.
-                ep.staged[ingress] = std::move(blocks);
+                ep.staged[idx] = std::move(blocks);
             }
             drainStaged(egress);
             return;
@@ -372,14 +381,17 @@ SwitchStack::rxBlockTrain(NodeId ingress, const phy::PhyBlock *blocks,
             // with arrival stamps; the /MS/ accept or the adoption
             // drain releases them. Stamps are non-decreasing, so the
             // whole train appends behind what is already staged.
-            auto &q = ep.staged[ingress];
-            EDM_ASSERT(q.empty() || q.back().at <= first_avail,
+            StagedList &q = ep.staged[stagedIndex(ingress)];
+            EDM_ASSERT(q.empty() || q.back()->at <= first_avail,
                        "train staged out of order");
-            for (std::size_t i = 0; i < count; ++i)
-                q.push_back(Port::StagedBlock{
-                    blocks[i],
-                    first_avail + static_cast<Picoseconds>(i) * stride,
-                    seq});
+            for (std::size_t i = 0; i < count; ++i) {
+                StagedBlock *node = ep.staged_pool.acquire();
+                node->block = blocks[i];
+                node->at = first_avail +
+                    static_cast<Picoseconds>(i) * stride;
+                node->seq = seq;
+                q.push_back(node);
+            }
         }
         return;
     }
@@ -389,6 +401,35 @@ SwitchStack::rxBlockTrain(NodeId ingress, const phy::PhyBlock *blocks,
         else
             EDM_WARN("train data block without stream on port %u",
                      ingress);
+    }
+}
+
+void
+SwitchStack::rxFrameTrain(NodeId ingress, const phy::PhyBlock *blocks,
+                          std::size_t count)
+{
+    EDM_ASSERT(ingress < ports_.size(), "ingress port %u out of range",
+               ingress);
+    Port &port = *ports_[ingress];
+    // The emitting mux was outside any memory message for the train's
+    // whole span, so this wire segment is pure L2 stream; mid-message
+    // ingress states cannot be active at delivery time.
+    EDM_ASSERT(!port.absorbing && !port.forwarding,
+               "frame train inside a memory stream on port %u", ingress);
+    for (std::size_t i = 0; i < count; ++i) {
+        const phy::PhyBlock &b = blocks[i];
+        if (b.isControl()) {
+            EDM_ASSERT(b.type() == phy::BlockType::Start,
+                       "unexpected control block in a frame train");
+            port.in_l2_frame = true;
+            port.l2_buf.clear();
+            port.l2_buf.push_back(b);
+        } else if (port.in_l2_frame) {
+            port.l2_buf.push_back(b);
+        } else {
+            EDM_WARN("frame-train data block without /S/ on port %u",
+                     ingress);
+        }
     }
 }
 
@@ -404,8 +445,7 @@ SwitchStack::floodFrame(NodeId ingress, std::vector<phy::PhyBlock> frame)
         for (NodeId p = 0; p < ports_.size(); ++p) {
             if (p == ingress)
                 continue;
-            auto &backlog = ports_[p]->frame_backlog;
-            backlog.insert(backlog.end(), frame.begin(), frame.end());
+            ports_[p]->frame_backlog.append(frame.data(), frame.size());
             on_tx_work_(p);
         }
     });

@@ -12,27 +12,34 @@
  * Grants from the scheduler leave as /G/ blocks (or as the buffered
  * request forwarded to the memory node, for a response's first grant).
  *
- * Blocks arrive either one per event (rxBlock) or as a *block train*
- * (rxBlockTrain): a run of contiguous mid-message data blocks delivered
- * by a single event with explicit per-block timestamps. Train blocks
- * bypass the per-block forwarding event by entering the egress mux with
- * an availability stamp equal to the instant their own accept event
- * would have fired, so the wire is bit-identical either way.
+ * Blocks arrive one per event (rxBlock) or as a *block train*: a run of
+ * contiguous blocks delivered by a single event. Memory trains
+ * (rxBlockTrain) carry mid-message data with explicit per-block
+ * timestamps so cut-through blocks enter the egress mux exactly when
+ * their own accept event would have; frame trains (rxFrameTrain) carry
+ * L2 /S/ + data runs, which only buffer port-locally — the /Tn/
+ * boundary that triggers flooding always travels per-block, so every
+ * downstream event keeps its exact per-block schedule.
+ *
+ * Hot-path state (egress mux entries, frame backlogs, staged circuit
+ * blocks) lives in fixed-slab pools with dense per-port indexing — the
+ * steady-state dataplane never touches the heap.
  */
 
 #ifndef EDM_CORE_SWITCH_STACK_HPP
 #define EDM_CORE_SWITCH_STACK_HPP
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/object_pool.hpp"
 #include "core/config.hpp"
 #include "core/scheduler.hpp"
 #include "core/wire.hpp"
+#include "hw/intrusive_list.hpp"
+#include "phy/block_fifo.hpp"
 #include "phy/preemption.hpp"
 #include "sim/event_queue.hpp"
 
@@ -66,8 +73,8 @@ class SwitchStack
     void rxBlock(NodeId ingress, const phy::PhyBlock &block);
 
     /**
-     * Deliver a block train: @p count contiguous memory *data* blocks
-     * received on @p ingress, block i at time @p first_at + i *
+     * Deliver a memory block train: @p count contiguous memory *data*
+     * blocks received on @p ingress, block i at time @p first_at + i *
      * @p stride. Equivalent to @p count rxBlock() events at those
      * instants: data blocks only buffer into the ingress assembler or
      * cut through to the egress mux with an explicit availability
@@ -81,6 +88,16 @@ class SwitchStack
                       std::size_t count, Picoseconds first_at,
                       Picoseconds stride);
 
+    /**
+     * Deliver a frame block train: @p count contiguous L2 frame blocks
+     * (an /S/ and/or data — never a terminate) received on @p ingress.
+     * Frame blocks only accumulate in the port-local reassembly buffer;
+     * the flood fires from the per-block /Tn/ that follows the train,
+     * so no per-block timestamps are needed.
+     */
+    void rxFrameTrain(NodeId ingress, const phy::PhyBlock *blocks,
+                      std::size_t count);
+
     /** Egress mux for @p port (drained by the fabric, one block/slot). */
     phy::PreemptionMux &egressMux(NodeId port);
 
@@ -89,12 +106,24 @@ class SwitchStack
      * staging buffer. The fabric's TX pump tops the mux up from here,
      * modelling the MAC reacting to freed buffer space.
      */
-    std::deque<phy::PhyBlock> &egressFrameBacklog(NodeId port);
+    phy::BlockFifo &egressFrameBacklog(NodeId port);
 
     Scheduler &scheduler() { return *scheduler_; }
     const SwitchStats &stats() const { return stats_; }
 
   private:
+    /** A staged block awaiting egress stream ownership (pooled node). */
+    struct StagedBlock
+    {
+        StagedBlock *prev = nullptr;
+        StagedBlock *next = nullptr;
+        phy::PhyBlock block;
+        Picoseconds at = 0;
+        std::uint64_t seq = 0;
+    };
+
+    using StagedList = hw::IntrusiveList<StagedBlock>;
+
     /** Per-ingress streaming state. */
     struct Port
     {
@@ -121,7 +150,7 @@ class SwitchStack
         // net::L2Switch).
         bool in_l2_frame = false;
         std::vector<phy::PhyBlock> l2_buf;
-        std::deque<phy::PhyBlock> frame_backlog;
+        phy::BlockFifo frame_backlog;
 
         // Egress stream ownership: virtual circuits are cut-through
         // while one (ingress, stream) owns the egress; a competing
@@ -135,13 +164,14 @@ class SwitchStack
         NodeId stream_owner = kNoOwner;
         std::uint64_t owner_seq = 0;
 
-        struct StagedBlock
-        {
-            phy::PhyBlock block;
-            Picoseconds at;
-            std::uint64_t seq;
-        };
-        std::map<NodeId, std::deque<StagedBlock>> staged;
+        /**
+         * Staging queues, densely indexed by ingress: [0, N) the ports,
+         * [N] the scheduler pseudo-ingress (kSchedulerIngress sorts
+         * after every real port, as it did under the old map's key
+         * order). Nodes come from staged_pool.
+         */
+        std::vector<StagedList> staged;
+        common::ObjectPool<StagedBlock> staged_pool;
     };
 
     EdmConfig cfg_;
@@ -152,6 +182,10 @@ class SwitchStack
     SwitchStats stats_;
     std::uint64_t sched_fwd_seq_ = 0; ///< stream seq for request forwards
 
+    /** Scratch for adoption drains (reused, never shrunk). */
+    std::vector<phy::PhyBlock> scratch_blocks_;
+    std::vector<Picoseconds> scratch_avails_;
+
     Picoseconds cycles(int n) const
     {
         return static_cast<Picoseconds>(n) * cfg_.cycle;
@@ -159,6 +193,13 @@ class SwitchStack
 
     /** Pseudo-ingress id for scheduler-originated request forwards. */
     static constexpr NodeId kSchedulerIngress = 0xFFFE;
+
+    /** Dense staging index of @p ingress (scheduler last). */
+    std::size_t
+    stagedIndex(NodeId ingress) const
+    {
+        return ingress == kSchedulerIngress ? cfg_.num_nodes : ingress;
+    }
 
     void onGrantAction(const GrantAction &action);
     void forwardBlock(NodeId ingress, Port &port,

@@ -174,6 +174,12 @@ MessageAssembler::feed(const phy::PhyBlock &b)
             in_message_ = true;
             cur_ = MemMessage{};
             unpackHeader(b.controlPayload(), cur_);
+            // The header announces the body size: reserving here keeps
+            // the per-data-block append from reallocating mid-message
+            // (WREQ/RRES bodies arrive one 8-byte block per line slot).
+            if (cur_.type == MemMsgType::WREQ ||
+                cur_.type == MemMsgType::RRES)
+                cur_.payload.reserve(cur_.len);
             body_blocks_ = 0;
             return std::nullopt;
         }

@@ -40,34 +40,38 @@ L2Switch::ingress(std::size_t port, std::vector<std::uint8_t> frame)
     fdb_[parsed->src] = port;
 
     const auto out = lookup(parsed->dst);
-    // Store-and-forward + the forwarding pipeline.
+    // Store-and-forward + the forwarding pipeline. One shared buffer
+    // serves every egress copy of a flood (a real switch replicates
+    // descriptors, not payloads).
     const Picoseconds delay = transmissionDelay(frame.size(), rate_) +
         costs_.total();
+    auto shared = std::make_shared<const std::vector<std::uint8_t>>(
+        std::move(frame));
     events_.scheduleAfter(delay, [this, port, out,
-                                  frame = std::move(frame)] {
+                                  shared = std::move(shared)] {
         if (out) {
             ++forwarded_;
-            egress(*out, frame);
+            egress(*out, shared);
         } else {
             ++flooded_;
             for (std::size_t p = 0; p < ports_; ++p) {
                 if (p != port)
-                    egress(p, frame);
+                    egress(p, shared);
             }
         }
     });
 }
 
 void
-L2Switch::egress(std::size_t port, const std::vector<std::uint8_t> &frame)
+L2Switch::egress(std::size_t port, SharedFrame frame)
 {
     // Serialize onto the egress port; queued behind earlier frames.
     const Picoseconds tx = transmissionDelay(
-        frame.size() + mac::kPreambleBytes + mac::kIfgBytes, rate_);
+        frame->size() + mac::kPreambleBytes + mac::kIfgBytes, rate_);
     const Picoseconds start = std::max(events_.now(), egress_free_[port]);
     egress_free_[port] = start + tx;
-    events_.schedule(start + tx, [this, port, frame] {
-        deliver_(port, frame);
+    events_.schedule(start + tx, [this, port, frame = std::move(frame)] {
+        deliver_(port, *frame);
     });
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -83,7 +84,10 @@ class L2Switch
     std::uint64_t flooded_ = 0;
     std::uint64_t dropped_ = 0;
 
-    void egress(std::size_t port, const std::vector<std::uint8_t> &frame);
+    /** Frames are shared, not copied, across flood egresses. */
+    using SharedFrame = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+    void egress(std::size_t port, SharedFrame frame);
 };
 
 } // namespace net

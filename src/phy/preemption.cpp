@@ -21,10 +21,14 @@ PreemptionMux::enqueueMemory(const PhyBlock &block, Picoseconds ready)
     // the order FIFO produced when every arrival was its own event. In
     // the common case (no in-flight burst ahead) this is a plain
     // push_back; bursts are short, so the backward scan is a few steps.
-    auto it = mem_q_.end();
-    while (it != mem_q_.begin() && std::prev(it)->ready > ready)
-        --it;
-    mem_q_.insert(it, TimedBlock{block, ready});
+    Entry *pos = mem_q_.back();
+    while (pos != nullptr && pos->ready > ready)
+        pos = pos->prev;
+    Entry *e = entry(block, ready);
+    if (pos == nullptr)
+        mem_q_.push_front(e);
+    else
+        mem_q_.insert_before(pos->next, e);
 }
 
 void
@@ -35,7 +39,7 @@ PreemptionMux::enqueueMemoryRun(const PhyBlock *blocks, std::size_t count,
     // at the tail the whole run appends; an out-of-order head (rare:
     // something with a later stamp already queued) falls back to the
     // per-block ordered insert.
-    if (!mem_q_.empty() && mem_q_.back().ready > first_avail) {
+    if (!mem_q_.empty() && mem_q_.back()->ready > first_avail) {
         for (std::size_t i = 0; i < count; ++i)
             enqueueMemory(blocks[i],
                           first_avail +
@@ -43,9 +47,8 @@ PreemptionMux::enqueueMemoryRun(const PhyBlock *blocks, std::size_t count,
         return;
     }
     for (std::size_t i = 0; i < count; ++i)
-        mem_q_.push_back(TimedBlock{
-            blocks[i],
-            first_avail + static_cast<Picoseconds>(i) * stride});
+        mem_q_.push_back(entry(
+            blocks[i], first_avail + static_cast<Picoseconds>(i) * stride));
 }
 
 void
@@ -55,13 +58,13 @@ PreemptionMux::enqueueMemoryList(const PhyBlock *blocks,
 {
     if (count == 0)
         return;
-    if (!mem_q_.empty() && mem_q_.back().ready > avails[0]) {
+    if (!mem_q_.empty() && mem_q_.back()->ready > avails[0]) {
         for (std::size_t i = 0; i < count; ++i)
             enqueueMemory(blocks[i], avails[i]);
         return;
     }
     for (std::size_t i = 0; i < count; ++i)
-        mem_q_.push_back(TimedBlock{blocks[i], avails[i]});
+        mem_q_.push_back(entry(blocks[i], avails[i]));
 }
 
 bool
@@ -69,7 +72,7 @@ PreemptionMux::offerFrameBlock(const PhyBlock &block)
 {
     if (!frameSpace())
         return false;
-    frame_q_.push_back(block);
+    frame_q_.push_back(entry(block, 0));
     return true;
 }
 
@@ -79,7 +82,7 @@ PreemptionMux::readyAt(Picoseconds now) const
     if (!frame_q_.empty())
         return now;
     if (!mem_q_.empty())
-        return mem_q_.front().ready > now ? mem_q_.front().ready : now;
+        return mem_q_.front()->ready > now ? mem_q_.front()->ready : now;
     return kNever;
 }
 
@@ -107,8 +110,9 @@ PhyBlock
 PreemptionMux::next(Picoseconds now)
 {
     if (pickMemory(now)) {
-        PhyBlock b = mem_q_.front().block;
-        mem_q_.pop_front();
+        Entry *e = mem_q_.pop_front();
+        const PhyBlock b = e->block;
+        pool_.release(e);
         ++memory_slots_;
         last_was_memory_ = true;
         if (b.isControl() && b.type() == BlockType::MemStart) {
@@ -119,8 +123,9 @@ PreemptionMux::next(Picoseconds now)
         return b;
     }
     if (!frame_q_.empty()) {
-        PhyBlock b = frame_q_.front();
-        frame_q_.pop_front();
+        Entry *e = frame_q_.pop_front();
+        const PhyBlock b = e->block;
+        pool_.release(e);
         ++frame_slots_;
         last_was_memory_ = false;
         return b;
@@ -143,7 +148,7 @@ PreemptionMux::takeTrainRun(Picoseconds start, Picoseconds cycle,
         return 0;
     std::size_t n = 0;
     Picoseconds slot = start;
-    for (const TimedBlock &tb : mem_q_) {
+    for (const Entry &tb : mem_q_) {
         if (n >= max || !tb.block.isData() || tb.ready > slot)
             break;
         blocks.push_back(tb.block);
@@ -156,8 +161,8 @@ PreemptionMux::takeTrainRun(Picoseconds start, Picoseconds cycle,
         avails.resize(avails.size() - n);
         return 0;
     }
-    mem_q_.erase(mem_q_.begin(),
-                 mem_q_.begin() + static_cast<std::ptrdiff_t>(n));
+    for (std::size_t i = 0; i < n; ++i)
+        pool_.release(mem_q_.pop_front());
     memory_slots_ += n;
     last_was_memory_ = true;
     return n;
@@ -177,15 +182,23 @@ PreemptionMux::restoreMemoryRun(const PhyBlock *blocks,
     // not-yet-available blocks. On the fault-abort path every entry
     // ahead shares the restored blocks' enqueue stamp, so the merge
     // degenerates to the old push_front.
-    auto it = mem_q_.begin();
+    Entry *it = mem_q_.front();
     for (std::size_t i = 0; i < count; ++i) {
-        while (it != mem_q_.end() && it->ready < avails[i])
-            ++it;
-        it = mem_q_.insert(it, TimedBlock{blocks[i], avails[i]});
-        ++it;
+        while (it != nullptr && it->ready < avails[i])
+            it = it->next;
+        mem_q_.insert_before(it, entry(blocks[i], avails[i]));
     }
     EDM_ASSERT(memory_slots_ >= count, "restoring more slots than taken");
     memory_slots_ -= count;
+}
+
+void
+PreemptionMux::restoreFrameRun(const PhyBlock *blocks, std::size_t count)
+{
+    for (std::size_t i = count; i-- > 0;)
+        frame_q_.push_front(entry(blocks[i], 0));
+    EDM_ASSERT(frame_slots_ >= count, "restoring more slots than taken");
+    frame_slots_ -= count;
 }
 
 PreemptionDemux::PreemptionDemux(MemoryHandler on_memory,

@@ -16,6 +16,13 @@
  * event (the block-train transmission path). Entries are kept ordered by
  * availability with stable ties, which is exactly the FIFO order the
  * per-event design produced; callers that never timestamp see plain FIFO.
+ * Frame blocks can form trains too: a run of staged frame blocks whose
+ * slots no queued memory block could claim (memory preempts a frame
+ * whenever its head is available by a slot, so a frame run is only safe
+ * while the memory queue sleeps past it).
+ *
+ * Queue entries live in a fixed-slab object pool threaded through
+ * intrusive lists, so the per-slot hot path never touches the heap.
  *
  * RX side: blocks of a preempted frame arrive in order but in
  * non-consecutive slots. The decoder and MAC require consecutive delivery,
@@ -29,11 +36,12 @@
 #define EDM_PHY_PREEMPTION_HPP
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
+#include "common/object_pool.hpp"
 #include "common/time.hpp"
+#include "hw/intrusive_list.hpp"
 #include "phy/block.hpp"
 
 namespace edm {
@@ -120,10 +128,10 @@ class PreemptionMux
     PhyBlock next(Picoseconds now = INT64_MAX);
 
     /**
-     * Pop the emittable block train: the run of memory *data* blocks at
-     * the queue head where block i is available by its slot @p start +
-     * i * @p cycle, capped at @p max — but only when at least
-     * @p min_run blocks long (otherwise nothing is popped and 0
+     * Pop the emittable memory block train: the run of memory *data*
+     * blocks at the queue head where block i is available by its slot
+     * @p start + i * @p cycle, capped at @p max — but only when at
+     * least @p min_run blocks long (otherwise nothing is popped and 0
      * returns). Nonzero only mid-message (between /MS/ and /MT/),
      * where the mux is committed to the memory stream regardless of
      * frame arrivals, so a burst emission cannot change any scheduling
@@ -140,20 +148,90 @@ class PreemptionMux
                              std::vector<Picoseconds> &avails);
 
     /**
-     * Return the uncommitted tail of a train to the head of the memory
-     * queue (train abort: fault injection, or an insert that would
-     * overtake an in-flight block): the blocks go back in order with
-     * their original availability stamps, and the slot statistics taken
-     * by takeTrainBlock() are credited back.
+     * Pop the emittable *frame* block train: the run of staged frame
+     * blocks from slot @p start on whose slots the memory stream cannot
+     * claim — a queued memory block preempts a frame at any slot its
+     * availability has reached, so the run extends only while the head
+     * memory block (if any) stays in flight past the slot. The run
+     * stops *before* any terminate (/Tn/) block: frame-end processing
+     * (flood scheduling, handler delivery) must keep its own per-block
+     * event so downstream event ordering is untouched. @p refill (any
+     * void() callable, statically dispatched — this runs per emit
+     * event) is invoked whenever the staging buffer runs dry so the
+     * caller can top it up from its backlog (the MAC reacting to freed
+     * space). Returns 0 (taking nothing) when fewer than @p min_run
+     * blocks qualify. Blocks append to @p blocks; slot statistics are
+     * charged as next() would have.
+     */
+    template <typename Refill>
+    std::size_t
+    takeFrameTrainRun(Picoseconds start, Picoseconds cycle,
+                      std::size_t max, std::size_t min_run,
+                      Refill &&refill, std::vector<PhyBlock> &blocks)
+    {
+        const std::size_t base = blocks.size();
+        std::size_t n = 0;
+        Picoseconds slot = start;
+        while (n < max) {
+            if (frame_q_.empty())
+                refill();
+            if (frame_q_.empty())
+                break;
+            // A queued memory block claims any slot its availability
+            // has reached (it preempts the frame there in every policy
+            // once a frame block has gone out), so the run ends at the
+            // first slot the memory stream can contest.
+            if (!mem_q_.empty() && mem_q_.front()->ready <= slot)
+                break;
+            const PhyBlock b = frame_q_.front()->block;
+            // Frame-end blocks keep their own per-block emission and
+            // delivery event: /Tn/ processing schedules downstream
+            // work (flood, handler) whose ordering must stay exactly
+            // per-block.
+            if (b.isControl() && isTerminate(b.type()))
+                break;
+            blocks.push_back(b);
+            pool_.release(frame_q_.pop_front());
+            ++n;
+            slot += cycle;
+        }
+        if (n < min_run) {
+            for (std::size_t i = n; i-- > 0;)
+                frame_q_.push_front(entry(blocks[base + i], 0));
+            blocks.resize(base);
+            return 0;
+        }
+        frame_slots_ += n;
+        last_was_memory_ = false;
+        return n;
+    }
+
+    /**
+     * Return the uncommitted tail of a memory train to the head of the
+     * memory queue (train abort: fault injection, or an insert that
+     * would overtake an in-flight block): the blocks go back in order
+     * with their original availability stamps, and the slot statistics
+     * taken by takeTrainRun() are credited back.
      */
     void restoreMemoryRun(const PhyBlock *blocks,
                           const Picoseconds *avails, std::size_t count);
+
+    /**
+     * Return the uncommitted tail of a frame train to the head of the
+     * staging buffer (train abort: fault injection, or a memory arrival
+     * that preempts the train's remaining slots). The buffer may
+     * transiently exceed its 4-block bound — these blocks were already
+     * accepted into the transmitter and are merely pulled back — and
+     * backpressure (frameSpace()) holds until it drains. Slot
+     * statistics are credited back.
+     */
+    void restoreFrameRun(const PhyBlock *blocks, std::size_t count);
 
     /** Availability of the head memory block; kNever when none queued. */
     Picoseconds
     headAvail() const
     {
-        return mem_q_.empty() ? kNever : mem_q_.front().ready;
+        return mem_q_.empty() ? kNever : mem_q_.front()->ready;
     }
 
     /** Pending memory blocks (including not-yet-available ones). */
@@ -171,16 +249,30 @@ class PreemptionMux
     std::uint64_t idleSlots() const { return idle_slots_; }
 
   private:
-    /** A queued memory block and the time it becomes emittable. */
-    struct TimedBlock
+    /** A queued block and (memory stream) the time it becomes emittable. */
+    struct Entry
     {
+        Entry *prev = nullptr;
+        Entry *next = nullptr;
         PhyBlock block;
-        Picoseconds ready;
+        Picoseconds ready = 0;
     };
 
+    using EntryList = hw::IntrusiveList<Entry>;
+
+    Entry *
+    entry(const PhyBlock &block, Picoseconds ready)
+    {
+        Entry *e = pool_.acquire();
+        e->block = block;
+        e->ready = ready;
+        return e;
+    }
+
     TxPolicy policy_;
-    std::deque<TimedBlock> mem_q_;
-    std::deque<PhyBlock> frame_q_;
+    common::ObjectPool<Entry> pool_; ///< backs both queues
+    EntryList mem_q_;                ///< availability-sorted, stable ties
+    EntryList frame_q_;              ///< FIFO staging buffer
     bool last_was_memory_ = false; ///< fair-policy alternation state
     bool mid_memory_message_ = false;
     std::uint64_t memory_slots_ = 0;
@@ -190,7 +282,7 @@ class PreemptionMux
     bool
     memoryEligible(Picoseconds now) const
     {
-        return !mem_q_.empty() && mem_q_.front().ready <= now;
+        return !mem_q_.empty() && mem_q_.front()->ready <= now;
     }
 
     bool pickMemory(Picoseconds now) const;

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "common/cdf.hpp"
+#include "common/object_pool.hpp"
 #include "common/random.hpp"
 #include "common/stats.hpp"
 #include "common/time.hpp"
@@ -323,6 +324,59 @@ TEST(UnitsEdge, TransmissionDelaySuperadditive)
         EXPECT_GE(transmissionDelay(a, rate) + transmissionDelay(b, rate),
                   transmissionDelay(a + b, rate));
     }
+}
+
+TEST(ObjectPool, RecyclesStorageWithoutGrowth)
+{
+    struct Node
+    {
+        int value;
+    };
+    common::ObjectPool<Node, 8> pool;
+    EXPECT_EQ(pool.capacity(), 0u);
+
+    Node *a = pool.acquire(Node{1});
+    Node *b = pool.acquire(Node{2});
+    EXPECT_EQ(pool.live(), 2u);
+    EXPECT_EQ(pool.capacity(), 8u);
+    EXPECT_EQ(a->value, 1);
+    EXPECT_EQ(b->value, 2);
+
+    pool.release(b);
+    // LIFO free list: the next acquire reuses b's slot.
+    Node *c = pool.acquire(Node{3});
+    EXPECT_EQ(c, b);
+    EXPECT_EQ(pool.capacity(), 8u);
+    pool.release(a);
+    pool.release(c);
+    EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(ObjectPool, GrowsByWholeSlabs)
+{
+    struct Node
+    {
+        std::uint64_t v;
+    };
+    common::ObjectPool<Node, 4> pool;
+    std::vector<Node *> nodes;
+    for (std::uint64_t i = 0; i < 10; ++i)
+        nodes.push_back(pool.acquire(Node{i}));
+    EXPECT_EQ(pool.capacity(), 12u); // three 4-object slabs
+    EXPECT_EQ(pool.live(), 10u);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_EQ(nodes[i]->v, i);
+    for (Node *n : nodes)
+        pool.release(n);
+    // Churn at the high-water mark never grows the pool again.
+    for (int round = 0; round < 50; ++round) {
+        std::vector<Node *> batch;
+        for (std::uint64_t i = 0; i < 10; ++i)
+            batch.push_back(pool.acquire(Node{i}));
+        for (Node *n : batch)
+            pool.release(n);
+    }
+    EXPECT_EQ(pool.capacity(), 12u);
 }
 
 } // namespace
