@@ -55,6 +55,7 @@ enum class Load
     WriteStream,
     MixedFrames,
     FramesHeavy,
+    Incast,
 };
 
 const char *
@@ -65,6 +66,7 @@ loadName(Load l)
       case Load::WriteStream: return "write-stream";
       case Load::MixedFrames: return "mixed+frames";
       case Load::FramesHeavy: return "frames-heavy";
+      case Load::Incast: return "incast-strict";
     }
     return "?";
 }
@@ -95,6 +97,11 @@ run(Load load, const Engine &eng, std::uint64_t ops_per_node)
     cfg.link_rate = Gbps{25.0};
     cfg.max_train_blocks = eng.max_train;
     cfg.max_frame_train_blocks = eng.max_frame_train;
+    // The incast row runs the over-grant regime (grants overtaking
+    // their forwarded requests through the contested egress); strict
+    // accounting keeps every closed loop alive so the engines stay
+    // comparable, and the row doubles as a ledger hot-path measurement.
+    cfg.strict_grant_accounting = load == Load::Incast;
     const NodeId mem = kNodes - 1;
     CycleFabric fab(cfg, sim, {mem});
     fab.host(mem).store()->write(0x10000,
@@ -121,6 +128,24 @@ run(Load load, const Engine &eng, std::uint64_t ops_per_node)
             fab.read(n, mem, 0x10000, 64,
                      [&issue, n](std::vector<std::uint8_t>, Picoseconds,
                                  bool) { issue(n); });
+            return;
+        }
+        if (load == Load::Incast) {
+            // Short mixed ops maximize grant churn per byte: 7 senders'
+            // RREQ forwards fight write data for the memory node's
+            // downlink, so /G/s routinely outrun their requests.
+            if ((remaining[n] % 3) == 0) {
+                fab.write(n, mem,
+                          0x20000 +
+                              static_cast<std::uint64_t>(n) * 0x10000,
+                          std::vector<std::uint8_t>(
+                              700, static_cast<std::uint8_t>(n)),
+                          [&issue, n](Picoseconds) { issue(n); });
+            } else {
+                fab.read(n, mem, 0x10000, 900,
+                         [&issue, n](std::vector<std::uint8_t>,
+                                     Picoseconds, bool) { issue(n); });
+            }
             return;
         }
         const bool write_op = load == Load::WriteStream ||
@@ -197,7 +222,8 @@ main(int argc, char **argv)
     double geo_pr1 = 1, geo_pr2 = 1;
     int rows = 0;
     for (Load load : {Load::BulkRead, Load::WriteStream,
-                      Load::MixedFrames, Load::FramesHeavy}) {
+                      Load::MixedFrames, Load::FramesHeavy,
+                      Load::Incast}) {
         // Frames-heavy runs fewer (much bigger) ops per node.
         const std::uint64_t row_ops =
             load == Load::FramesHeavy ? ops / 4 + 1 : ops;

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Domain example: incast contention stress on the cycle-level fabric —
+ * the regime where the legacy scheduler over-grants.
+ *
+ * Two sweeps, each run with legacy and strict grant accounting:
+ *
+ *   N-to-1      fan-in senders hammer one memory node with closed-loop
+ *               mixed 900 B reads / 700 B writes. Read-request forwards
+ *               (multi-block, stream-owned) queue behind write data on
+ *               the memory node's downlink while single-block /G/
+ *               grants interleave past them — grants reach the memory
+ *               node before the requests they pay for.
+ *   all-to-all  every node serves memory and requests from every other
+ *               node, so hosts hold writer and responder roles at once
+ *               (the grant-direction ambiguity regime on top of the
+ *               contention).
+ *
+ * Legacy accounting drops the early grants ("grant for unknown
+ * message"), wasting their line slots and stranding their flows; the
+ * strict demand-lifecycle ledger parks them instead and retires
+ * demands on the observed final /MT/. The table quantifies both: lost
+ * completions and wasted slots per point, and the reclaimed difference
+ * under EdmConfig::strict_grant_accounting.
+ *
+ * Every (point, mode) pair runs as an independent scenario on the
+ * ScenarioRunner pool; EDM_SWEEP_THREADS pins the worker count.
+ *
+ * Build & run:   ./build/incast_stress [rounds]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/fabric.hpp"
+#include "sim/scenario_runner.hpp"
+
+namespace {
+
+using namespace edm;
+using namespace edm::core;
+
+constexpr int kChainsPerNode = 6;
+
+struct Point
+{
+    const char *pattern; ///< "N-to-1" or "all-to-all"
+    std::size_t nodes;
+    bool strict;
+};
+
+/** Closed-loop mixed read/write chains over a fixed target pattern. */
+void
+runPoint(ScenarioContext &ctx, const Point &pt, int rounds)
+{
+    EdmConfig cfg;
+    cfg.num_nodes = pt.nodes;
+    cfg.strict_grant_accounting = pt.strict;
+    Simulation &sim = ctx.sim();
+    const bool all_to_all = std::string(pt.pattern) == "all-to-all";
+    CycleFabric fab(cfg, sim);
+
+    long completed = 0;
+    long offered = 0;
+    std::function<void(NodeId, NodeId, int)> issue =
+        [&](NodeId from, NodeId to, int left) {
+            if (left <= 0)
+                return;
+            if (left % 3 == 0) {
+                fab.write(from, to, 0x1000u * from,
+                          std::vector<std::uint8_t>(700, 1),
+                          [&issue, &completed, from, to,
+                           left](Picoseconds) {
+                              ++completed;
+                              issue(from, to, left - 1);
+                          });
+            } else {
+                fab.read(from, to, 0x1000u * from, 900,
+                         [&issue, &completed, from, to, left](
+                             std::vector<std::uint8_t>, Picoseconds,
+                             bool) {
+                             ++completed;
+                             issue(from, to, left - 1);
+                         });
+            }
+        };
+    for (NodeId i = 0; i < pt.nodes; ++i) {
+        for (int k = 0; k < kChainsPerNode; ++k) {
+            if (all_to_all) {
+                // Deterministic spread: chain k of node i targets the
+                // k-th next node, so every pair stays loaded.
+                const auto to = static_cast<NodeId>(
+                    (i + 1 + k % (pt.nodes - 1)) % pt.nodes);
+                issue(i, to, rounds);
+                offered += rounds;
+            } else if (i != 0) {
+                issue(i, 0, rounds);
+                offered += rounds;
+            }
+        }
+    }
+    sim.run();
+
+    const auto acc = fab.grantAccounting();
+    ctx.record("offered", static_cast<double>(offered));
+    ctx.record("completed", static_cast<double>(completed));
+    ctx.record("grants",
+               static_cast<double>(
+                   fab.switchStack().scheduler().grantsIssued()));
+    ctx.record("wasted_slots",
+               static_cast<double>(acc.wasted_grant_slots));
+    ctx.record("parked", static_cast<double>(acc.grants_parked));
+    ctx.record("stranded",
+               static_cast<double>(
+                   fab.switchStack().scheduler().pendingLedgerEntries()));
+    Samples reads = fab.readLatency();
+    ctx.record("read_p99",
+               reads.count() ? reads.percentile(99) : 0.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int rounds = 20;
+    if (argc > 1) {
+        rounds = std::atoi(argv[1]);
+        if (rounds <= 0) {
+            std::fprintf(stderr, "usage: %s [rounds>0]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("incast contention stress, %d rounds x %d chains/node, "
+                "mixed 900 B reads / 700 B writes\n\n",
+                rounds, kChainsPerNode);
+
+    std::vector<Point> points;
+    for (const std::size_t n : {5, 9, 13})
+        for (const bool strict : {false, true})
+            points.push_back(Point{"N-to-1", n, strict});
+    for (const std::size_t n : {4, 8})
+        for (const bool strict : {false, true})
+            points.push_back(Point{"all-to-all", n, strict});
+
+    ScenarioRunner::Options opts;
+    opts.base_seed = 7;
+    ScenarioRunner runner(opts);
+    for (const Point &pt : points) {
+        runner.add(std::string(pt.pattern) + "/" +
+                       std::to_string(pt.nodes) +
+                       (pt.strict ? "/strict" : "/legacy"),
+                   [pt, rounds](ScenarioContext &ctx) {
+                       runPoint(ctx, pt, rounds);
+                   });
+    }
+    const auto results = runner.runAll();
+
+    std::printf("  %-11s %6s %-7s %9s %9s %8s %8s %9s %11s\n", "pattern",
+                "nodes", "mode", "offered", "completed", "wasted",
+                "parked", "stranded", "read p99ns");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        const Point &pt = points[i];
+        std::printf("  %-11s %6zu %-7s %9.0f %9.0f %8.0f %8.0f %9.0f "
+                    "%11.1f\n",
+                    pt.pattern, pt.nodes,
+                    pt.strict ? "strict" : "legacy",
+                    r.metricStat("offered").mean(),
+                    r.metricStat("completed").mean(),
+                    r.metricStat("wasted_slots").mean(),
+                    r.metricStat("parked").mean(),
+                    r.metricStat("stranded").mean(),
+                    r.metricStat("read_p99").mean());
+    }
+
+    std::printf("\nlegacy rows waste granted slots and strand flows under "
+                "contention; strict rows park early grants and retire\n"
+                "demands on the observed final /MT/ "
+                "(EdmConfig::strict_grant_accounting), completing every "
+                "operation warning-clean.\n");
+    return 0;
+}

@@ -1,9 +1,25 @@
 #include "logging.hpp"
 
+#include <atomic>
 #include <cstdarg>
 #include <vector>
 
 namespace edm {
+
+namespace {
+
+// Relaxed: the counter is a test observability hook, not a
+// synchronization point; ScenarioRunner workers may warn concurrently.
+std::atomic<std::uint64_t> warn_count{0};
+
+} // namespace
+
+std::uint64_t
+warnCount()
+{
+    return warn_count.load(std::memory_order_relaxed);
+}
+
 namespace detail {
 
 std::string
@@ -42,6 +58,7 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    warn_count.fetch_add(1, std::memory_order_relaxed);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 

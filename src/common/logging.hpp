@@ -13,6 +13,7 @@
 #ifndef EDM_COMMON_LOGGING_HPP
 #define EDM_COMMON_LOGGING_HPP
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -25,6 +26,17 @@ namespace detail {
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Process-wide count of EDM_WARN emissions. Lets tests assert that a
+ * scenario ran warning-clean (e.g. strict-grant-accounting sweeps must
+ * never log "grant for unknown message") without scraping stderr.
+ */
+std::uint64_t warnCount();
+
+namespace detail {
 
 /** printf-style formatting into a std::string. */
 std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -71,6 +71,22 @@ struct EdmConfig
     Picoseconds read_timeout = 0;
 
     /**
+     * Strict demand-lifecycle accounting. The scheduler keeps an explicit
+     * ledger per demand (bytes demanded vs. granted vs. observed through
+     * the datapath) and *retires* demands when the switch sees the
+     * message's final /MT/ or a fault abort, instead of trusting byte
+     * arithmetic alone. Retired demands are never granted again (their
+     * ports are reclaimed immediately), and hosts park grants that
+     * outrun their request instead of dropping them. Off by default:
+     * legacy mode reproduces the historical schedules bit-exactly
+     * (including the over-grants this knob exists to eliminate) except
+     * where the old behavior was an outright wire-protocol bug — the
+     * drainStaged stream-boundary corruption and the ambiguous-grant
+     * mis-routing are fixed in both modes.
+     */
+    bool strict_grant_accounting = false;
+
+    /**
      * Simulator (not hardware) knob: upper bound on the block-train
      * length — the number of back-to-back mid-message data blocks a TX
      * pump may emit and deliver through a single event. 1 restores the

@@ -282,6 +282,10 @@ CycleFabric::emitHost(NodeId id)
             health.disabled = true;
             EDM_WARN("uplink of node %u disabled after %llu line errors",
                      id, static_cast<unsigned long long>(health.errors));
+            // The node can no longer answer grants: retire its demand
+            // lifecycles so the scheduler stops granting dead flows
+            // (strict mode) instead of letting them go stale.
+            switch_->scheduler().abortPort(id);
         }
     }
 
@@ -617,6 +621,21 @@ CycleFabric::corruptUplink(NodeId src, int blocks)
     // transmitter, including any already committed to an in-flight
     // train: pull those back so the per-block path re-emits them.
     abortUplinkTrain(src);
+}
+
+CycleFabric::GrantAccounting
+CycleFabric::grantAccounting() const
+{
+    GrantAccounting acc;
+    for (const auto &h : hosts_) {
+        const HostStats &st = h->stats();
+        acc.unknown_grants += st.unknown_grants;
+        acc.grants_parked += st.grants_parked;
+        acc.stale_response_grants += st.stale_response_grants;
+    }
+    acc.wasted_grant_slots = acc.unknown_grants + acc.stale_response_grants;
+    acc.ledger = switch_->scheduler().ledgerStats();
+    return acc;
 }
 
 std::uint64_t

@@ -102,6 +102,23 @@ class CycleFabric
     /** Errors tolerated before a link is declared damaged and disabled. */
     static constexpr std::uint64_t kLinkErrorThreshold = 16;
 
+    /**
+     * Fabric-wide grant-accounting metrics: the hosts' grant outcomes
+     * summed over every node plus the scheduler's demand-lifecycle
+     * counters. `wasted_grant_slots` are grants that bought line slots
+     * no host ever filled — zero in strict mode by construction.
+     */
+    struct GrantAccounting
+    {
+        std::uint64_t unknown_grants = 0;        ///< dropped, no state
+        std::uint64_t grants_parked = 0;         ///< strict: held early
+        std::uint64_t stale_response_grants = 0; ///< RRES already done
+        std::uint64_t wasted_grant_slots = 0;    ///< unknown + stale
+        LedgerStats ledger;                      ///< scheduler counters
+    };
+
+    GrantAccounting grantAccounting() const;
+
     /** End-to-end latencies in nanoseconds (completion-measured). */
     const Samples &readLatency() const { return read_lat_; }
     const Samples &writeLatency() const { return write_lat_; }

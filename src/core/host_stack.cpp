@@ -258,15 +258,31 @@ HostStack::onGrant(const ControlInfo &g)
 {
     grant_queue_.pop();
     const auto req_key = std::make_pair(g.dst, g.id);
-    if (auto it = requests_.find(req_key);
-        it != requests_.end() && it->second.type == MemMsgType::WREQ) {
-        sendWriteChunk(g.dst, g.id, g.size);
-        return;
-    }
-    if (responses_.count(req_key)) {
+    // Route by the grant's direction bit: a host can hold a WREQ toward
+    // a peer *and* serve that peer's read under the same (dst, id), and
+    // spending a response grant on the write (or vice versa) both
+    // starves the granted flow and over-grants the other.
+    if (!g.response) {
+        if (auto it = requests_.find(req_key);
+            it != requests_.end() && it->second.type == MemMsgType::WREQ) {
+            sendWriteChunk(g.dst, g.id, g.size);
+            return;
+        }
+    } else if (responses_.count(req_key)) {
         sendResponseChunk(g.dst, g.id, g.size);
         return;
     }
+    if (g.response && cfg_.strict_grant_accounting && store_) {
+        // A /G/ can lawfully overtake its own flow's forwarded request:
+        // the single-block grant interleaves through a backlogged
+        // egress while the multi-block RREQ waits for stream ownership.
+        // Park it — the hardware would simply leave it in the grant
+        // queue — and serveRead/serveRmw consumes it on arrival.
+        ++stats_.grants_parked;
+        parked_grants_[req_key].push_back(g.size);
+        return;
+    }
+    ++stats_.unknown_grants;
     EDM_WARN("host %u: grant for unknown message dst=%u id=%u", id_,
              g.dst, g.id);
 }
@@ -310,6 +326,7 @@ HostStack::serveRead(const MemMessage &req)
     events_.scheduleAfter(dram, [this, dst, id] {
         sendResponseChunk(dst, id, cfg_.chunk_bytes);
     });
+    drainParkedGrants(dst, id, dram);
 }
 
 void
@@ -336,6 +353,25 @@ HostStack::serveRmw(const MemMessage &req)
     events_.scheduleAfter(t0 + t1, [this, dst, id] {
         sendResponseChunk(dst, id, cfg_.chunk_bytes);
     });
+    drainParkedGrants(dst, id, t0 + t1);
+}
+
+void
+HostStack::drainParkedGrants(NodeId dst, MsgId id, Picoseconds delay)
+{
+    const auto it = parked_grants_.find(std::make_pair(dst, id));
+    if (it == parked_grants_.end())
+        return;
+    // Grants that overtook this request resume in arrival order, right
+    // behind the implicit first chunk (scheduled just above at the same
+    // instant; same-timestamp events run in scheduling order).
+    std::vector<Bytes> grants = std::move(it->second);
+    parked_grants_.erase(it);
+    events_.scheduleAfter(delay,
+                          [this, dst, id, grants = std::move(grants)] {
+                              for (const Bytes g : grants)
+                                  sendResponseChunk(dst, id, g);
+                          });
 }
 
 void
@@ -359,6 +395,7 @@ HostStack::sendResponseChunk(NodeId dst, MsgId id, Bytes chunk)
     const auto key = std::make_pair(dst, id);
     auto it = responses_.find(key);
     if (it == responses_.end()) {
+        ++stats_.stale_response_grants;
         EDM_WARN("host %u: RRES grant for finished message id=%u", id_, id);
         return;
     }

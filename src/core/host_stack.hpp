@@ -57,6 +57,24 @@ struct HostStats
     std::uint64_t mem_blocks_sent = 0;
     std::uint64_t mem_blocks_received = 0;
     std::uint64_t frames_received = 0;
+
+    /**
+     * Grants that matched no message state when they arrived. In legacy
+     * mode each one is a granted line slot silently wasted (the grant
+     * is dropped and its chunk never sent); strict mode parks them
+     * instead, so this stays zero there.
+     */
+    std::uint64_t unknown_grants = 0;
+
+    /**
+     * Strict mode: grants that arrived before their request did (the
+     * /G/ overtook the forwarded RREQ through a backlogged egress) and
+     * were parked until the request showed up.
+     */
+    std::uint64_t grants_parked = 0;
+
+    /** Grants for an RRES whose final chunk had already been sent. */
+    std::uint64_t stale_response_grants = 0;
 };
 
 /**
@@ -194,6 +212,15 @@ class HostStack
     std::map<std::pair<NodeId, MsgId>, RequestState> requests_;
     std::map<std::pair<NodeId, MsgId>, ResponseState> responses_;
 
+    /**
+     * Strict grant accounting: grants that outran their request sit
+     * here (in arrival order, keyed like responses_) until serveRead /
+     * serveRmw creates the response state they were issued against —
+     * the hardware analogue of leaving them in the grant queue instead
+     * of popping and dropping them.
+     */
+    std::map<std::pair<NodeId, MsgId>, std::vector<Bytes>> parked_grants_;
+
     std::map<NodeId, int> outstanding_;          ///< active per dst (≤ X)
     std::map<NodeId, std::deque<PendingRequest>> parked_;
     std::map<NodeId, std::uint8_t> next_id_;
@@ -222,6 +249,7 @@ class HostStack
     void serveRead(const MemMessage &req);
     void serveWrite(const MemMessage &chunk);
     void serveRmw(const MemMessage &req);
+    void drainParkedGrants(NodeId dst, MsgId id, Picoseconds delay);
     void sendResponseChunk(NodeId dst, MsgId id, Bytes chunk);
     void sendWriteChunk(NodeId dst, MsgId id, Bytes chunk);
     void completeRead(const MemMessage &chunk);

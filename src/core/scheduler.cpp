@@ -34,6 +34,21 @@ Scheduler::priorityOf(const Demand &d) const
     return 0;
 }
 
+void
+Scheduler::openLedgerEntry(const Demand &d)
+{
+    const FlowKey key = keyOf(d);
+    auto [it, inserted] = ledger_.try_emplace(key);
+    if (!inserted) {
+        // Message-id reuse before the previous flow retired (a wrapped
+        // 8-bit id, or a flow whose completion was never observed). The
+        // new demand owns the identity from here on.
+        ++ledger_stats_.entries_evicted;
+        it->second = LedgerEntry{};
+    }
+    it->second.demanded = d.remaining;
+}
+
 bool
 Scheduler::insertDemand(Demand d)
 {
@@ -43,8 +58,13 @@ Scheduler::insertDemand(Demand d)
     const std::int64_t prio = priorityOf(d);
     const auto pair_key = std::make_pair(d.src, d.dst);
     const std::uint64_t seq = d.seq;
-    if (!q.insert(prio, std::move(d)))
+    const FlowKey key = keyOf(d);
+    openLedgerEntry(d);
+    if (!q.insert(prio, std::move(d))) {
+        // A full queue drops the demand, so drop its entry too.
+        ledger_.erase(key);
         return false;
+    }
     pairs_[pair_key].push_back(seq);
     scheduleMatching();
     return true;
@@ -74,6 +94,7 @@ Scheduler::addReadDemand(const MemMessage &request, Bytes response_bytes)
     d.remaining = response_bytes;
     d.notified = events_.now();
     d.seq = next_seq_++;
+    d.response = true;
     d.buffered_request = request;
     return insertDemand(std::move(d));
 }
@@ -219,6 +240,22 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
 {
     const Bytes l = std::min<Bytes>(cfg_.chunk_bytes, d.remaining);
     EDM_ASSERT(l > 0, "granting zero bytes");
+
+    auto ledger_it = ledger_.find(keyOf(d));
+    if (cfg_.strict_grant_accounting && ledger_it == ledger_.end()) {
+        // The flow retired (final /MT/ observed, or its sender's link
+        // died) while this demand was still queued: granting it would
+        // put a /G/ on the wire that no host answers and hold both
+        // ports busy for l/B for nothing. Drop the demand instead and
+        // leave the ports free — the same matching pass can still hand
+        // them to a live demand.
+        ++ledger_stats_.grants_suppressed;
+        ledger_stats_.stale_bytes_reclaimed += d.remaining;
+        retirePairEntry(d);
+        return;
+    }
+    if (ledger_it != ledger_.end())
+        ledger_it->second.granted += l;
     ++grants_issued_;
 
     GrantAction action;
@@ -247,6 +284,7 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
         g.src = d.src;
         g.id = d.id;
         g.size = l;
+        g.response = d.response;
         action.grant_block = g;
     }
 
@@ -266,17 +304,80 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
     d.remaining -= l;
     if (d.remaining > 0) {
         // Reinsert with updated priority (SRPT decreases as we send).
-        const auto pair_key = std::make_pair(d.src, d.dst);
         Queue &q = *queues_[dst_port];
         const bool ok = q.insert(priorityOf(d), std::move(d));
         EDM_ASSERT(ok, "reinsert into queue we just popped from");
-        (void)pair_key;
     } else {
         retirePairEntry(d);
     }
 
     GrantAction act_copy = action;
     events_.schedule(when, [this, act_copy] { sink_(act_copy); });
+}
+
+void
+Scheduler::reclaimQueuedDemand(const FlowKey &key)
+{
+    Queue &q = *queues_[key.dst];
+    Demand dropped{};
+    bool found = false;
+    q.eraseIf([&](const Demand &dem) {
+        if (dem.src == key.src && dem.id == key.id) {
+            dropped = dem;
+            found = true;
+            return true;
+        }
+        return false;
+    });
+    if (!found)
+        return;
+    ledger_stats_.stale_bytes_reclaimed += dropped.remaining;
+    retirePairEntry(dropped);
+}
+
+void
+Scheduler::onChunkForwarded(NodeId src, NodeId dst, MsgId id, Bytes bytes,
+                            bool last_chunk)
+{
+    ++ledger_stats_.chunks_observed;
+    const FlowKey key{src, dst, id};
+    auto it = ledger_.find(key);
+    if (it == ledger_.end())
+        return; // flow already retired, or never tracked (evicted id)
+    it->second.observed += bytes;
+    if (!last_chunk)
+        return;
+    // The message's final chunk is through the switch: the demand's
+    // lifecycle ends here, whatever the byte arithmetic says.
+    ++ledger_stats_.retired_by_completion;
+    ledger_.erase(it);
+    if (cfg_.strict_grant_accounting)
+        reclaimQueuedDemand(key);
+}
+
+std::optional<Scheduler::FlowBytes>
+Scheduler::flowBytes(const FlowKey &key) const
+{
+    const auto it = ledger_.find(key);
+    if (it == ledger_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+Scheduler::abortPort(NodeId port)
+{
+    for (auto it = ledger_.begin(); it != ledger_.end();) {
+        if (it->first.src != port) {
+            ++it;
+            continue;
+        }
+        const FlowKey key = it->first;
+        it = ledger_.erase(it);
+        ++ledger_stats_.retired_by_abort;
+        if (cfg_.strict_grant_accounting)
+            reclaimQueuedDemand(key);
+    }
 }
 
 } // namespace core

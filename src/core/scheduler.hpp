@@ -54,8 +54,62 @@ struct GrantAction
 };
 
 /**
+ * Identity of a grant-addressable flow: the data sender, the receiver
+ * and the message id — the triple every /N/, /G/ and /MS/ carries.
+ */
+struct FlowKey
+{
+    NodeId src = 0; ///< data sender (memory node for RRES)
+    NodeId dst = 0; ///< data receiver
+    MsgId id = 0;
+
+    bool
+    operator<(const FlowKey &o) const
+    {
+        if (src != o.src)
+            return src < o.src;
+        if (dst != o.dst)
+            return dst < o.dst;
+        return id < o.id;
+    }
+};
+
+/** Demand-lifecycle accounting statistics. */
+struct LedgerStats
+{
+    /** Chunk completions (/MT/, /MST/) the datapath reported. */
+    std::uint64_t chunks_observed = 0;
+
+    /** Demands retired by an observed final chunk. */
+    std::uint64_t retired_by_completion = 0;
+
+    /** Demands retired by a fault abort (disabled sender link). */
+    std::uint64_t retired_by_abort = 0;
+
+    /** Strict mode: grants withheld because the demand was retired. */
+    std::uint64_t grants_suppressed = 0;
+
+    /** Strict mode: queued bytes reclaimed from retired demands. */
+    std::uint64_t stale_bytes_reclaimed = 0;
+
+    /** Ledger entries evicted by message-id reuse before retirement. */
+    std::uint64_t entries_evicted = 0;
+};
+
+/**
  * The central scheduler. Owned by the switch; driven by the shared event
  * queue for busy-timer releases and matching latency.
+ *
+ * Demand bookkeeping is an explicit lifecycle ledger: every demand
+ * creates an entry keyed by its FlowKey, grants debit the entry, and
+ * the entry *retires* when the switch datapath reports the message's
+ * final chunk (/MT/ with the last-chunk flag, or a fault abort) — not
+ * when byte arithmetic happens to reach zero. With
+ * EdmConfig::strict_grant_accounting, retirement is authoritative: a
+ * retired demand is dropped from the queues, its ports are never
+ * reserved for a grant nobody will answer, and the matching loop moves
+ * on within the same pass. Legacy mode keeps the ledger as passive
+ * observability, reproducing historical schedules bit-exactly.
  */
 class Scheduler
 {
@@ -79,8 +133,44 @@ class Scheduler
      */
     bool addReadDemand(const MemMessage &request, Bytes response_bytes);
 
+    /**
+     * Datapath report: a granted chunk of flow (src→dst, id) carrying
+     * @p bytes passed the switch; @p last_chunk marks the message's
+     * final chunk. Retires the ledger entry on the final chunk; in
+     * strict mode any residual queued demand for the flow is reclaimed
+     * so it can never be granted again. Pure bookkeeping — schedules no
+     * events and, in legacy mode, changes no decision.
+     */
+    void onChunkForwarded(NodeId src, NodeId dst, MsgId id, Bytes bytes,
+                          bool last_chunk);
+
+    /**
+     * Fault report: @p port's uplink was disabled. Every demand whose
+     * data sender is @p port can no longer be answered; retire its
+     * ledger entries, and in strict mode drop the queued demands and
+     * stop granting them.
+     */
+    void abortPort(NodeId port);
+
     /** Total demands currently queued (all ports). */
     std::size_t pendingDemands() const;
+
+    /** Live (unretired) ledger entries. */
+    std::size_t pendingLedgerEntries() const { return ledger_.size(); }
+
+    /** A live flow's byte lifecycle, for diagnostics and tests. */
+    struct FlowBytes
+    {
+        Bytes demanded = 0; ///< bytes the demand advertised
+        Bytes granted = 0;  ///< bytes debited by issued grants
+        Bytes observed = 0; ///< chunk bytes seen through the datapath
+    };
+
+    /** Byte lifecycle of flow @p key; nullopt once retired/untracked. */
+    std::optional<FlowBytes> flowBytes(const FlowKey &key) const;
+
+    /** Demand-lifecycle accounting counters. */
+    const LedgerStats &ledgerStats() const { return ledger_stats_; }
 
     /** True if port @p p's uplink (TX side) is reserved by a grant. */
     bool srcBusy(NodeId p) const { return src_busy_.at(p); }
@@ -103,10 +193,14 @@ class Scheduler
         Bytes remaining;
         Picoseconds notified;
         std::uint64_t seq; ///< per-pair FIFO ordering
+        bool response = false; ///< RRES demand (grants carry the flag)
         std::optional<MemMessage> buffered_request; ///< RREQ awaiting fwd
     };
 
     using Queue = hw::OrderedList<std::int64_t, Demand>;
+
+    /** Ledger entry: a demand's byte lifecycle. */
+    using LedgerEntry = FlowBytes;
 
     EdmConfig cfg_;
     EventQueue &events_;
@@ -122,6 +216,16 @@ class Scheduler
     /** Earliest live seq per (src,dst) pair, for in-order service. */
     std::map<std::pair<NodeId, NodeId>, std::vector<std::uint64_t>> pairs_;
 
+    /**
+     * Live demand lifecycles. An entry exists from demand registration
+     * until retirement (observed final chunk or fault abort) — a flow
+     * whose completion the datapath never reports stays resident, which
+     * is exactly the stranded-flow diagnostic pendingLedgerEntries()
+     * and the incast stress report as "stranded".
+     */
+    std::map<FlowKey, LedgerEntry> ledger_;
+    LedgerStats ledger_stats_;
+
     std::uint64_t next_seq_ = 0;
     std::uint64_t grants_issued_ = 0;
     std::uint64_t matching_passes_ = 0;
@@ -135,6 +239,16 @@ class Scheduler
     void scheduleMatching();
     void runMatching();
     void issueGrant(NodeId dst_port, Demand &d, Picoseconds when);
+
+    static FlowKey
+    keyOf(const Demand &d)
+    {
+        return FlowKey{d.src, d.dst, d.id};
+    }
+
+    void openLedgerEntry(const Demand &d);
+    /** Drop a retired flow's queued demand (strict mode). */
+    void reclaimQueuedDemand(const FlowKey &key);
 };
 
 } // namespace core

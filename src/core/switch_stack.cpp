@@ -202,14 +202,28 @@ SwitchStack::drainStaged(NodeId egress)
         : static_cast<NodeId>(idx);
     StagedList blocks = std::move(ep.staged[idx]);
     ep.stream_owner = ingress;
+    // The drain adopts exactly one stream epoch. Blocks of a *later*
+    // epoch can already sit behind it (a train delivers the next
+    // chunk's data at its first block's arrival — up to 3 forwarding
+    // cycles before the current chunk's /MT/ accept event has run), and
+    // popping across that boundary would put the next stream's data on
+    // the wire without its /MS/ and claim ownership for a stream whose
+    // start is still in flight, interleaving /MS/../MT/ sequences.
+    ep.owner_seq = blocks.front()->seq;
     while (!blocks.empty()) {
+        if (blocks.front()->seq != ep.owner_seq) {
+            // Next epoch's blocks, staged before this epoch's /MT/ has
+            // been accepted. Keep them staged: the /MT/ will cut
+            // through on arrival, release ownership, and re-drain.
+            ep.staged[idx] = std::move(blocks);
+            return;
+        }
         StagedBlock *sb = blocks.pop_front();
         const phy::PhyBlock b = sb->block;
         // Blocks that arrived while another stream held the egress went
         // on the wire at adoption; train blocks staged ahead of their
         // arrival stay available at that (future) arrival instant.
         const Picoseconds at = std::max(sb->at, now);
-        ep.owner_seq = sb->seq;
         ep.staged_pool.release(sb);
         ep.egress.enqueueMemory(b, at);
         on_tx_work_(egress);
@@ -267,6 +281,7 @@ SwitchStack::rxBlock(NodeId ingress, const phy::PhyBlock &block)
                 // head starts a new forwarded-stream epoch.
                 port.forwarding = true;
                 port.egress_port = hdr.dst;
+                port.fwd_hdr56 = block.controlPayload();
                 ++port.fwd_seq;
                 forwardBlock(ingress, port, block);
             }
@@ -278,6 +293,8 @@ SwitchStack::rxBlock(NodeId ingress, const phy::PhyBlock &block)
             if (hdr.type == MemMsgType::RRES) {
                 port.egress_port = hdr.dst;
                 ++port.fwd_seq;
+                scheduler_->onChunkForwarded(hdr.src, hdr.dst, hdr.id,
+                                             hdr.len, hdr.last_chunk);
                 forwardBlock(ingress, port, block);
             } else {
                 EDM_WARN("unexpected /MST/ type %d on port %u",
@@ -304,6 +321,10 @@ SwitchStack::rxBlock(NodeId ingress, const phy::PhyBlock &block)
                     });
             } else if (port.forwarding) {
                 port.forwarding = false;
+                MemMessage hdr;
+                unpackHeader(port.fwd_hdr56, hdr);
+                scheduler_->onChunkForwarded(hdr.src, hdr.dst, hdr.id,
+                                             hdr.len, hdr.last_chunk);
                 forwardBlock(ingress, port, block);
             } else {
                 EDM_WARN("/MT/ without stream on port %u", ingress);

@@ -134,6 +134,13 @@ class SwitchStack
         NodeId egress_port = 0;     ///< circuit target while forwarding
 
         /**
+         * Packed /MS/ header of the stream being forwarded. At the
+         * /MT/, its (src, dst, id, len, last-chunk) identify the chunk
+         * for the scheduler's demand-lifecycle ledger.
+         */
+        std::uint64_t fwd_hdr56 = 0;
+
+        /**
          * Forwarded-stream sequence number, bumped at each stream head
          * (/MS/ or /MST/). A train delivered at its first block's
          * arrival can precede the egress-side accept of its own /MS/ —

@@ -66,6 +66,7 @@ packControl(const ControlInfo &info)
     v |= (static_cast<std::uint64_t>(info.src) & kMask9) << 9;
     v |= (static_cast<std::uint64_t>(info.id) & kMask8) << 18;
     v |= (static_cast<std::uint64_t>(info.size) & kMask16) << 26;
+    v |= (info.response ? 1ULL : 0ULL) << 42;
     return v;
 }
 
@@ -77,6 +78,7 @@ unpackControl(std::uint64_t payload56)
     info.src = static_cast<NodeId>((payload56 >> 9) & kMask9);
     info.id = static_cast<MsgId>((payload56 >> 18) & kMask8);
     info.size = static_cast<Bytes>((payload56 >> 26) & kMask16);
+    info.response = ((payload56 >> 42) & 1) != 0;
     return info;
 }
 

@@ -14,7 +14,9 @@
  *   bit  51     last-chunk flag
  *
  * Notification /N/ and grant /G/ blocks use the same 9+9+8+16 bit
- * dst/src/id/size layout (paper §3.1.4 sizes the fields identically).
+ * dst/src/id/size layout (paper §3.1.4 sizes the fields identically);
+ * bit 42 of a /G/ flags a response (RRES) grant, disambiguating it
+ * from a write grant when a host holds both roles under one (dst, id).
  *
  * Body blocks (/MD/, sync=10): RREQ/WREQ/RMWREQ carry the 64-bit target
  * address first; RMWREQ then carries arg0, arg1; WREQ/RRES then carry
@@ -40,6 +42,18 @@ struct ControlInfo
     NodeId src = 0;
     MsgId id = 0;
     Bytes size = 0; ///< message size (/N/) or granted chunk bytes (/G/)
+
+    /**
+     * Grant direction: true when the grant pays an RRES demand (the
+     * receiver of the /G/ is the *memory node* of the flow), false for
+     * a WREQ demand (the receiver is the writer). Message ids are
+     * assigned per requester, so a host that is both writing to a peer
+     * and serving that peer's read can hold both roles under one
+     * (dst, id) pair — without this bit the /G/ is ambiguous and a
+     * response grant can be mis-spent on the write (or vice versa).
+     * Travels in an otherwise unused payload bit (42).
+     */
+    bool response = false;
 };
 
 /** Pack a message header into a 56-bit /MS/ control payload. */

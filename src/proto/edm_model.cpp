@@ -17,6 +17,7 @@ EdmFlowModel::EdmFlowModel(Simulation &sim, const ClusterConfig &cluster,
     ecfg_.max_notifications = cfg.max_notifications;
     ecfg_.priority = cfg.priority;
     ecfg_.scheduler_ghz = cfg.scheduler_ghz;
+    ecfg_.strict_grant_accounting = cfg.strict_grant_accounting;
     sched_ = std::make_unique<core::Scheduler>(
         ecfg_, sim.events(),
         [this](const core::GrantAction &a) { onGrant(a); });
@@ -98,7 +99,14 @@ void
 EdmFlowModel::deliverChunk(const MsgKey &key, Bytes chunk, Picoseconds at)
 {
     auto it = active_.find(key);
-    EDM_ASSERT(it != active_.end(), "grant for unknown flow job");
+    if (it == active_.end()) {
+        // The job finished (or its id wrapped) before this grant landed
+        // — the flow-level analogue of a grant for a retired demand.
+        // Tolerate and count it, as the cycle-level ledger does, rather
+        // than treating normal protocol slack as an invariant violation.
+        ++stale_grants_;
+        return;
+    }
     Active &a = it->second;
     a.delivered += chunk;
     EDM_ASSERT(a.delivered <= a.job.size, "over-delivery");

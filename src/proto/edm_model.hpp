@@ -30,6 +30,9 @@ struct EdmModelConfig
     int max_notifications = 3;          ///< X (§3.1.2)
     core::Priority priority = core::Priority::Srpt;
     double scheduler_ghz = 3.0;         ///< ASIC synthesis rate (§4.1)
+
+    /** Demand-lifecycle ledger enforcement (EdmConfig equivalent). */
+    bool strict_grant_accounting = false;
 };
 
 /** The EDM fabric at flow granularity. */
@@ -44,6 +47,14 @@ class EdmFlowModel : public FabricModel
 
     /** Scheduler statistics (matching iterations, grants). */
     const core::Scheduler &scheduler() const { return *sched_; }
+
+    /**
+     * Grants that arrived for a job already delivered (or whose 8-bit
+     * message id was reclaimed). The cycle-level scheduler retires such
+     * demands through its ledger; the flow model tolerates and counts
+     * them instead of asserting, keeping the accounting stories aligned.
+     */
+    std::uint64_t staleGrants() const { return stale_grants_; }
 
   private:
     struct Active
@@ -63,6 +74,7 @@ class EdmFlowModel : public FabricModel
     std::map<PairKey, int> outstanding_;
     std::map<PairKey, std::deque<Job>> parked_;
     std::map<PairKey, std::uint8_t> next_id_;
+    std::uint64_t stale_grants_ = 0;
 
     void admit(const Job &job);
     void launch(const Job &job);
