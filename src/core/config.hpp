@@ -87,6 +87,19 @@ struct EdmConfig
     bool strict_grant_accounting = false;
 
     /**
+     * Strict mode: how long a parked grant may wait for the request it
+     * outran before it is dropped as orphaned (its forwarded RREQ was
+     * lost to a fault, or the grant was issued against an evicted
+     * ledger id). A legitimately parked /G/ waits only for the egress
+     * backlog ahead of the forwarded request — nanoseconds to a few
+     * microseconds — so the generous default never fires for a live
+     * flow but bounds the parked store well below the ~256-message
+     * horizon at which a reused 8-bit (dst, id) would otherwise drain
+     * another flow's grants. 0 disables expiry.
+     */
+    Picoseconds parked_grant_timeout = 25 * kMicrosecond;
+
+    /**
      * Simulator (not hardware) knob: upper bound on the block-train
      * length — the number of back-to-back mid-message data blocks a TX
      * pump may emit and deliver through a single event. 1 restores the

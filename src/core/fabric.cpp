@@ -284,8 +284,11 @@ CycleFabric::emitHost(NodeId id)
                      id, static_cast<unsigned long long>(health.errors));
             // The node can no longer answer grants: retire its demand
             // lifecycles so the scheduler stops granting dead flows
-            // (strict mode) instead of letting them go stale.
+            // (strict mode) instead of letting them go stale, and drop
+            // its parked grants — it will never send the chunks they
+            // bought.
             switch_->scheduler().abortPort(id);
+            hosts_[id]->onUplinkDisabled();
         }
     }
 
@@ -632,6 +635,7 @@ CycleFabric::grantAccounting() const
         acc.unknown_grants += st.unknown_grants;
         acc.grants_parked += st.grants_parked;
         acc.stale_response_grants += st.stale_response_grants;
+        acc.parked_grants_dropped += st.parked_grants_dropped;
     }
     acc.wasted_grant_slots = acc.unknown_grants + acc.stale_response_grants;
     acc.ledger = switch_->scheduler().ledgerStats();

@@ -113,6 +113,7 @@ class CycleFabric
         std::uint64_t unknown_grants = 0;        ///< dropped, no state
         std::uint64_t grants_parked = 0;         ///< strict: held early
         std::uint64_t stale_response_grants = 0; ///< RRES already done
+        std::uint64_t parked_grants_dropped = 0; ///< orphaned parked
         std::uint64_t wasted_grant_slots = 0;    ///< unknown + stale
         LedgerStats ledger;                      ///< scheduler counters
     };

@@ -276,10 +276,32 @@ HostStack::onGrant(const ControlInfo &g)
         // A /G/ can lawfully overtake its own flow's forwarded request:
         // the single-block grant interleaves through a backlogged
         // egress while the multi-block RREQ waits for stream ownership.
+        // A grant that arrives (over the still-working downlink) after
+        // this node's uplink died can never be answered: drop it, the
+        // same way the fault hook reaped the grants parked before the
+        // disable.
+        if (uplink_disabled_) {
+            ++stats_.parked_grants_dropped;
+            return;
+        }
         // Park it — the hardware would simply leave it in the grant
-        // queue — and serveRead/serveRmw consumes it on arrival.
+        // queue — and serveRead/serveRmw consumes it on arrival. If the
+        // request never shows up (lost to a fault, or the grant was
+        // issued against an evicted ledger id), the expiry sweep drops
+        // the orphan instead of letting it drain into a later message
+        // reusing the same (dst, id). One sweep is pending per key, not
+        // per grant — armed here on the empty→non-empty transition.
         ++stats_.grants_parked;
-        parked_grants_[req_key].push_back(g.size);
+        auto &parked = parked_grants_[req_key];
+        parked.push_back(ParkedGrant{g.size, events_.now()});
+        if (cfg_.parked_grant_timeout > 0 &&
+            !parked_sweeps_.count(req_key)) {
+            parked_sweeps_[req_key] =
+                events_.scheduleAfter(cfg_.parked_grant_timeout,
+                                      [this, req_key] {
+                                          expireParkedGrants(req_key);
+                                      });
+        }
         return;
     }
     ++stats_.unknown_grants;
@@ -365,13 +387,65 @@ HostStack::drainParkedGrants(NodeId dst, MsgId id, Picoseconds delay)
     // Grants that overtook this request resume in arrival order, right
     // behind the implicit first chunk (scheduled just above at the same
     // instant; same-timestamp events run in scheduling order).
-    std::vector<Bytes> grants = std::move(it->second);
+    std::vector<ParkedGrant> grants = std::move(it->second);
     parked_grants_.erase(it);
+    const auto sweep = parked_sweeps_.find(std::make_pair(dst, id));
+    if (sweep != parked_sweeps_.end()) {
+        events_.cancel(sweep->second);
+        parked_sweeps_.erase(sweep);
+    }
     events_.scheduleAfter(delay,
                           [this, dst, id, grants = std::move(grants)] {
-                              for (const Bytes g : grants)
-                                  sendResponseChunk(dst, id, g);
+                              for (const ParkedGrant &g : grants)
+                                  sendResponseChunk(dst, id, g.size);
                           });
+}
+
+void
+HostStack::expireParkedGrants(std::pair<NodeId, MsgId> key)
+{
+    parked_sweeps_.erase(key); // this firing was the pending sweep
+    const auto it = parked_grants_.find(key);
+    if (it == parked_grants_.end())
+        return;
+    // Grants sit in arrival order, so timestamps are monotonic: expire
+    // the prefix this sweep's deadline covers, then re-arm for the
+    // oldest survivor so every grant still gets its exact
+    // parked_at + timeout deadline from one pending event per key.
+    const Picoseconds cutoff = events_.now() - cfg_.parked_grant_timeout;
+    auto &grants = it->second;
+    std::size_t expired = 0;
+    while (expired < grants.size() &&
+           grants[expired].parked_at <= cutoff)
+        ++expired;
+    if (expired > 0) {
+        stats_.parked_grants_dropped += expired;
+        EDM_WARN("host %u: dropped %zu orphaned parked grant(s) dst=%u "
+                 "id=%u",
+                 id_, expired, key.first, key.second);
+        grants.erase(grants.begin(),
+                     grants.begin() + static_cast<std::ptrdiff_t>(expired));
+    }
+    if (grants.empty()) {
+        parked_grants_.erase(it);
+        return;
+    }
+    parked_sweeps_[key] =
+        events_.schedule(grants.front().parked_at +
+                             cfg_.parked_grant_timeout,
+                         [this, key] { expireParkedGrants(key); });
+}
+
+void
+HostStack::onUplinkDisabled()
+{
+    uplink_disabled_ = true;
+    for (const auto &[key, grants] : parked_grants_)
+        stats_.parked_grants_dropped += grants.size();
+    parked_grants_.clear();
+    for (const auto &[key, ev] : parked_sweeps_)
+        events_.cancel(ev);
+    parked_sweeps_.clear();
 }
 
 void

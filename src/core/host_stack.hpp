@@ -75,6 +75,15 @@ struct HostStats
 
     /** Grants for an RRES whose final chunk had already been sent. */
     std::uint64_t stale_response_grants = 0;
+
+    /**
+     * Strict mode: parked grants dropped as orphaned — their request
+     * never arrived within EdmConfig::parked_grant_timeout, or this
+     * node's uplink was disabled so it could never answer them. Keeps
+     * a stale parked size from draining into a later message that
+     * reuses the same 8-bit (dst, id).
+     */
+    std::uint64_t parked_grants_dropped = 0;
 };
 
 /**
@@ -133,6 +142,14 @@ class HostStack
     /** Fabric reports that our write (to @p mem_node, @p id) landed. */
     void notifyWriteDelivered(NodeId mem_node, MsgId id,
                               Picoseconds delivered_at);
+
+    /**
+     * Fabric reports that this node's uplink was disabled (§3.3). The
+     * node can never answer a grant again, so every parked grant is
+     * dropped — otherwise the parked sizes would sit forever and drain
+     * into a later message reusing their (dst, id).
+     */
+    void onUplinkDisabled();
 
     /** TX preemption mux the fabric drains (one block per slot). */
     phy::PreemptionMux &mux() { return mux_; }
@@ -212,14 +229,35 @@ class HostStack
     std::map<std::pair<NodeId, MsgId>, RequestState> requests_;
     std::map<std::pair<NodeId, MsgId>, ResponseState> responses_;
 
+    /** A grant waiting for the request it outran. */
+    struct ParkedGrant
+    {
+        Bytes size = 0;
+        Picoseconds parked_at = 0;
+    };
+
     /**
      * Strict grant accounting: grants that outran their request sit
      * here (in arrival order, keyed like responses_) until serveRead /
      * serveRmw creates the response state they were issued against —
      * the hardware analogue of leaving them in the grant queue instead
-     * of popping and dropping them.
+     * of popping and dropping them. Entries older than
+     * cfg_.parked_grant_timeout are swept by a scheduled expiry so an
+     * orphaned grant can never outlive its flow and leak into a reused
+     * (dst, id).
      */
-    std::map<std::pair<NodeId, MsgId>, std::vector<Bytes>> parked_grants_;
+    std::map<std::pair<NodeId, MsgId>, std::vector<ParkedGrant>>
+        parked_grants_;
+
+    /**
+     * One pending expiry sweep per parked key (not per grant): armed on
+     * the empty→non-empty transition, re-armed by the sweep for the
+     * oldest survivor, cancelled when the drain consumes the key.
+     */
+    std::map<std::pair<NodeId, MsgId>, EventId> parked_sweeps_;
+
+    /** Uplink dead (§3.3): grants can never be answered again. */
+    bool uplink_disabled_ = false;
 
     std::map<NodeId, int> outstanding_;          ///< active per dst (≤ X)
     std::map<NodeId, std::deque<PendingRequest>> parked_;
@@ -250,6 +288,7 @@ class HostStack
     void serveWrite(const MemMessage &chunk);
     void serveRmw(const MemMessage &req);
     void drainParkedGrants(NodeId dst, MsgId id, Picoseconds delay);
+    void expireParkedGrants(std::pair<NodeId, MsgId> key);
     void sendResponseChunk(NodeId dst, MsgId id, Bytes chunk);
     void sendWriteChunk(NodeId dst, MsgId id, Bytes chunk);
     void completeRead(const MemMessage &chunk);

@@ -55,16 +55,19 @@ Scheduler::insertDemand(Demand d)
     EDM_ASSERT(d.dst < cfg_.num_nodes && d.src < cfg_.num_nodes,
                "demand for unknown port %u->%u", d.src, d.dst);
     Queue &q = *queues_[d.dst];
+    // Check capacity before touching the ledger: openLedgerEntry may
+    // evict-and-overwrite a live predecessor's entry under a reused id,
+    // and unwinding that after a failed insert would leave the older,
+    // still-queued flow untracked (strict mode would then drop it as
+    // stale). A full queue drops the demand before it owns anything.
+    if (q.full())
+        return false;
     const std::int64_t prio = priorityOf(d);
     const auto pair_key = std::make_pair(d.src, d.dst);
     const std::uint64_t seq = d.seq;
-    const FlowKey key = keyOf(d);
     openLedgerEntry(d);
-    if (!q.insert(prio, std::move(d))) {
-        // A full queue drops the demand, so drop its entry too.
-        ledger_.erase(key);
-        return false;
-    }
+    const bool inserted = q.insert(prio, std::move(d));
+    EDM_ASSERT(inserted, "insert into a non-full queue failed");
     pairs_[pair_key].push_back(seq);
     scheduleMatching();
     return true;
@@ -322,7 +325,8 @@ Scheduler::reclaimQueuedDemand(const FlowKey &key)
     Demand dropped{};
     bool found = false;
     q.eraseIf([&](const Demand &dem) {
-        if (dem.src == key.src && dem.id == key.id) {
+        if (dem.src == key.src && dem.id == key.id &&
+            dem.response == key.response) {
             dropped = dem;
             found = true;
             return true;
@@ -336,11 +340,11 @@ Scheduler::reclaimQueuedDemand(const FlowKey &key)
 }
 
 void
-Scheduler::onChunkForwarded(NodeId src, NodeId dst, MsgId id, Bytes bytes,
-                            bool last_chunk)
+Scheduler::onChunkForwarded(NodeId src, NodeId dst, MsgId id,
+                            bool response, Bytes bytes, bool last_chunk)
 {
     ++ledger_stats_.chunks_observed;
-    const FlowKey key{src, dst, id};
+    const FlowKey key{src, dst, id, response};
     auto it = ledger_.find(key);
     if (it == ledger_.end())
         return; // flow already retired, or never tracked (evicted id)

@@ -54,14 +54,19 @@ struct GrantAction
 };
 
 /**
- * Identity of a grant-addressable flow: the data sender, the receiver
- * and the message id — the triple every /N/, /G/ and /MS/ carries.
+ * Identity of a grant-addressable flow: the data sender, the receiver,
+ * the message id and the direction. Hosts number requests per
+ * destination, so host A writing to B while serving B's read can put a
+ * WREQ and an RRES in flight under the same (src, dst, id) — only the
+ * direction bit (which every /G/ and /MS/ carries, as the response
+ * flag resp. the WREQ-vs-RRES message type) tells them apart.
  */
 struct FlowKey
 {
     NodeId src = 0; ///< data sender (memory node for RRES)
     NodeId dst = 0; ///< data receiver
     MsgId id = 0;
+    bool response = false; ///< RRES flow (read/RMW response data)
 
     bool
     operator<(const FlowKey &o) const
@@ -70,7 +75,9 @@ struct FlowKey
             return src < o.src;
         if (dst != o.dst)
             return dst < o.dst;
-        return id < o.id;
+        if (id != o.id)
+            return id < o.id;
+        return response < o.response;
     }
 };
 
@@ -135,14 +142,16 @@ class Scheduler
 
     /**
      * Datapath report: a granted chunk of flow (src→dst, id) carrying
-     * @p bytes passed the switch; @p last_chunk marks the message's
-     * final chunk. Retires the ledger entry on the final chunk; in
-     * strict mode any residual queued demand for the flow is reclaimed
-     * so it can never be granted again. Pure bookkeeping — schedules no
-     * events and, in legacy mode, changes no decision.
+     * @p bytes passed the switch; @p response is the direction bit
+     * (true for RRES data, false for WREQ data — the /MS/ header's
+     * message type) and @p last_chunk marks the message's final chunk.
+     * Retires the ledger entry on the final chunk; in strict mode any
+     * residual queued demand for the flow is reclaimed so it can never
+     * be granted again. Pure bookkeeping — schedules no events and, in
+     * legacy mode, changes no decision.
      */
-    void onChunkForwarded(NodeId src, NodeId dst, MsgId id, Bytes bytes,
-                          bool last_chunk);
+    void onChunkForwarded(NodeId src, NodeId dst, MsgId id, bool response,
+                          Bytes bytes, bool last_chunk);
 
     /**
      * Fault report: @p port's uplink was disabled. Every demand whose
@@ -243,7 +252,7 @@ class Scheduler
     static FlowKey
     keyOf(const Demand &d)
     {
-        return FlowKey{d.src, d.dst, d.id};
+        return FlowKey{d.src, d.dst, d.id, d.response};
     }
 
     void openLedgerEntry(const Demand &d);

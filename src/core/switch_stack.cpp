@@ -294,7 +294,8 @@ SwitchStack::rxBlock(NodeId ingress, const phy::PhyBlock &block)
                 port.egress_port = hdr.dst;
                 ++port.fwd_seq;
                 scheduler_->onChunkForwarded(hdr.src, hdr.dst, hdr.id,
-                                             hdr.len, hdr.last_chunk);
+                                             /*response=*/true, hdr.len,
+                                             hdr.last_chunk);
                 forwardBlock(ingress, port, block);
             } else {
                 EDM_WARN("unexpected /MST/ type %d on port %u",
@@ -324,6 +325,7 @@ SwitchStack::rxBlock(NodeId ingress, const phy::PhyBlock &block)
                 MemMessage hdr;
                 unpackHeader(port.fwd_hdr56, hdr);
                 scheduler_->onChunkForwarded(hdr.src, hdr.dst, hdr.id,
+                                             hdr.type == MemMsgType::RRES,
                                              hdr.len, hdr.last_chunk);
                 forwardBlock(ingress, port, block);
             } else {

@@ -20,7 +20,9 @@
 
 #include "common/logging.hpp"
 #include "core/fabric.hpp"
+#include "core/host_stack.hpp"
 #include "core/scheduler.hpp"
+#include "core/wire.hpp"
 #include "sim/simulation.hpp"
 
 namespace edm {
@@ -132,8 +134,11 @@ TEST(SchedulerLedger, StrictIncastIsWarningCleanAndWastesNothing)
     EXPECT_EQ(r.acc.wasted_grant_slots, 0u);
     EXPECT_EQ(r.completed, r.offered);
     EXPECT_EQ(r.ledger_left, 0u);
-    // The regime was actually exercised: grants did outrun requests.
+    // The regime was actually exercised: grants did outrun requests —
+    // and every parked grant found its request well inside the expiry
+    // window (the timeout only reaps true orphans).
     EXPECT_GT(r.acc.grants_parked, 0u);
+    EXPECT_EQ(r.acc.parked_grants_dropped, 0u);
     EXPECT_EQ(r.acc.ledger.retired_by_completion,
               static_cast<std::uint64_t>(r.offered));
 }
@@ -280,7 +285,8 @@ TEST(SchedulerLedger, StrictRetirementStopsFurtherGrants)
     EXPECT_EQ(bytes->demanded, 1000u);
     EXPECT_EQ(bytes->granted, 256u);
     EXPECT_EQ(bytes->observed, 0u);
-    sched.onChunkForwarded(0, 1, 9, 256, /*last_chunk=*/true);
+    sched.onChunkForwarded(0, 1, 9, /*response=*/false, 256,
+                           /*last_chunk=*/true);
     EXPECT_FALSE(sched.flowBytes(FlowKey{0, 1, 9}).has_value());
     EXPECT_EQ(sched.pendingLedgerEntries(), 0u);
     EXPECT_EQ(sched.pendingDemands(), 0u); // residual demand reclaimed
@@ -311,15 +317,189 @@ TEST(SchedulerLedger, LegacyRetirementIsObservabilityOnly)
     ASSERT_TRUE(sched.addWriteDemand(n));
     sim.run(1);
     ASSERT_EQ(grants.size(), 1u);
-    sched.onChunkForwarded(0, 1, 9, 256, /*last_chunk=*/false);
+    sched.onChunkForwarded(0, 1, 9, /*response=*/false, 256,
+                           /*last_chunk=*/false);
     const auto bytes = sched.flowBytes(FlowKey{0, 1, 9});
     ASSERT_TRUE(bytes.has_value());
     EXPECT_EQ(bytes->observed, 256u); // the ledger watches either way
-    sched.onChunkForwarded(0, 1, 9, 256, true);
+    sched.onChunkForwarded(0, 1, 9, false, 256, true);
     EXPECT_EQ(sched.ledgerStats().retired_by_completion, 1u);
     sim.run();
     EXPECT_EQ(grants.size(), 4u); // 256 + 256 + 256 + 232, as always
     EXPECT_EQ(sched.ledgerStats().grants_suppressed, 0u);
+}
+
+TEST(SchedulerLedger, DirectionBitKeysLedgerEntriesSeparately)
+{
+    // Hosts number messages per destination, so host 0 writing to host
+    // 1 while serving host 1's read can hold a WREQ demand and an RRES
+    // demand under the same (src=0, dst=1, id). Only FlowKey's
+    // direction bit keeps the two ledger entries apart; without it the
+    // second registration evicts the first and the first completion
+    // retires (and, strictly, reclaims) the other, still-live flow.
+    EdmConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.strict_grant_accounting = true;
+    Simulation sim;
+    Scheduler sched(cfg, sim.events(), [](const GrantAction &) {});
+
+    ControlInfo n;
+    n.src = 0;
+    n.dst = 1;
+    n.id = 9;
+    n.size = 1000;
+    ASSERT_TRUE(sched.addWriteDemand(n));
+    MemMessage req; // host 1 reads node 0's memory under the same id
+    req.type = MemMsgType::RREQ;
+    req.src = 1;
+    req.dst = 0;
+    req.id = 9;
+    req.len = 800;
+    ASSERT_TRUE(sched.addReadDemand(req, 800));
+
+    EXPECT_EQ(sched.pendingLedgerEntries(), 2u);
+    EXPECT_EQ(sched.ledgerStats().entries_evicted, 0u);
+
+    // The write's final chunk retires only the write-direction entry
+    // and reclaims only the write's queued demand.
+    sched.onChunkForwarded(0, 1, 9, /*response=*/false, 1000,
+                           /*last_chunk=*/true);
+    EXPECT_FALSE(sched.flowBytes(FlowKey{0, 1, 9, false}).has_value());
+    const auto read_bytes = sched.flowBytes(FlowKey{0, 1, 9, true});
+    ASSERT_TRUE(read_bytes.has_value());
+    EXPECT_EQ(read_bytes->demanded, 800u);
+    EXPECT_EQ(sched.pendingLedgerEntries(), 1u);
+    EXPECT_EQ(sched.pendingDemands(), 1u);
+}
+
+TEST(SchedulerLedger, CollidingReadServeAndWriteBothComplete)
+{
+    // End-to-end regression for the ledger collision: both hosts start
+    // their per-destination id counters at zero, so the write 0→1 and
+    // the response to 1's read from 0 are live as {0→1, id 0}
+    // simultaneously, serialized on node 0's uplink. Strict mode must
+    // finish both.
+    const std::uint64_t warns_before = warnCount();
+    EdmConfig cfg;
+    cfg.num_nodes = 2;
+    cfg.strict_grant_accounting = true;
+    Simulation sim;
+    CycleFabric fab(cfg, sim);
+    fab.host(0).store()->write(0x100, std::vector<std::uint8_t>(2000, 5));
+
+    bool read_done = false;
+    bool write_done = false;
+    fab.read(1, 0, 0x100, 2000,
+             [&](std::vector<std::uint8_t> d, Picoseconds, bool to) {
+                 read_done = !to && d.size() == 2000;
+             });
+    fab.write(0, 1, 0x800, std::vector<std::uint8_t>(2000, 6),
+              [&](Picoseconds) { write_done = true; });
+    sim.run();
+
+    EXPECT_TRUE(read_done);
+    EXPECT_TRUE(write_done);
+    const Scheduler &sched = fab.switchStack().scheduler();
+    EXPECT_EQ(sched.pendingLedgerEntries(), 0u);
+    EXPECT_EQ(sched.pendingDemands(), 0u);
+    EXPECT_EQ(sched.ledgerStats().entries_evicted, 0u);
+    EXPECT_EQ(fab.grantAccounting().wasted_grant_slots, 0u);
+    EXPECT_EQ(warnCount(), warns_before);
+}
+
+TEST(SchedulerLedger, FullQueueInsertLeavesPredecessorTracked)
+{
+    // A demand dropped on a full queue must not disturb the ledger
+    // entry of a live predecessor sharing its key: insertDemand used to
+    // open (evict-and-overwrite) the entry first and erase it on insert
+    // failure, untracking the queued flow — which strict mode then
+    // dropped as stale.
+    EdmConfig cfg;
+    cfg.num_nodes = 2;
+    cfg.max_notifications = 1; // per-port queue capacity = 1 * 2 = 2
+    cfg.strict_grant_accounting = true;
+    Simulation sim;
+    Scheduler sched(cfg, sim.events(), [](const GrantAction &) {});
+
+    ControlInfo n;
+    n.src = 0;
+    n.dst = 1;
+    n.id = 7;
+    n.size = 600;
+    ASSERT_TRUE(sched.addWriteDemand(n));
+    n.id = 8;
+    ASSERT_TRUE(sched.addWriteDemand(n)); // queue for dst 1 now full
+    n.id = 7;                             // id reuse against a full queue
+    n.size = 999;
+    EXPECT_FALSE(sched.addWriteDemand(n));
+
+    EXPECT_EQ(sched.pendingLedgerEntries(), 2u);
+    EXPECT_EQ(sched.ledgerStats().entries_evicted, 0u);
+    const auto bytes = sched.flowBytes(FlowKey{0, 1, 7});
+    ASSERT_TRUE(bytes.has_value());
+    EXPECT_EQ(bytes->demanded, 600u); // untouched by the failed insert
+    EXPECT_EQ(sched.pendingDemands(), 2u);
+}
+
+TEST(SchedulerLedger, OrphanedParkedGrantsExpire)
+{
+    // A parked grant whose request never arrives (lost to a fault, or
+    // issued against an evicted ledger id) must age out instead of
+    // persisting until a later message reuses its (dst, id) and drains
+    // chunks that were never granted to it.
+    EdmConfig cfg;
+    cfg.strict_grant_accounting = true;
+    cfg.parked_grant_timeout = 2 * kMicrosecond;
+    Simulation sim;
+    HostStack host(0, cfg, sim.events(), /*has_memory=*/true, [] {});
+
+    ControlInfo g; // response grant with no request behind it
+    g.dst = 1;
+    g.src = 0;
+    g.id = 5;
+    g.size = 256;
+    g.response = true;
+    host.rxBlock(makeGrant(g));
+    sim.run(/*horizon=*/kMicrosecond);
+    EXPECT_EQ(host.stats().grants_parked, 1u);
+    EXPECT_EQ(host.stats().parked_grants_dropped, 0u);
+
+    const std::uint64_t warns_before = warnCount();
+    sim.run(); // the expiry sweep fires at parked_at + timeout
+    EXPECT_EQ(host.stats().parked_grants_dropped, 1u);
+    EXPECT_EQ(host.stats().unknown_grants, 0u);
+    EXPECT_GT(warnCount(), warns_before);
+}
+
+TEST(SchedulerLedger, UplinkDisableDropsParkedGrants)
+{
+    // With expiry disabled, the fault hook alone must reap parked
+    // grants on a node whose uplink died — it can never answer them.
+    EdmConfig cfg;
+    cfg.strict_grant_accounting = true;
+    cfg.parked_grant_timeout = 0;
+    Simulation sim;
+    HostStack host(0, cfg, sim.events(), /*has_memory=*/true, [] {});
+
+    ControlInfo g;
+    g.dst = 1;
+    g.src = 0;
+    g.id = 5;
+    g.size = 256;
+    g.response = true;
+    host.rxBlock(makeGrant(g));
+    sim.run();
+    EXPECT_EQ(host.stats().grants_parked, 1u);
+    host.onUplinkDisabled();
+    EXPECT_EQ(host.stats().parked_grants_dropped, 1u);
+
+    // A grant that slips in over the still-working downlink after the
+    // disable is dropped outright, never parked.
+    g.id = 6;
+    host.rxBlock(makeGrant(g));
+    sim.run();
+    EXPECT_EQ(host.stats().grants_parked, 1u);
+    EXPECT_EQ(host.stats().parked_grants_dropped, 2u);
 }
 
 } // namespace
