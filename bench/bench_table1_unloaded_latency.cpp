@@ -84,6 +84,26 @@ main()
     }
     std::printf("(paper: 3.7/1.9, 6.8/3.4, 12.7/6.4)\n\n");
 
+    // Loaded operation adds one line occupancy per granted chunk on top
+    // of the unloaded totals above; what the scheduler *reserves* for
+    // it depends on the charging mode (docs/WIRE_FORMAT.md).
+    core::EdmConfig occ; // 25G testbed defaults
+    core::EdmConfig occ_wire = occ;
+    occ_wire.wire_charged_occupancy = true;
+    std::printf("per-chunk line occupancy charge, %llu B chunks at 25G "
+                "(legacy payload l/B -> wire-charged blocks):\n",
+                static_cast<unsigned long long>(occ.chunk_bytes));
+    std::printf("  read  (RRES framing) %7.2f ns -> %7.2f ns\n",
+                toNs(analytic::chunkOccupancy(occ, true,
+                                              occ.chunk_bytes)),
+                toNs(analytic::chunkOccupancy(occ_wire, true,
+                                              occ.chunk_bytes)));
+    std::printf("  write (WREQ framing) %7.2f ns -> %7.2f ns\n\n",
+                toNs(analytic::chunkOccupancy(occ, false,
+                                              occ.chunk_bytes)),
+                toNs(analytic::chunkOccupancy(occ_wire, false,
+                                              occ.chunk_bytes)));
+
     // Cross-check: the cycle-level simulator measures the same EDM
     // fabric plus serialization and DRAM, which we report separately.
     Simulation sim;

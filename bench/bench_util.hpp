@@ -67,7 +67,8 @@ fabricName(Fabric f)
 inline std::unique_ptr<proto::FabricModel>
 makeModel(Fabric f, Simulation &sim, const proto::ClusterConfig &cluster,
           core::Priority edm_priority = core::Priority::Srpt,
-          Bytes edm_chunk = 256, int edm_x = 3)
+          Bytes edm_chunk = 256, int edm_x = 3,
+          bool edm_wire_charged = false)
 {
     switch (f) {
       case Fabric::Edm: {
@@ -75,6 +76,7 @@ makeModel(Fabric f, Simulation &sim, const proto::ClusterConfig &cluster,
         cfg.priority = edm_priority;
         cfg.chunk_bytes = edm_chunk;
         cfg.max_notifications = edm_x;
+        cfg.wire_charged_occupancy = edm_wire_charged;
         return std::make_unique<proto::EdmFlowModel>(sim, cluster, cfg);
       }
       case Fabric::Ird:
@@ -217,30 +219,44 @@ benchScale()
     return 1.0;
 }
 
-/** Run one (fabric, workload) point of the §4.3 simulations. */
-inline RunResult
-runPoint(Fabric f, double load, double write_fraction,
-         std::uint64_t messages, const Cdf &size_cdf = {},
-         std::uint64_t seed = 42,
-         core::Priority edm_priority = core::Priority::Srpt,
-         Bytes edm_chunk = 256, int edm_x = 3)
+/** Fully-specified experiment point of the §4.3 simulations. */
+struct PointSpec
 {
-    Simulation sim(seed);
+    Fabric fabric = Fabric::Edm;
+    double load = 0.5;
+    double write_fraction = 1.0;
+    std::uint64_t messages = 50000;
+    Cdf size_cdf = {};
+    std::uint64_t seed = 42;
+    core::Priority edm_priority = core::Priority::Srpt;
+    Bytes edm_chunk = 256;
+    int edm_x = 3;
+
+    /** EDM only: wire-charged port occupancy (core/occupancy.hpp). */
+    bool edm_wire_charged = false;
+};
+
+/** Run one experiment point. A new knob only touches PointSpec here. */
+inline RunResult
+runPoint(const PointSpec &p)
+{
+    Simulation sim(p.seed);
     proto::ClusterConfig cluster;
     cluster.num_nodes = 144; // §4.3 setup
-    auto model = makeModel(f, sim, cluster, edm_priority, edm_chunk,
-                           edm_x);
+    auto model = makeModel(p.fabric, sim, cluster, p.edm_priority,
+                           p.edm_chunk, p.edm_x, p.edm_wire_charged);
 
     workload::SyntheticConfig cfg;
     cfg.num_nodes = cluster.num_nodes;
-    cfg.load = load;
-    cfg.write_fraction = write_fraction;
+    cfg.load = p.load;
+    cfg.write_fraction = p.write_fraction;
     cfg.messages =
-        static_cast<std::uint64_t>(messages * benchScale());
-    cfg.size_cdf = size_cdf;
+        static_cast<std::uint64_t>(p.messages * benchScale());
+    cfg.size_cdf = p.size_cdf;
 
-    Rng rng(seed * 77 + 1);
-    const auto jobs = workload::generateSynthetic(rng, cfg, wireFn(f));
+    Rng rng(p.seed * 77 + 1);
+    const auto jobs = workload::generateSynthetic(rng, cfg,
+                                                  wireFn(p.fabric));
     for (const auto &j : jobs)
         model->offer(j);
     sim.run();
@@ -253,19 +269,28 @@ runPoint(Fabric f, double load, double write_fraction,
     return r;
 }
 
-/** Fully-specified experiment point for parallel execution. */
-struct PointSpec
+/** Positional convenience wrapper over runPoint(PointSpec). */
+inline RunResult
+runPoint(Fabric f, double load, double write_fraction,
+         std::uint64_t messages, const Cdf &size_cdf = {},
+         std::uint64_t seed = 42,
+         core::Priority edm_priority = core::Priority::Srpt,
+         Bytes edm_chunk = 256, int edm_x = 3,
+         bool edm_wire_charged = false)
 {
-    Fabric fabric = Fabric::Edm;
-    double load = 0.5;
-    double write_fraction = 1.0;
-    std::uint64_t messages = 50000;
-    Cdf size_cdf = {};
-    std::uint64_t seed = 42;
-    core::Priority edm_priority = core::Priority::Srpt;
-    Bytes edm_chunk = 256;
-    int edm_x = 3;
-};
+    PointSpec p;
+    p.fabric = f;
+    p.load = load;
+    p.write_fraction = write_fraction;
+    p.messages = messages;
+    p.size_cdf = size_cdf;
+    p.seed = seed;
+    p.edm_priority = edm_priority;
+    p.edm_chunk = edm_chunk;
+    p.edm_x = edm_x;
+    p.edm_wire_charged = edm_wire_charged;
+    return runPoint(p);
+}
 
 /**
  * Run many experiment points concurrently on a ScenarioRunner pool.
@@ -285,10 +310,7 @@ runPointsParallel(const std::vector<PointSpec> &points)
         runner.add(std::string(fabricName(p.fabric)) + "#" +
                        std::to_string(i),
                    [p](ScenarioContext &ctx) {
-                       const RunResult r = runPoint(
-                           p.fabric, p.load, p.write_fraction, p.messages,
-                           p.size_cdf, p.seed, p.edm_priority, p.edm_chunk,
-                           p.edm_x);
+                       const RunResult r = runPoint(p);
                        ctx.record("norm_mean", r.norm_mean);
                        ctx.record("norm_p99", r.norm_p99);
                        ctx.record("mean_ns", r.mean_ns);

@@ -2,15 +2,13 @@
 
 #include <algorithm>
 
-#include "core/message.hpp"
+#include "core/occupancy.hpp"
 #include "mac/frame.hpp"
 
 namespace edm {
 namespace analytic {
 
 namespace {
-
-constexpr double kBlockBytes = 66.0 / 8.0;
 
 /** RoCEv2 wire bytes for a payload: headers + MAC minimum + IFG. */
 double
@@ -44,16 +42,18 @@ requestCost(Framing framing, workload::YcsbWorkload w)
 
     RequestCost c;
     if (framing == Framing::Edm) {
-        const double rreq = static_cast<double>(
-            core::wireBlocks(core::MemMsgType::RREQ, 0)) * kBlockBytes;
-        const double rres = static_cast<double>(
-            core::wireBlocks(core::MemMsgType::RRES, read_bytes)) *
-            kBlockBytes;
-        const double wreq = static_cast<double>(
-            core::wireBlocks(core::MemMsgType::WREQ, write_bytes)) *
-            kBlockBytes;
-        const double notify = kBlockBytes;
-        const double grant = kBlockBytes;
+        // Per-message wire budgets come from the shared wire-occupancy
+        // model (core/occupancy.hpp): 66-bit blocks including /MS/,
+        // address and /MT/ framing — the same block counts the
+        // scheduler's wire-charged port timers reserve.
+        const double rreq =
+            core::wireOccupancyBytes(core::MemMsgType::RREQ, 0);
+        const double rres =
+            core::wireOccupancyBytes(core::MemMsgType::RRES, read_bytes);
+        const double wreq =
+            core::wireOccupancyBytes(core::MemMsgType::WREQ, write_bytes);
+        const double notify = core::kBlockWireBytes;
+        const double grant = core::kBlockWireBytes;
         // Uplink: read requests + write notifications + write data.
         c.uplink_bytes = rf * rreq + wf * (notify + wreq);
         // Downlink: read responses + write grants.

@@ -87,6 +87,24 @@ struct EdmConfig
     bool strict_grant_accounting = false;
 
     /**
+     * Charge port-occupancy timers the chunk's exact wire line-time
+     * instead of the raw payload serialization `l/B`. A granted chunk
+     * travels as 66-bit blocks — /MS/, an address block for writes, one
+     * data block per 8 payload bytes, /MT/ — so a 256 B write chunk
+     * occupies 35 block slots = 89.6 ns at 25G, ~9% more than the
+     * 81.92 ns the legacy charge reserves. That systematic under-charge
+     * is what backs up egress staging under incast and lets /G/ grants
+     * outrun their flow's forwarded request. On, the scheduler (and the
+     * flow-level model's chunk serialization) charge the exact block
+     * count from core/occupancy.hpp, pacing grants at the true wire
+     * rate. Off by default: legacy mode reproduces the historical
+     * schedules bit-exactly. Turning it on changes every schedule — see
+     * docs/REBASELINE.md for the golden-rebaseline procedure and
+     * docs/WIRE_FORMAT.md for the arithmetic.
+     */
+    bool wire_charged_occupancy = false;
+
+    /**
      * Strict mode: how long a parked grant may wait for the request it
      * outran before it is dropped as orphaned (its forwarded RREQ was
      * lost to a fault, or the grant was issued against an evicted

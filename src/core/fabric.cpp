@@ -642,6 +642,12 @@ CycleFabric::grantAccounting() const
     return acc;
 }
 
+std::size_t
+CycleFabric::peakEgressStaging() const
+{
+    return switch_->peakEgressStaging();
+}
+
 std::uint64_t
 CycleFabric::linkErrors(NodeId src) const
 {

@@ -120,6 +120,16 @@ class CycleFabric
 
     GrantAccounting grantAccounting() const;
 
+    /**
+     * Deepest combined egress staging seen on any switch port
+     * (blocks): circuit-staged blocks plus the egress mux's memory
+     * backlog, sampled at every push (SwitchStack::peakEgressStaging).
+     * Grows with the legacy per-chunk occupancy under-charge
+     * (core::stagingGrowthBlocksPerChunk); wire-charged occupancy
+     * (EdmConfig::wire_charged_occupancy) keeps it shallow.
+     */
+    std::size_t peakEgressStaging() const;
+
     /** End-to-end latencies in nanoseconds (completion-measured). */
     const Samples &readLatency() const { return read_lat_; }
     const Samples &writeLatency() const { return write_lat_; }

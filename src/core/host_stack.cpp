@@ -81,6 +81,12 @@ HostStack::postRmw(NodeId dst, std::uint64_t addr, mem::RmwOp op,
     admit(dst, std::move(req));
 }
 
+bool
+HostStack::nextIdLive(NodeId dst)
+{
+    return requests_.count(std::make_pair(dst, next_id_[dst])) != 0;
+}
+
 void
 HostStack::admit(NodeId dst, PendingRequest req)
 {
@@ -88,6 +94,17 @@ HostStack::admit(NodeId dst, PendingRequest req)
     // scheduler's per-port notification queues are sized X·N, and hosts
     // are the enforcement point.
     if (outstanding_[dst] >= cfg_.max_notifications) {
+        parked_[dst].push_back(std::move(req));
+        return;
+    }
+    // 8-bit message ids wrap at 256 sends per destination; launching
+    // onto an id whose original message is still live (a stranded
+    // legacy-incast read, or simply >256 queued toward one node) would
+    // make two distinct messages indistinguishable on the wire. Stall
+    // the send until the id frees — its completion (or timeout) calls
+    // release(), which drains the park.
+    if (nextIdLive(dst)) {
+        ++stats_.id_stalls;
         parked_[dst].push_back(std::move(req));
         return;
     }
@@ -102,8 +119,13 @@ HostStack::release(NodeId dst)
     EDM_ASSERT(it != outstanding_.end() && it->second > 0,
                "release without matching admit for dst %u", dst);
     --it->second;
+    // Drain as many parked sends as the freed slot (and, after an
+    // id-stall, the freed message id) allows. Without id stalls parked
+    // is non-empty only when every slot is taken, so the loop runs at
+    // most once — exactly the historical one-for-one relaunch.
     auto &parked = parked_[dst];
-    if (!parked.empty()) {
+    while (!parked.empty() && it->second < cfg_.max_notifications &&
+           !nextIdLive(dst)) {
         PendingRequest req = std::move(parked.front());
         parked.pop_front();
         ++it->second;

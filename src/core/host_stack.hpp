@@ -84,6 +84,16 @@ struct HostStats
      * reuses the same 8-bit (dst, id).
      */
     std::uint64_t parked_grants_dropped = 0;
+
+    /**
+     * Sends stalled because the next 8-bit message id toward their
+     * destination was still live (a wrapped id whose original message
+     * has not completed — e.g. a stranded legacy-incast read). The
+     * send parks until the id frees instead of wrapping onto the live
+     * id, which would make two distinct messages indistinguishable on
+     * the wire (and used to panic the host).
+     */
+    std::uint64_t id_stalls = 0;
 };
 
 /**
@@ -279,6 +289,7 @@ class HostStack
     void admit(NodeId dst, PendingRequest req);
     void launch(PendingRequest req);
     void release(NodeId dst);
+    bool nextIdLive(NodeId dst);
     void enqueueMemBlocks(std::vector<phy::PhyBlock> blocks,
                           Picoseconds delay);
     void onMemoryBlock(const phy::PhyBlock &block);

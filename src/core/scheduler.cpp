@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "core/occupancy.hpp"
 
 namespace edm {
 namespace core {
@@ -269,12 +270,9 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
         // the request's few blocks; reserve it so the RREQ cannot
         // interleave with a data stream headed to the same port.
         const auto &req = *d.buffered_request;
-        const auto req_bytes = static_cast<Bytes>(
-            wireBytes(req.type, req.payload.size()) + 1.0);
         const NodeId mem_port = d.src;
         dst_busy_[mem_port] = true;
-        events_.schedule(when + transmissionDelay(req_bytes,
-                                                  cfg_.link_rate),
+        events_.schedule(when + requestForwardOccupancy(cfg_, req),
                          [this, mem_port] {
                              dst_busy_[mem_port] = false;
                              scheduleMatching();
@@ -294,9 +292,13 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
     src_busy_[d.src] = true;
     dst_busy_[dst_port] = true;
 
-    // Release both ports l/B after the grant leaves, so the next chunk's
-    // first bit lands right behind this chunk's last bit (§3.1.1 step 7).
-    const Picoseconds occupancy = transmissionDelay(l, cfg_.link_rate);
+    // Release both ports one chunk occupancy after the grant leaves, so
+    // the next chunk's first bit lands right behind this chunk's last
+    // bit (§3.1.1 step 7). Legacy charges the raw payload serialization
+    // l/B; wire-charged mode charges the chunk's exact 66-bit block
+    // line-time (core/occupancy.hpp), which also covers the /MS/,
+    // address and /MT/ framing the legacy charge leaves unpaid.
+    const Picoseconds occupancy = grantOccupancy(cfg_, d.response, l);
     const NodeId src_port = d.src;
     events_.schedule(when + occupancy, [this, src_port, dst_port] {
         src_busy_[src_port] = false;

@@ -36,6 +36,15 @@ SwitchStack::egressFrameBacklog(NodeId port)
     return ports_[port]->frame_backlog;
 }
 
+std::size_t
+SwitchStack::peakEgressStaging() const
+{
+    std::size_t peak = 0;
+    for (const auto &p : ports_)
+        peak = std::max(peak, p->staging_peak);
+    return peak;
+}
+
 void
 SwitchStack::emitToEgress(NodeId port, std::vector<phy::PhyBlock> blocks,
                           Picoseconds delay)
@@ -44,6 +53,7 @@ SwitchStack::emitToEgress(NodeId port, std::vector<phy::PhyBlock> blocks,
                           [this, port, blocks = std::move(blocks)] {
                               ports_[port]->egress.enqueueMemory(
                                   blocks, events_.now());
+                              ports_[port]->noteDepth();
                               on_tx_work_(port);
                           });
 }
@@ -111,6 +121,8 @@ SwitchStack::stagePush(Port &ep, NodeId ingress, std::uint64_t seq,
         q.push_front(node);
     else
         q.insert_before(pos->next, node);
+    ++ep.staged_count;
+    ep.noteDepth();
 }
 
 void
@@ -131,11 +143,13 @@ SwitchStack::adoptStaged(NodeId egress, NodeId ingress, std::uint64_t seq)
         scratch_blocks_.push_back(sb->block);
         scratch_avails_.push_back(std::max(sb->at, now));
         ep.staged_pool.release(sb);
+        --ep.staged_count;
     }
     if (!scratch_blocks_.empty()) {
         ep.egress.enqueueMemoryList(scratch_blocks_.data(),
                                     scratch_avails_.data(),
                                     scratch_blocks_.size());
+        ep.noteDepth();
         on_tx_work_(egress);
     }
 }
@@ -154,6 +168,7 @@ SwitchStack::egressAccept(NodeId egress, NodeId ingress, std::uint64_t seq,
 
     if (ep.stream_owner == ingress && ep.owner_seq == seq) {
         ep.egress.enqueueMemory(block, events_.now());
+        ep.noteDepth();
         on_tx_work_(egress);
         if (is_mt) {
             ep.stream_owner = Port::kNoOwner;
@@ -163,6 +178,7 @@ SwitchStack::egressAccept(NodeId egress, NodeId ingress, std::uint64_t seq,
     }
     if (ep.stream_owner == Port::kNoOwner) {
         ep.egress.enqueueMemory(block, events_.now());
+        ep.noteDepth();
         on_tx_work_(egress);
         if (is_ms) {
             ep.stream_owner = ingress;
@@ -225,7 +241,9 @@ SwitchStack::drainStaged(NodeId egress)
         // arrival stay available at that (future) arrival instant.
         const Picoseconds at = std::max(sb->at, now);
         ep.staged_pool.release(sb);
+        --ep.staged_count;
         ep.egress.enqueueMemory(b, at);
+        ep.noteDepth();
         on_tx_work_(egress);
         const bool terminates = b.isControl() &&
             (b.type() == phy::BlockType::MemTerm ||
@@ -397,6 +415,7 @@ SwitchStack::rxBlockTrain(NodeId ingress, const phy::PhyBlock *blocks,
             // would have enqueued it.
             ep.egress.enqueueMemoryRun(blocks, count, first_avail,
                                        stride);
+            ep.noteDepth();
             on_tx_work_(egress);
         } else {
             // Our /MS/ is still in the forwarding pipeline behind this
@@ -415,6 +434,8 @@ SwitchStack::rxBlockTrain(NodeId ingress, const phy::PhyBlock *blocks,
                 node->seq = seq;
                 q.push_back(node);
             }
+            ep.staged_count += count;
+            ep.noteDepth();
         }
         return;
     }

@@ -111,6 +111,21 @@ class SwitchStack
     Scheduler &scheduler() { return *scheduler_; }
     const SwitchStats &stats() const { return stats_; }
 
+    /**
+     * Deepest combined egress staging observed on any port: circuit
+     * staging (blocks parked awaiting stream ownership) plus the
+     * egress mux's memory backlog, sampled at every push so the value
+     * is a depth that really occurred. The mux backlog includes blocks
+     * a train handed over early with future availability stamps, so
+     * compare runs at the same max_train_blocks. This is the quantity
+     * the wire-occupancy model's per-chunk growth estimate
+     * (core::stagingGrowthBlocksPerChunk) predicts — legacy payload
+     * charging under-reserves every chunk and the peak climbs with the
+     * grant count; wire-charged occupancy keeps it near one chunk per
+     * contending flow.
+     */
+    std::size_t peakEgressStaging() const;
+
   private:
     /** A staged block awaiting egress stream ownership (pooled node). */
     struct StagedBlock
@@ -179,6 +194,27 @@ class SwitchStack
          */
         std::vector<StagedList> staged;
         common::ObjectPool<StagedBlock> staged_pool;
+
+        /** Live staged blocks across every ingress queue. */
+        std::size_t staged_count = 0;
+
+        /**
+         * High-water mark of the *combined* egress staging depth —
+         * circuit-staged blocks plus the egress mux's memory backlog,
+         * sampled at every push — so it is a depth that actually
+         * existed at one instant (a block moving staging → mux is
+         * never double-counted: the pop decrements staged_count before
+         * the enqueue samples).
+         */
+        std::size_t staging_peak = 0;
+
+        void
+        noteDepth()
+        {
+            const std::size_t d = staged_count + egress.memoryBacklog();
+            if (d > staging_peak)
+                staging_peak = d;
+        }
     };
 
     EdmConfig cfg_;

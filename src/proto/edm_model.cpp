@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "core/occupancy.hpp"
 
 namespace edm {
 namespace proto {
@@ -18,6 +19,7 @@ EdmFlowModel::EdmFlowModel(Simulation &sim, const ClusterConfig &cluster,
     ecfg_.priority = cfg.priority;
     ecfg_.scheduler_ghz = cfg.scheduler_ghz;
     ecfg_.strict_grant_accounting = cfg.strict_grant_accounting;
+    ecfg_.wire_charged_occupancy = cfg.wire_charged_occupancy;
     sched_ = std::make_unique<core::Scheduler>(
         ecfg_, sim.events(),
         [this](const core::GrantAction &a) { onGrant(a); });
@@ -80,18 +82,28 @@ void
 EdmFlowModel::onGrant(const core::GrantAction &action)
 {
     MsgKey key;
+    bool response;
     const Bytes chunk = action.chunk;
     if (action.forward_request) {
         const auto &req = *action.forward_request;
         key = MsgKey{req.dst, req.src, req.id};
+        response = true; // forwarded request pays for an RRES chunk
     } else {
         const auto &g = *action.grant_block;
         key = MsgKey{g.src, g.dst, g.id};
+        response = g.response;
     }
     // Grant travels one hop to the sender; the chunk then serializes and
-    // crosses two hops through its virtual circuit.
-    const Picoseconds at = sim_.now() + 3 * cfg_.propagation +
-        txDelay(chunk);
+    // crosses two hops through its virtual circuit. Wire-charged mode
+    // serializes the chunk's exact block line-time (matching the
+    // occupancy the shared scheduler reserved for it); legacy keeps the
+    // raw payload delay bit-exactly.
+    const Picoseconds ser = mcfg_.wire_charged_occupancy
+        ? core::chunkLineTime(response ? core::MemMsgType::RRES
+                                       : core::MemMsgType::WREQ,
+                              chunk, cfg_.link_rate)
+        : txDelay(chunk);
+    const Picoseconds at = sim_.now() + 3 * cfg_.propagation + ser;
     deliverChunk(key, chunk, at);
 }
 

@@ -33,6 +33,16 @@ struct EdmModelConfig
 
     /** Demand-lifecycle ledger enforcement (EdmConfig equivalent). */
     bool strict_grant_accounting = false;
+
+    /**
+     * Charge exact 66-bit block line-time per chunk (EdmConfig
+     * equivalent): the shared core::Scheduler's port-occupancy timers
+     * and this model's chunk serialization both switch from the raw
+     * payload `l/B` to the wire-charged occupancy of
+     * core/occupancy.hpp. Changes every schedule — rebaseline golden
+     * values per docs/REBASELINE.md.
+     */
+    bool wire_charged_occupancy = false;
 };
 
 /** The EDM fabric at flow granularity. */

@@ -41,6 +41,7 @@ struct IncastResult
     std::uint64_t grants = 0;
     CycleFabric::GrantAccounting acc;
     std::size_t ledger_left = 0;
+    std::size_t peak_staging = 0;
     std::vector<double> read_lat;
     std::vector<double> write_lat;
 };
@@ -57,13 +58,15 @@ enum class Mix
  * of back-to-back 900 B reads / 700 B writes against node 0.
  */
 IncastResult
-runIncast(Mix mix, int rounds, bool strict, std::size_t train_cap)
+runIncast(Mix mix, int rounds, bool strict, std::size_t train_cap,
+          bool wire_charged = false)
 {
     EdmConfig cfg;
     cfg.num_nodes = kIncastNodes;
     cfg.max_train_blocks = train_cap;
     cfg.max_frame_train_blocks = train_cap;
     cfg.strict_grant_accounting = strict;
+    cfg.wire_charged_occupancy = wire_charged;
     Simulation sim(42);
     CycleFabric fab(cfg, sim);
 
@@ -100,6 +103,7 @@ runIncast(Mix mix, int rounds, bool strict, std::size_t train_cap)
     r.grants = fab.switchStack().scheduler().grantsIssued();
     r.acc = fab.grantAccounting();
     r.ledger_left = fab.switchStack().scheduler().pendingLedgerEntries();
+    r.peak_staging = fab.peakEgressStaging();
     r.read_lat = fab.readLatency().raw();
     r.write_lat = fab.writeLatency().raw();
     return r;
@@ -439,6 +443,96 @@ TEST(SchedulerLedger, FullQueueInsertLeavesPredecessorTracked)
     ASSERT_TRUE(bytes.has_value());
     EXPECT_EQ(bytes->demanded, 600u); // untouched by the failed insert
     EXPECT_EQ(sched.pendingDemands(), 2u);
+}
+
+TEST(SchedulerLedger, WireChargedOccupancyShrinksIncastStaging)
+{
+    // Acceptance criterion for EdmConfig::wire_charged_occupancy: with
+    // port timers charging the chunk's exact 66-bit block line-time
+    // (instead of the ~9%-short raw payload charge), grants pace at the
+    // true wire drain rate, so the mixed-incast regime wastes fewer
+    // granted slots and peaks at a much shallower egress staging depth
+    // than legacy — and, unlike strict accounting alone, grants barely
+    // ever outrun their forwarded request in the first place.
+    const IncastResult legacy = runIncast(Mix::Mixed, 20, false, 64);
+    const IncastResult wire =
+        runIncast(Mix::Mixed, 20, true, 64, /*wire_charged=*/true);
+    ASSERT_GT(legacy.acc.wasted_grant_slots, 0u); // the regime is real
+    EXPECT_EQ(wire.completed, wire.offered);
+    EXPECT_EQ(wire.acc.unknown_grants, 0u);
+    EXPECT_LT(wire.acc.wasted_grant_slots, legacy.acc.wasted_grant_slots);
+    EXPECT_LT(wire.peak_staging, legacy.peak_staging);
+    EXPECT_EQ(wire.ledger_left, 0u);
+
+    // The wire-charged schedule is engine-invariant too: per-block and
+    // train emission must agree bit-exactly, as they do in legacy mode.
+    const IncastResult per_block =
+        runIncast(Mix::Mixed, 20, true, 1, /*wire_charged=*/true);
+    EXPECT_EQ(wire.end_time, per_block.end_time);
+    EXPECT_EQ(wire.grants, per_block.grants);
+    EXPECT_EQ(wire.completed, per_block.completed);
+    EXPECT_EQ(wire.read_lat, per_block.read_lat);
+    EXPECT_EQ(wire.write_lat, per_block.write_lat);
+}
+
+TEST(SchedulerLedger, IdWrapStallsInsteadOfPanicking)
+{
+    // Legacy-incast follow-up (ROADMAP, PR 4): 8-bit message ids wrap
+    // at 256 sends per destination, and a long-enough run with one
+    // stranded flow eventually wrapped onto its still-live id — an
+    // EDM_PANIC in HostStack::launch. The host must stall the new send
+    // until the id frees instead.
+    EdmConfig cfg;
+    Simulation sim;
+    HostStack host(0, cfg, sim.events(), /*has_memory=*/false, [] {});
+
+    int completed = 0;
+    auto post = [&] {
+        host.postRead(1, 0x100, 4,
+                      [&](std::vector<std::uint8_t>, Picoseconds, bool) {
+                          ++completed;
+                      });
+    };
+    // Answer an outstanding read by feeding its RRES into the RX path.
+    auto answer = [&](MsgId id) {
+        MemMessage m;
+        m.type = MemMsgType::RRES;
+        m.src = 1; // the memory node
+        m.dst = 0;
+        m.id = id;
+        m.len = 4;
+        m.payload.assign(4, 7);
+        for (const auto &b : serialize(m))
+            host.rxBlock(b);
+        sim.run();
+    };
+
+    // Strand id 0 (its response never arrives), then drive 255 more
+    // launches so ids 1..255 are assigned and freed around it.
+    post();
+    sim.run();
+    for (int i = 1; i <= 255; ++i) {
+        post();
+        sim.run();
+        answer(static_cast<MsgId>(i));
+    }
+    ASSERT_EQ(completed, 255);
+    EXPECT_EQ(host.stats().id_stalls, 0u);
+
+    // The 257th send wraps next_id_ back to the live id 0: the old code
+    // panicked here ("message id wrap with >256 outstanding"); now the
+    // send parks until the id frees.
+    post();
+    sim.run();
+    EXPECT_EQ(host.stats().id_stalls, 1u);
+    EXPECT_EQ(completed, 255); // stalled, not launched
+
+    // The stranded read finally completes: its id frees, the stalled
+    // send launches under it, and the chain finishes cleanly.
+    answer(0);
+    EXPECT_EQ(completed, 256);
+    answer(0);
+    EXPECT_EQ(completed, 257);
 }
 
 TEST(SchedulerLedger, OrphanedParkedGrantsExpire)

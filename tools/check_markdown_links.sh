@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+#
+# Markdown link lint: every relative link target in README.md and
+# docs/*.md must exist in the tree. External (http/https/mailto) and
+# pure-anchor links are skipped; a `#fragment` suffix on a file link is
+# stripped before the existence check. Exits non-zero listing every
+# broken link — the CI docs job gate.
+#
+# Usage: tools/check_markdown_links.sh [file.md ...]
+#        (no arguments: README.md + docs/**/*.md)
+
+set -uo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+    files=(README.md)
+    while IFS= read -r f; do
+        files+=("$f")
+    done < <(find docs -name '*.md' 2>/dev/null | sort)
+fi
+
+broken=0
+checked=0
+for f in "${files[@]}"; do
+    if [[ ! -f "$f" ]]; then
+        echo "BROKEN  $f: file listed for linting does not exist"
+        broken=$((broken + 1))
+        continue
+    fi
+    dir=$(dirname "$f")
+    # Inline links/images: capture the (...) target of [...](...).
+    while IFS= read -r target; do
+        case "$target" in
+          http://*|https://*|mailto:*) continue ;;  # external
+          '#'*) continue ;;                         # in-page anchor
+          '') continue ;;
+        esac
+        checked=$((checked + 1))
+        path=${target%%#*}        # drop a #fragment suffix
+        path=${path%% *}          # drop a "title" suffix
+        if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+            echo "BROKEN  $f -> $target"
+            broken=$((broken + 1))
+        fi
+    done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$f" |
+             sed -E 's/.*\(([^)]+)\)/\1/')
+done
+
+echo "checked ${#files[@]} file(s), $checked relative link(s), \
+$broken broken"
+[[ $broken -eq 0 ]]
