@@ -38,22 +38,27 @@
  * slots, parked grants, stranded flows, peak egress staging depth
  * (CycleFabric::peakEgressStaging) and read p99.
  *
+ * The experiment body is the shared sim/scenario_exec.cpp
+ * runIncastPoint — the same code scenarios/incast.edm runs through
+ * examples/run_scenario.cpp, so the two tables are bit-identical.
+ *
  * Every (point, mode) pair runs as an independent scenario on the
  * ScenarioRunner pool; EDM_SWEEP_THREADS pins the worker count.
  *
  * Build & run:   ./build/incast_stress [rounds] [--quick]
- * (--quick: one point per pattern at reduced rounds — the CI artifact.)
+ * (--quick: one point per pattern at EDM_BENCH_SCALE-scaled rounds —
+ * the CI artifact. Unset, the scale defaults to 0.5.)
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <functional>
 #include <string>
 #include <vector>
 
-#include "core/fabric.hpp"
 #include "core/occupancy.hpp"
+#include "sim/scenario_exec.hpp"
 #include "sim/scenario_runner.hpp"
 
 namespace {
@@ -88,78 +93,6 @@ struct Point
     Mode mode;
 };
 
-/** Closed-loop mixed read/write chains over a fixed target pattern. */
-void
-runPoint(ScenarioContext &ctx, const Point &pt, int rounds)
-{
-    EdmConfig cfg;
-    cfg.num_nodes = pt.nodes;
-    cfg.strict_grant_accounting = pt.mode != Mode::Legacy;
-    cfg.wire_charged_occupancy = pt.mode == Mode::Wire;
-    Simulation &sim = ctx.sim();
-    const bool all_to_all = std::string(pt.pattern) == "all-to-all";
-    CycleFabric fab(cfg, sim);
-
-    long completed = 0;
-    long offered = 0;
-    std::function<void(NodeId, NodeId, int)> issue =
-        [&](NodeId from, NodeId to, int left) {
-            if (left <= 0)
-                return;
-            if (left % 3 == 0) {
-                fab.write(from, to, 0x1000u * from,
-                          std::vector<std::uint8_t>(700, 1),
-                          [&issue, &completed, from, to,
-                           left](Picoseconds) {
-                              ++completed;
-                              issue(from, to, left - 1);
-                          });
-            } else {
-                fab.read(from, to, 0x1000u * from, 900,
-                         [&issue, &completed, from, to, left](
-                             std::vector<std::uint8_t>, Picoseconds,
-                             bool) {
-                             ++completed;
-                             issue(from, to, left - 1);
-                         });
-            }
-        };
-    for (NodeId i = 0; i < pt.nodes; ++i) {
-        for (int k = 0; k < kChainsPerNode; ++k) {
-            if (all_to_all) {
-                // Deterministic spread: chain k of node i targets the
-                // k-th next node, so every pair stays loaded.
-                const auto to = static_cast<NodeId>(
-                    (i + 1 + k % (pt.nodes - 1)) % pt.nodes);
-                issue(i, to, rounds);
-                offered += rounds;
-            } else if (i != 0) {
-                issue(i, 0, rounds);
-                offered += rounds;
-            }
-        }
-    }
-    sim.run();
-
-    const auto acc = fab.grantAccounting();
-    ctx.record("offered", static_cast<double>(offered));
-    ctx.record("completed", static_cast<double>(completed));
-    ctx.record("grants",
-               static_cast<double>(
-                   fab.switchStack().scheduler().grantsIssued()));
-    ctx.record("wasted_slots",
-               static_cast<double>(acc.wasted_grant_slots));
-    ctx.record("parked", static_cast<double>(acc.grants_parked));
-    ctx.record("stranded",
-               static_cast<double>(
-                   fab.switchStack().scheduler().pendingLedgerEntries()));
-    ctx.record("peak_staging",
-               static_cast<double>(fab.peakEgressStaging()));
-    Samples reads = fab.readLatency();
-    ctx.record("read_p99",
-               reads.count() ? reads.percentile(99) : 0.0);
-}
-
 } // namespace
 
 int
@@ -179,8 +112,12 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    // --quick samples at the one scale every CI/rebaseline artifact
+    // uses: EDM_BENCH_SCALE, defaulting to 0.5 (the historical
+    // 10-of-20 rounds) when unset.
     if (quick)
-        rounds = std::min(rounds, 10);
+        rounds = std::max(
+            1L, std::lround(rounds * benchScaleEnv(0.5)));
 
     std::printf("incast contention stress, %d rounds x %d chains/node, "
                 "mixed 900 B reads / 700 B writes\n",
@@ -224,14 +161,23 @@ main(int argc, char **argv)
         for (const Mode m : kModes)
             points.push_back(Point{"all-to-all", n, m});
 
+    IncastWorkload workload;
+    workload.chains_per_node = kChainsPerNode;
+
     ScenarioRunner::Options opts;
     opts.base_seed = 7;
     ScenarioRunner runner(opts);
     for (const Point &pt : points) {
         runner.add(std::string(pt.pattern) + "/" +
                        std::to_string(pt.nodes) + "/" + modeName(pt.mode),
-                   [pt, rounds](ScenarioContext &ctx) {
-                       runPoint(ctx, pt, rounds);
+                   [pt, workload, rounds](ScenarioContext &ctx) {
+                       EdmConfig cfg;
+                       cfg.strict_grant_accounting =
+                           pt.mode != Mode::Legacy;
+                       cfg.wire_charged_occupancy = pt.mode == Mode::Wire;
+                       runIncastPoint(ctx,
+                                      IncastPoint{pt.pattern, pt.nodes},
+                                      workload, rounds, cfg);
                    });
     }
     const auto results = runner.runAll();

@@ -8,80 +8,45 @@
  * stays nearly flat.
  *
  * The interference sweep (0..8 competing jumbo frames) runs each point
- * as an independent ScenarioRunner scenario, in parallel.
+ * as an independent ScenarioRunner scenario, in parallel. The
+ * measurement body is the shared sim/scenario_exec.cpp
+ * runInterferencePoint — the same code scenarios/interference.edm runs
+ * through examples/run_scenario.cpp.
  *
  * Build & run:   ./build/preemption_interference
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "core/fabric.hpp"
 #include "mac/frame.hpp"
+#include "sim/scenario_exec.hpp"
 #include "sim/scenario_runner.hpp"
-
-namespace {
-
-using namespace edm;
-
-/** Measure a 64 B read preempting @p frames queued jumbo frames. */
-void
-interferencePoint(ScenarioContext &ctx, int frames)
-{
-    Simulation &sim = ctx.sim();
-    core::EdmConfig cfg;
-    cfg.num_nodes = 2;
-    cfg.link_rate = Gbps{25.0};
-    core::CycleFabric fabric(cfg, sim, {1});
-    fabric.host(1).store()->write(0x1000,
-                                  std::vector<std::uint8_t>(64, 0x77));
-
-    auto measure_read = [&]() {
-        Picoseconds lat = 0;
-        fabric.read(0, 1, 0x1000, 64,
-                    [&](std::vector<std::uint8_t>, Picoseconds l, bool) {
-                        lat = l;
-                    });
-        sim.run();
-        return lat;
-    };
-
-    // Warm-up (opens the DRAM row), then load the uplink and read
-    // through the queued frames.
-    measure_read();
-    mac::Frame jumbo;
-    jumbo.payload.assign(8900, 0xEE);
-    const auto bytes = mac::serialize(jumbo);
-    for (int i = 0; i < frames; ++i)
-        fabric.injectFrame(0, bytes);
-
-    ctx.record("read_ns", toNs(measure_read()));
-    ctx.record("frames_delivered",
-               static_cast<double>(
-                   fabric.host(1).stats().frames_received));
-}
-
-} // namespace
 
 int
 main()
 {
+    using namespace edm;
+
     constexpr int kMaxFrames = 8;
+    const InterferenceSetup setup;
 
     ScenarioRunner::Options opts;
     opts.base_seed = 5;
     ScenarioRunner runner(opts);
     for (int frames = 0; frames <= kMaxFrames; ++frames)
         runner.add("jumbo x" + std::to_string(frames),
-                   [frames](ScenarioContext &ctx) {
-                       interferencePoint(ctx, frames);
+                   [frames, setup](ScenarioContext &ctx) {
+                       runInterferencePoint(ctx, setup, frames,
+                                            core::EdmConfig{});
                    });
     const auto results = runner.runAll();
 
     mac::Frame jumbo;
-    jumbo.payload.assign(8900, 0xEE);
+    jumbo.payload.assign(setup.frame_payload, 0xEE);
     const double frame_tx_ns = toNs(transmissionDelay(
-        mac::serialize(jumbo).size(), Gbps{25.0}));
+        mac::serialize(jumbo).size(), Gbps{setup.link_gbps}));
 
     const double clean = results[0].metricStat("read_ns").mean();
     std::printf("unloaded 64 B read: %8.2f ns\n\n", clean);

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Declarative scenario runner: execute a scenario (.edm) file.
+ *
+ * The scenario file names the experiment kind (incast contention or
+ * preemption interference), its topology/workload parameters, the
+ * sweep points and the EdmConfig flag set per mode; the experiment
+ * bodies are the shared sim/scenario_exec.cpp functions the
+ * hand-written examples also call, so a scenario run reproduces the
+ * example tables bit-exactly.
+ *
+ * With --trace, every fabric decision (grants, ledger lifecycle,
+ * trains, preemption, faults, id-wrap stalls) is recorded to a binary
+ * event log (docs/EVENT_LOG.md) queryable offline with tools/edm_trace.
+ * The event log is single-threaded, so --trace pins the scenario pool
+ * to one worker; recording never perturbs schedules.
+ *
+ * Build & run:
+ *   ./build/run_scenario scenarios/incast.edm
+ *   ./build/run_scenario scenarios/incast.edm --quick
+ *   ./build/run_scenario scenarios/incast.edm --trace incast.trace
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/scenario_config.hpp"
+#include "sim/scenario_exec.hpp"
+#include "sim/scenario_runner.hpp"
+#include "trace/event_log.hpp"
+
+namespace {
+
+using namespace edm;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <scenario.edm> [--quick] [--trace FILE] "
+                 "[--threads N]\n",
+                 argv0);
+    return 2;
+}
+
+struct IncastRow
+{
+    std::string pattern;
+    std::size_t nodes;
+    std::string mode;
+};
+
+int
+runIncast(const ScenarioSpec &spec, bool quick,
+          trace::EventLog *log, unsigned threads)
+{
+    int rounds = spec.rounds;
+    if (quick)
+        rounds = static_cast<int>(
+            std::max(1L, std::lround(rounds * benchScaleEnv(0.5))));
+
+    const std::vector<std::size_t> &n_to_1 =
+        quick && !spec.quick_n_to_1.empty() ? spec.quick_n_to_1
+                                            : spec.n_to_1;
+    const std::vector<std::size_t> &all_to_all =
+        quick && !spec.quick_all_to_all.empty() ? spec.quick_all_to_all
+                                                : spec.all_to_all;
+
+    std::printf("scenario %s (incast), %d rounds x %d chains/node, "
+                "mixed %llu B reads / %llu B writes\n\n",
+                spec.name.c_str(), rounds, spec.workload.chains_per_node,
+                static_cast<unsigned long long>(spec.workload.read_bytes),
+                static_cast<unsigned long long>(
+                    spec.workload.write_bytes));
+
+    std::vector<IncastRow> rows;
+    ScenarioRunner::Options opts;
+    opts.base_seed = spec.base_seed;
+    opts.threads = threads;
+    ScenarioRunner runner(opts);
+    auto add_point = [&](const char *pattern, std::size_t nodes) {
+        for (const ScenarioModeSpec &mode : spec.modes) {
+            core::EdmConfig cfg = spec.configFor(mode);
+            cfg.event_log = log;
+            rows.push_back(IncastRow{pattern, nodes, mode.name});
+            runner.add(std::string(pattern) + "/" +
+                           std::to_string(nodes) + "/" + mode.name,
+                       [pattern, nodes, cfg, &spec,
+                        rounds](ScenarioContext &ctx) {
+                           runIncastPoint(ctx,
+                                          IncastPoint{pattern, nodes},
+                                          spec.workload, rounds, cfg);
+                       });
+        }
+    };
+    for (const std::size_t n : n_to_1)
+        add_point("N-to-1", n);
+    for (const std::size_t n : all_to_all)
+        add_point("all-to-all", n);
+
+    const auto results = runner.runAll();
+
+    std::printf("  %-11s %6s %-7s %8s %9s %8s %8s %9s %9s %11s\n",
+                "pattern", "nodes", "mode", "offered", "completed",
+                "wasted", "parked", "stranded", "peakstage", "read p99ns");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        const IncastRow &row = rows[i];
+        std::printf("  %-11s %6zu %-7s %8.0f %9.0f %8.0f %8.0f %9.0f "
+                    "%9.0f %11.1f\n",
+                    row.pattern.c_str(), row.nodes, row.mode.c_str(),
+                    r.metricStat("offered").mean(),
+                    r.metricStat("completed").mean(),
+                    r.metricStat("wasted_slots").mean(),
+                    r.metricStat("parked").mean(),
+                    r.metricStat("stranded").mean(),
+                    r.metricStat("peak_staging").mean(),
+                    r.metricStat("read_p99").mean());
+    }
+    return 0;
+}
+
+int
+runInterference(const ScenarioSpec &spec, bool quick,
+                trace::EventLog *log, unsigned threads)
+{
+    const int max_frames = quick ? std::min(spec.max_frames, 2)
+                                 : spec.max_frames;
+
+    std::printf("scenario %s (interference), %llu B reads vs 0..%d "
+                "x %zu B jumbo frames at %.0f G\n\n",
+                spec.name.c_str(),
+                static_cast<unsigned long long>(
+                    spec.interference.read_bytes),
+                max_frames, spec.interference.frame_payload,
+                spec.interference.link_gbps);
+
+    ScenarioRunner::Options opts;
+    opts.base_seed = spec.base_seed;
+    opts.threads = threads;
+    ScenarioRunner runner(opts);
+    const ScenarioModeSpec &mode = spec.modes.front();
+    core::EdmConfig cfg = spec.configFor(mode);
+    cfg.event_log = log;
+    for (int frames = 0; frames <= max_frames; ++frames)
+        runner.add("jumbo x" + std::to_string(frames),
+                   [frames, cfg, &spec](ScenarioContext &ctx) {
+                       runInterferencePoint(ctx, spec.interference,
+                                            frames, cfg);
+                   });
+    const auto results = runner.runAll();
+
+    const double clean = results[0].metricStat("read_ns").mean();
+    std::printf("unloaded read: %8.2f ns\n\n", clean);
+    std::printf("  %-10s %12s %12s %10s\n", "frames", "read ns",
+                "+interf ns", "delivered");
+    for (int frames = 1; frames <= max_frames; ++frames) {
+        const auto &r = results[static_cast<std::size_t>(frames)];
+        const double ns = r.metricStat("read_ns").mean();
+        std::printf("  %-10d %12.2f %12.2f %10.0f\n", frames, ns,
+                    ns - clean,
+                    r.metricStat("frames_delivered").mean());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::string trace_path;
+    bool quick = false;
+    unsigned threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (argv[i][0] == '-') {
+            return usage(argv[0]);
+        } else if (path.empty()) {
+            path = argv[i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (path.empty())
+        return usage(argv[0]);
+
+    ScenarioSpec spec;
+    std::string error;
+    if (!loadScenarioSpec(path, spec, error)) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+        return 1;
+    }
+
+    trace::EventLog log;
+    trace::EventLog *log_ptr = nullptr;
+    if (!trace_path.empty()) {
+        if (!log.openFile(trace_path)) {
+            std::fprintf(stderr, "cannot write trace file %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        log_ptr = &log;
+        // The event log is not thread-safe; tracing serializes the pool.
+        threads = 1;
+    }
+
+    const int rc = spec.kind == "incast"
+        ? runIncast(spec, quick, log_ptr, threads)
+        : runInterference(spec, quick, log_ptr, threads);
+
+    if (log_ptr) {
+        log.close();
+        std::printf("\nwrote %llu trace records to %s "
+                    "(query with tools/edm_trace)\n",
+                    static_cast<unsigned long long>(log.totalRecorded()),
+                    trace_path.c_str());
+    }
+    return rc;
+}

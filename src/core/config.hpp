@@ -16,6 +16,11 @@
 #include "common/units.hpp"
 
 namespace edm {
+
+namespace trace {
+class EventLog;
+} // namespace trace
+
 namespace core {
 
 /** Scheduling policy for the central scheduler's priorities (§3.1.1). */
@@ -146,6 +151,30 @@ struct EdmConfig
      * Table 1 caption). Memory traffic never pays this.
      */
     Picoseconds l2_pipeline = 400 * kNanosecond;
+
+    /**
+     * Wire-charged mode refinement: also charge the preemption
+     * re-entry block (core::kPreemptionReentryBlocks — the frame block
+     * the mux owes its interrupted frame after a memory message) on
+     * grants whose destination port has an active frame backlog.
+     * Without it, measured port occupancy undercounts mixed-traffic
+     * ports by one block slot per preempting chunk; the analytic
+     * staging-growth estimate already charges it. Only consulted when
+     * wire_charged_occupancy is on. Changes mixed-traffic schedules —
+     * rebaseline per docs/REBASELINE.md. Off by default: both legacy
+     * and wire golden values are reproduced bit-exactly.
+     */
+    bool charge_preemption_reentry = false;
+
+    /**
+     * Structured event log of fabric decisions (grants, ledger
+     * lifecycle, trains, preemption, faults, id-wrap stalls). Not
+     * owned; null disables logging — every emit site guards on this
+     * pointer, and the log never schedules events or touches
+     * simulation state, so attaching one cannot perturb a schedule.
+     * See docs/EVENT_LOG.md.
+     */
+    trace::EventLog *event_log = nullptr;
 
     CycleCosts costs{};
 

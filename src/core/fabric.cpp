@@ -5,6 +5,7 @@
 #include "common/logging.hpp"
 #include "phy/pcs.hpp"
 #include "phy/serdes.hpp"
+#include "trace/event_log.hpp"
 
 namespace edm {
 namespace core {
@@ -34,6 +35,29 @@ CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
 
     train_cap_ = trainCap(cfg_.max_train_blocks);
     frame_train_cap_ = trainCap(cfg_.max_frame_train_blocks);
+
+    // Frame-activity probe for the preemption re-entry charge
+    // (EdmConfig::charge_preemption_reentry): a grant's data crosses the
+    // source uplink and the destination downlink, so frame backlog on
+    // either segment means the memory stream will preempt an L2 stream
+    // and pay the re-entry slots on the way back. The scheduler only
+    // consults the probe when both gating flags are on.
+    switch_->scheduler().setFrameActivityProbe(
+        [this](NodeId src, NodeId dst) {
+            return hosts_[src]->mux().frameBacklog() > 0 ||
+                !frame_backlog_[src].empty() ||
+                switch_->egressMux(dst).frameBacklog() > 0 ||
+                !switch_->egressFrameBacklog(dst).empty();
+        });
+
+    // Attach the (purely observational) event log to every preemption
+    // mux so enter/re-enter decisions are recorded with their port.
+    if (cfg_.event_log) {
+        for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
+            hosts_[i]->mux().attachTrace(cfg_.event_log, i);
+            switch_->egressMux(i).attachTrace(cfg_.event_log, i);
+        }
+    }
 
     // Route write-delivery reports from memory nodes back to the writer
     // so its completion callback sees the true delivery latency. This is
@@ -99,6 +123,17 @@ CycleFabric::trainCap(std::size_t knob) const
     const auto safety =
         static_cast<std::size_t>(hopLatency() / cfg_.cycle) + 2;
     return std::max<std::size_t>(1, std::min(knob, safety));
+}
+
+void
+CycleFabric::noteTrainEvent(trace::EventType type, NodeId port,
+                            Train::Kind kind, std::size_t blocks)
+{
+    if (auto *log = cfg_.event_log)
+        log->log(type, sim_.now(), port, 0, 0, 0, false,
+                 kind == Train::Kind::Memory ? trace::Detail::MemoryTrain
+                                             : trace::Detail::FrameTrain,
+                 blocks);
 }
 
 void
@@ -237,6 +272,7 @@ CycleFabric::emitHost(NodeId id)
                                                  train_cap_, 2, t.blocks,
                                                  t.avails);
         if (run >= 2) {
+            noteTrainEvent(trace::EventType::TrainEmit, id, t.kind, run);
             commitTrain(p, std::move(t), run, now,
                         [this, id] { deliverHostTrain(id); },
                         [this, id] { emitHost(id); });
@@ -258,6 +294,7 @@ CycleFabric::emitHost(NodeId id)
         Train t = acquireTrain();
         const std::size_t run = takeFrameTrain(mux, backlog, now, t);
         if (run >= 2) {
+            noteTrainEvent(trace::EventType::TrainEmit, id, t.kind, run);
             commitTrain(p, std::move(t), run, now,
                         [this, id] { deliverHostTrain(id); },
                         [this, id] { emitHost(id); });
@@ -282,6 +319,9 @@ CycleFabric::emitHost(NodeId id)
             health.disabled = true;
             EDM_WARN("uplink of node %u disabled after %llu line errors",
                      id, static_cast<unsigned long long>(health.errors));
+            if (auto *log = cfg_.event_log)
+                log->log(trace::EventType::FaultRecover, now, id, id, 0, 0,
+                         false, trace::Detail::LinkDisabled, health.errors);
             // The node can no longer answer grants: retire its demand
             // lifecycles so the scheduler stops granting dead flows
             // (strict mode) instead of letting them go stale, and drop
@@ -342,6 +382,9 @@ CycleFabric::abortUplinkTrain(NodeId id)
     const auto committed = std::min<std::size_t>(
         static_cast<std::size_t>((now - t.start) / cfg_.cycle) + 1,
         t.blocks.size());
+    if (committed < t.blocks.size())
+        noteTrainEvent(trace::EventType::TrainTrim, id, t.kind,
+                       t.blocks.size() - committed);
     if (t.kind == Train::Kind::Memory) {
         hosts_[id]->mux().restoreMemoryRun(t.blocks.data() + committed,
                                            t.avails.data() + committed,
@@ -364,7 +407,8 @@ CycleFabric::abortUplinkTrain(NodeId id)
 }
 
 void
-CycleFabric::trimFrameTrain(TxPump &p, Train &t, phy::PreemptionMux &mux)
+CycleFabric::trimFrameTrain(NodeId port, TxPump &p, Train &t,
+                            phy::PreemptionMux &mux)
 {
     // A frame train committed slots on the bet that the memory queue
     // sleeps past them; a memory block that has just arrived (or been
@@ -399,6 +443,8 @@ CycleFabric::trimFrameTrain(TxPump &p, Train &t, phy::PreemptionMux &mux)
         ++keep;
     if (keep >= t.blocks.size())
         return;
+    noteTrainEvent(trace::EventType::TrainTrim, port, t.kind,
+                   t.blocks.size() - keep);
     mux.restoreFrameRun(t.blocks.data() + keep, t.blocks.size() - keep);
     t.blocks.resize(keep);
     p.next_slot = t.start + static_cast<Picoseconds>(keep) * cfg_.cycle;
@@ -421,7 +467,7 @@ CycleFabric::trimUplinkTrain(NodeId id)
     Train &t = p.trains.back();
     if (t.kind != Train::Kind::Frame)
         return;
-    trimFrameTrain(p, t, hosts_[id]->mux());
+    trimFrameTrain(id, p, t, hosts_[id]->mux());
 }
 
 void
@@ -438,7 +484,7 @@ CycleFabric::trimEgressTrain(NodeId port)
     Train &t = p.trains.back();
     auto &mux = switch_->egressMux(port);
     if (t.kind == Train::Kind::Frame) {
-        trimFrameTrain(p, t, mux);
+        trimFrameTrain(port, p, t, mux);
         return;
     }
     const Picoseconds now = sim_.now();
@@ -455,6 +501,8 @@ CycleFabric::trimEgressTrain(NodeId port)
         ++keep;
     if (keep >= t.blocks.size())
         return;
+    noteTrainEvent(trace::EventType::TrainTrim, port, t.kind,
+                   t.blocks.size() - keep);
     mux.restoreMemoryRun(t.blocks.data() + keep, t.avails.data() + keep,
                          t.blocks.size() - keep);
     t.blocks.resize(keep);
@@ -520,6 +568,7 @@ CycleFabric::emitSwitchPort(NodeId port)
                                                  train_cap_, 2, t.blocks,
                                                  t.avails);
         if (run >= 2) {
+            noteTrainEvent(trace::EventType::TrainEmit, port, t.kind, run);
             commitTrain(p, std::move(t), run, now,
                         [this, port] { deliverSwitchTrain(port); },
                         [this, port] { emitSwitchPort(port); });
@@ -537,6 +586,7 @@ CycleFabric::emitSwitchPort(NodeId port)
         Train t = acquireTrain();
         const std::size_t run = takeFrameTrain(mux, backlog, now, t);
         if (run >= 2) {
+            noteTrainEvent(trace::EventType::TrainEmit, port, t.kind, run);
             commitTrain(p, std::move(t), run, now,
                         [this, port] { deliverSwitchTrain(port); },
                         [this, port] { emitSwitchPort(port); });
@@ -620,6 +670,10 @@ CycleFabric::corruptUplink(NodeId src, int blocks)
 {
     EDM_ASSERT(src < uplink_health_.size(), "node %u out of range", src);
     uplink_health_[src].corrupt_next += blocks;
+    if (auto *log = cfg_.event_log)
+        log->log(trace::EventType::FaultInject, sim_.now(), src, src, 0, 0,
+                 false, trace::Detail::None,
+                 static_cast<std::uint64_t>(blocks));
     // Corruption must land on the blocks that have not yet left the
     // transmitter, including any already committed to an in-flight
     // train: pull those back so the per-block path re-emits them.

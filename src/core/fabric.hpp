@@ -31,6 +31,11 @@
 #include "sim/simulation.hpp"
 
 namespace edm {
+
+namespace trace {
+enum class EventType : std::uint8_t;
+}
+
 namespace core {
 
 /**
@@ -217,7 +222,11 @@ class CycleFabric
     std::size_t takeFrameTrain(phy::PreemptionMux &mux,
                                phy::BlockFifo &backlog, Picoseconds now,
                                Train &t);
-    void trimFrameTrain(TxPump &p, Train &t, phy::PreemptionMux &mux);
+    void trimFrameTrain(NodeId port, TxPump &p, Train &t,
+                        phy::PreemptionMux &mux);
+    /** Emit a TrainEmit/TrainTrim record when the event log is attached. */
+    void noteTrainEvent(trace::EventType type, NodeId port, Train::Kind kind,
+                        std::size_t blocks);
     void pumpHost(NodeId id);
     void emitHost(NodeId id);
     void deliverHostTrain(NodeId id);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "trace/event_log.hpp"
 
 namespace edm {
 namespace core {
@@ -106,6 +107,10 @@ HostStack::admit(NodeId dst, PendingRequest req)
     if (nextIdLive(dst)) {
         ++stats_.id_stalls;
         parked_[dst].push_back(std::move(req));
+        if (auto *log = cfg_.event_log)
+            log->log(trace::EventType::IdWrapStall, events_.now(), id_,
+                     id_, dst, next_id_[dst], false, trace::Detail::None,
+                     parked_[dst].size());
         return;
     }
     ++outstanding_[dst];
@@ -304,6 +309,10 @@ HostStack::onGrant(const ControlInfo &g)
         // disable.
         if (uplink_disabled_) {
             ++stats_.parked_grants_dropped;
+            if (auto *log = cfg_.event_log)
+                log->log(trace::EventType::GrantDropped, events_.now(),
+                         id_, id_, g.dst, g.id, g.response,
+                         trace::Detail::UplinkDown, g.size);
             return;
         }
         // Park it — the hardware would simply leave it in the grant
@@ -316,6 +325,10 @@ HostStack::onGrant(const ControlInfo &g)
         ++stats_.grants_parked;
         auto &parked = parked_grants_[req_key];
         parked.push_back(ParkedGrant{g.size, events_.now()});
+        if (auto *log = cfg_.event_log)
+            log->log(trace::EventType::GrantParked, events_.now(), id_,
+                     id_, g.dst, g.id, g.response, trace::Detail::None,
+                     g.size);
         if (cfg_.parked_grant_timeout > 0 &&
             !parked_sweeps_.count(req_key)) {
             parked_sweeps_[req_key] =
@@ -327,6 +340,10 @@ HostStack::onGrant(const ControlInfo &g)
         return;
     }
     ++stats_.unknown_grants;
+    if (auto *log = cfg_.event_log)
+        log->log(trace::EventType::GrantDropped, events_.now(), id_, id_,
+                 g.dst, g.id, g.response, trace::Detail::UnknownMessage,
+                 g.size);
     EDM_WARN("host %u: grant for unknown message dst=%u id=%u", id_,
              g.dst, g.id);
 }
@@ -411,6 +428,11 @@ HostStack::drainParkedGrants(NodeId dst, MsgId id, Picoseconds delay)
     // instant; same-timestamp events run in scheduling order).
     std::vector<ParkedGrant> grants = std::move(it->second);
     parked_grants_.erase(it);
+    if (auto *log = cfg_.event_log) {
+        for (const ParkedGrant &g : grants)
+            log->log(trace::EventType::GrantDrained, events_.now(), id_,
+                     id_, dst, id, true, trace::Detail::None, g.size);
+    }
     const auto sweep = parked_sweeps_.find(std::make_pair(dst, id));
     if (sweep != parked_sweeps_.end()) {
         events_.cancel(sweep->second);
@@ -442,6 +464,12 @@ HostStack::expireParkedGrants(std::pair<NodeId, MsgId> key)
         ++expired;
     if (expired > 0) {
         stats_.parked_grants_dropped += expired;
+        if (auto *log = cfg_.event_log) {
+            for (std::size_t i = 0; i < expired; ++i)
+                log->log(trace::EventType::GrantDropped, events_.now(),
+                         id_, id_, key.first, key.second, true,
+                         trace::Detail::ParkedExpired, grants[i].size);
+        }
         EDM_WARN("host %u: dropped %zu orphaned parked grant(s) dst=%u "
                  "id=%u",
                  id_, expired, key.first, key.second);
@@ -462,8 +490,15 @@ void
 HostStack::onUplinkDisabled()
 {
     uplink_disabled_ = true;
-    for (const auto &[key, grants] : parked_grants_)
+    for (const auto &[key, grants] : parked_grants_) {
         stats_.parked_grants_dropped += grants.size();
+        if (auto *log = cfg_.event_log) {
+            for (const ParkedGrant &g : grants)
+                log->log(trace::EventType::GrantDropped, events_.now(),
+                         id_, id_, key.first, key.second, true,
+                         trace::Detail::UplinkDown, g.size);
+        }
+    }
     parked_grants_.clear();
     for (const auto &[key, ev] : parked_sweeps_)
         events_.cancel(ev);
@@ -492,6 +527,10 @@ HostStack::sendResponseChunk(NodeId dst, MsgId id, Bytes chunk)
     auto it = responses_.find(key);
     if (it == responses_.end()) {
         ++stats_.stale_response_grants;
+        if (auto *log = cfg_.event_log)
+            log->log(trace::EventType::GrantDropped, events_.now(), id_,
+                     id_, dst, id, true, trace::Detail::StaleResponse,
+                     chunk);
         EDM_WARN("host %u: RRES grant for finished message id=%u", id_, id);
         return;
     }
@@ -602,6 +641,9 @@ HostStack::onReadTimeout(NodeId dst, MsgId id)
     if (it == requests_.end())
         return;
     ++stats_.read_timeouts;
+    if (auto *log = cfg_.event_log)
+        log->log(trace::EventType::FaultRecover, events_.now(), id_, dst,
+                 id_, id, true, trace::Detail::ReadTimeout, 0);
     auto cb = std::move(it->second.read_cb);
     const Picoseconds latency = events_.now() - it->second.posted;
     requests_.erase(it);

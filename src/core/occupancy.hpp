@@ -93,9 +93,11 @@ chunkLineTime(MemMsgType type, Bytes payload, Gbps rate)
  * policy one staged frame block may claim the slot between two memory
  * messages (the mux re-alternates at every /MT/ boundary), so on a port
  * that also carries L2 frames a chunk's first block can slip one slot.
- * Not part of the port charge — charging it on frame-free fabrics
- * would systematically over-reserve — but staging-depth estimates for
- * mixed traffic add it per chunk.
+ * Never charged on frame-free fabrics — that would systematically
+ * over-reserve — but staging-depth estimates for mixed traffic add it
+ * per chunk, and wire-charged grants add it too when
+ * EdmConfig::charge_preemption_reentry is on and the destination port
+ * has an active frame backlog (grantOccupancy's @p frame_active).
  */
 inline constexpr std::size_t kPreemptionReentryBlocks = 1;
 
@@ -121,15 +123,23 @@ inline constexpr double kBlockWireBytes =
  * block, WREQ chunks do.
  *
  * Legacy mode returns the historical raw-payload serialization delay
- * bit-exactly; wire-charged mode returns the exact block line-time.
+ * bit-exactly; wire-charged mode returns the exact block line-time,
+ * plus the preemption re-entry slot when @p frame_active reports an
+ * L2 frame backlog on the destination port and
+ * EdmConfig::charge_preemption_reentry opts in.
  */
 inline Picoseconds
-grantOccupancy(const EdmConfig &cfg, bool response, Bytes chunk)
+grantOccupancy(const EdmConfig &cfg, bool response, Bytes chunk,
+               bool frame_active = false)
 {
     if (!cfg.wire_charged_occupancy)
         return transmissionDelay(chunk, cfg.link_rate);
-    return chunkLineTime(response ? MemMsgType::RRES : MemMsgType::WREQ,
-                         chunk, cfg.link_rate);
+    Picoseconds charge = chunkLineTime(
+        response ? MemMsgType::RRES : MemMsgType::WREQ, chunk,
+        cfg.link_rate);
+    if (frame_active && cfg.charge_preemption_reentry)
+        charge += lineTime(kPreemptionReentryBlocks, cfg.link_rate);
+    return charge;
 }
 
 /**

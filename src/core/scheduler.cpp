@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "core/occupancy.hpp"
+#include "trace/event_log.hpp"
 
 namespace edm {
 namespace core {
@@ -48,6 +49,12 @@ Scheduler::openLedgerEntry(const Demand &d)
         it->second = LedgerEntry{};
     }
     it->second.demanded = d.remaining;
+    if (auto *log = cfg_.event_log)
+        log->log(trace::EventType::LedgerOpen, events_.now(), key.dst,
+                 key.src, key.dst, key.id, key.response,
+                 inserted ? trace::Detail::None
+                          : trace::Detail::EvictedPredecessor,
+                 d.remaining);
 }
 
 bool
@@ -255,6 +262,10 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
         // them to a live demand.
         ++ledger_stats_.grants_suppressed;
         ledger_stats_.stale_bytes_reclaimed += d.remaining;
+        if (auto *log = cfg_.event_log)
+            log->log(trace::EventType::GrantDropped, events_.now(),
+                     dst_port, d.src, d.dst, d.id, d.response,
+                     trace::Detail::Suppressed, d.remaining);
         retirePairEntry(d);
         return;
     }
@@ -297,14 +308,27 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
     // bit (§3.1.1 step 7). Legacy charges the raw payload serialization
     // l/B; wire-charged mode charges the chunk's exact 66-bit block
     // line-time (core/occupancy.hpp), which also covers the /MS/,
-    // address and /MT/ framing the legacy charge leaves unpaid.
-    const Picoseconds occupancy = grantOccupancy(cfg_, d.response, l);
+    // address and /MT/ framing the legacy charge leaves unpaid — plus,
+    // when charge_preemption_reentry opts in, the re-entry slot a
+    // frame-carrying destination port owes its interrupted frame.
+    const bool frame_active = cfg_.wire_charged_occupancy &&
+        cfg_.charge_preemption_reentry && frame_probe_ &&
+        frame_probe_(d.src, d.dst);
+    const Picoseconds occupancy =
+        grantOccupancy(cfg_, d.response, l, frame_active);
     const NodeId src_port = d.src;
     events_.schedule(when + occupancy, [this, src_port, dst_port] {
         src_busy_[src_port] = false;
         dst_busy_[dst_port] = false;
         scheduleMatching();
     });
+
+    if (auto *log = cfg_.event_log)
+        log->log(trace::EventType::GrantIssued, when, dst_port, d.src,
+                 d.dst, d.id, d.response,
+                 action.forward_request ? trace::Detail::RequestForward
+                                        : trace::Detail::None,
+                 l);
 
     d.remaining -= l;
     if (d.remaining > 0) {
@@ -356,6 +380,10 @@ Scheduler::onChunkForwarded(NodeId src, NodeId dst, MsgId id,
     // The message's final chunk is through the switch: the demand's
     // lifecycle ends here, whatever the byte arithmetic says.
     ++ledger_stats_.retired_by_completion;
+    if (auto *log = cfg_.event_log)
+        log->log(trace::EventType::LedgerRetire, events_.now(), dst,
+                 src, dst, id, response, trace::Detail::None,
+                 it->second.observed);
     ledger_.erase(it);
     if (cfg_.strict_grant_accounting)
         reclaimQueuedDemand(key);
@@ -379,8 +407,13 @@ Scheduler::abortPort(NodeId port)
             continue;
         }
         const FlowKey key = it->first;
+        const Bytes stale = it->second.demanded - it->second.observed;
         it = ledger_.erase(it);
         ++ledger_stats_.retired_by_abort;
+        if (auto *log = cfg_.event_log)
+            log->log(trace::EventType::LedgerAbort, events_.now(), port,
+                     key.src, key.dst, key.id, key.response,
+                     trace::Detail::None, stale);
         if (cfg_.strict_grant_accounting)
             reclaimQueuedDemand(key);
     }

@@ -123,7 +123,24 @@ class Scheduler
   public:
     using GrantSink = std::function<void(const GrantAction &)>;
 
+    /**
+     * Answers "does this src→dst path currently carry an L2 frame
+     * backlog?" — installed by the fabric so wire-charged grants can
+     * charge the preemption re-entry slot
+     * (EdmConfig::charge_preemption_reentry). The scheduler itself has
+     * no view of the frame plane. Consulted only when both flags are
+     * on; never installed (and never consulted) otherwise.
+     */
+    using FrameActivityProbe = std::function<bool(NodeId src, NodeId dst)>;
+
     Scheduler(const EdmConfig &cfg, EventQueue &events, GrantSink sink);
+
+    /** Install the frame-backlog probe (see FrameActivityProbe). */
+    void
+    setFrameActivityProbe(FrameActivityProbe probe)
+    {
+        frame_probe_ = std::move(probe);
+    }
 
     /**
      * Register an explicit WREQ demand (arrival of an /N/ block).
@@ -214,6 +231,7 @@ class Scheduler
     EdmConfig cfg_;
     EventQueue &events_;
     GrantSink sink_;
+    FrameActivityProbe frame_probe_;
 
     std::vector<std::unique_ptr<Queue>> queues_; ///< one per dst port
     // Uplink (source) and downlink (destination) reservations are

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "trace/event_log.hpp"
 
 namespace edm {
 namespace core {
@@ -484,6 +485,9 @@ SwitchStack::floodFrame(NodeId ingress, std::vector<phy::PhyBlock> frame)
     // forwarding-pipeline latency (§2.4 Limitation 4) and floods to every
     // other port (empty forwarding table).
     ++stats_.frames_flooded;
+    if (auto *log = cfg_.event_log)
+        log->log(trace::EventType::FrameFlood, events_.now(), ingress,
+                 ingress, 0, 0, false, trace::Detail::None, frame.size());
     events_.scheduleAfter(cfg_.l2_pipeline,
                           [this, ingress, frame = std::move(frame)] {
         for (NodeId p = 0; p < ports_.size(); ++p) {

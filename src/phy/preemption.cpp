@@ -1,6 +1,7 @@
 #include "preemption.hpp"
 
 #include "common/logging.hpp"
+#include "trace/event_log.hpp"
 
 namespace edm {
 namespace phy {
@@ -114,6 +115,11 @@ PreemptionMux::next(Picoseconds now)
         const PhyBlock b = e->block;
         pool_.release(e);
         ++memory_slots_;
+        // A memory message claiming a slot while frame blocks wait in
+        // staging is a preemption entry; mid-message continuation
+        // blocks belong to the same entry and are not re-logged.
+        if (trace_ && !mid_memory_message_ && !frame_q_.empty())
+            notePreempt(/*enter=*/true, now, frame_q_.size());
         last_was_memory_ = true;
         if (b.isControl() && b.type() == BlockType::MemStart) {
             mid_memory_message_ = true;
@@ -127,6 +133,10 @@ PreemptionMux::next(Picoseconds now)
         const PhyBlock b = e->block;
         pool_.release(e);
         ++frame_slots_;
+        // The frame stream taking the slot back right after memory
+        // traffic is the re-entry slot kPreemptionReentryBlocks models.
+        if (trace_ && last_was_memory_)
+            notePreempt(/*enter=*/false, now, 1);
         last_was_memory_ = false;
         return b;
     }
@@ -166,6 +176,15 @@ PreemptionMux::takeTrainRun(Picoseconds start, Picoseconds cycle,
     memory_slots_ += n;
     last_was_memory_ = true;
     return n;
+}
+
+void
+PreemptionMux::notePreempt(bool enter, Picoseconds at, std::uint64_t arg)
+{
+    trace_->log(enter ? trace::EventType::PreemptEnter
+                      : trace::EventType::PreemptReenter,
+                at, trace_port_, 0, 0, 0, false, trace::Detail::None,
+                arg);
 }
 
 void

@@ -45,6 +45,11 @@
 #include "phy/block.hpp"
 
 namespace edm {
+
+namespace trace {
+class EventLog;
+} // namespace trace
+
 namespace phy {
 
 /** TX scheduling policy between memory and non-memory blocks. */
@@ -69,6 +74,21 @@ class PreemptionMux
     explicit PreemptionMux(TxPolicy policy = TxPolicy::Fair)
         : policy_(policy)
     {
+    }
+
+    /**
+     * Attach a fabric event log (see docs/EVENT_LOG.md): the mux then
+     * records PreemptEnter when a memory message claims a slot away
+     * from staged frame blocks and PreemptReenter when the frame
+     * stream resumes after memory traffic. @p port identifies this mux
+     * in the log (the phy layer has no notion of core::NodeId). Purely
+     * observational — no decision changes.
+     */
+    void
+    attachTrace(trace::EventLog *log, std::uint16_t port)
+    {
+        trace_ = log;
+        trace_port_ = port;
     }
 
     /**
@@ -201,6 +221,8 @@ class PreemptionMux
             blocks.resize(base);
             return 0;
         }
+        if (trace_ && last_was_memory_)
+            notePreempt(/*enter=*/false, start, n);
         frame_slots_ += n;
         last_was_memory_ = false;
         return n;
@@ -270,6 +292,8 @@ class PreemptionMux
     }
 
     TxPolicy policy_;
+    trace::EventLog *trace_ = nullptr; ///< optional; not owned
+    std::uint16_t trace_port_ = 0;
     common::ObjectPool<Entry> pool_; ///< backs both queues
     EntryList mem_q_;                ///< availability-sorted, stable ties
     EntryList frame_q_;              ///< FIFO staging buffer
@@ -286,6 +310,9 @@ class PreemptionMux
     }
 
     bool pickMemory(Picoseconds now) const;
+
+    /** Emit a PreemptEnter/PreemptReenter record (trace_ checked). */
+    void notePreempt(bool enter, Picoseconds at, std::uint64_t arg);
 };
 
 /**

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "core/occupancy.hpp"
+#include "trace/event_log.hpp"
 
 namespace edm {
 namespace proto {
@@ -20,6 +21,7 @@ EdmFlowModel::EdmFlowModel(Simulation &sim, const ClusterConfig &cluster,
     ecfg_.scheduler_ghz = cfg.scheduler_ghz;
     ecfg_.strict_grant_accounting = cfg.strict_grant_accounting;
     ecfg_.wire_charged_occupancy = cfg.wire_charged_occupancy;
+    ecfg_.event_log = cfg.event_log;
     sched_ = std::make_unique<core::Scheduler>(
         ecfg_, sim.events(),
         [this](const core::GrantAction &a) { onGrant(a); });
@@ -40,8 +42,27 @@ EdmFlowModel::admit(const Job &job)
         parked_[pair].push_back(job);
         return;
     }
+    // 8-bit id-wrap guard (mirrors HostStack::admit): launching onto a
+    // still-live message id would silently merge two jobs' delivery
+    // accounting. Park until the conflicting id retires.
+    if (nextIdLive(pair)) {
+        ++id_stalls_;
+        if (auto *log = mcfg_.event_log)
+            log->log(trace::EventType::IdWrapStall, sim_.now(), job.src,
+                     job.src, job.dst, next_id_[pair], false,
+                     trace::Detail::None, parked_[pair].size());
+        parked_[pair].push_back(job);
+        return;
+    }
     ++outstanding_[pair];
     launch(job);
+}
+
+bool
+EdmFlowModel::nextIdLive(const PairKey &pair)
+{
+    return active_.find(MsgKey{pair.first, pair.second, next_id_[pair]}) !=
+        active_.end();
 }
 
 void
@@ -49,7 +70,11 @@ EdmFlowModel::launch(const Job &job)
 {
     const PairKey pair{job.src, job.dst};
     const core::MsgId id = next_id_[pair]++;
-    active_[MsgKey{job.src, job.dst, id}] = Active{job, 0};
+    const bool inserted =
+        active_.emplace(MsgKey{job.src, job.dst, id}, Active{job, 0})
+            .second;
+    EDM_ASSERT(inserted, "message id %u reused while live",
+               static_cast<unsigned>(id));
 
     if (job.is_write) {
         // Explicit /N/ travels one hop to the switch (§3.1.4).
@@ -132,8 +157,14 @@ EdmFlowModel::deliverChunk(const MsgKey &key, Bytes chunk, Picoseconds at)
         // Completion frees one slot of the per-pair X budget.
         const PairKey pair{job.src, job.dst};
         --outstanding_[pair];
+        // Drain parked jobs while budget is free and the next id is not
+        // live (id-wrap stall). In legacy runs the id guard never fires
+        // and at most one slot just freed, so this drains exactly one
+        // job — bit-identical to the historical single relaunch.
         auto &parked = parked_[pair];
-        if (!parked.empty()) {
+        while (!parked.empty() &&
+               outstanding_[pair] < mcfg_.max_notifications &&
+               !nextIdLive(pair)) {
             const Job next = parked.front();
             parked.pop_front();
             ++outstanding_[pair];

@@ -43,6 +43,12 @@ struct EdmModelConfig
      * values per docs/REBASELINE.md.
      */
     bool wire_charged_occupancy = false;
+
+    /**
+     * Optional fabric event log (not owned; forwarded into the shared
+     * scheduler's EdmConfig). Null disables recording.
+     */
+    trace::EventLog *event_log = nullptr;
 };
 
 /** The EDM fabric at flow granularity. */
@@ -57,6 +63,17 @@ class EdmFlowModel : public FabricModel
 
     /** Scheduler statistics (matching iterations, grants). */
     const core::Scheduler &scheduler() const { return *sched_; }
+
+    /** Mutable scheduler access (fault hooks, e.g. abortPort in tests). */
+    core::Scheduler &scheduler() { return *sched_; }
+
+    /**
+     * Launches deferred because the pair's next 8-bit message id was
+     * still live (the flow-model mirror of HostStack's id-wrap stall):
+     * reusing a live id would silently merge two jobs' delivery
+     * accounting. Stalled jobs park until the conflicting id retires.
+     */
+    std::uint64_t idStalls() const { return id_stalls_; }
 
     /**
      * Grants that arrived for a job already delivered (or whose 8-bit
@@ -85,8 +102,10 @@ class EdmFlowModel : public FabricModel
     std::map<PairKey, std::deque<Job>> parked_;
     std::map<PairKey, std::uint8_t> next_id_;
     std::uint64_t stale_grants_ = 0;
+    std::uint64_t id_stalls_ = 0;
 
     void admit(const Job &job);
+    bool nextIdLive(const PairKey &pair);
     void launch(const Job &job);
     void onGrant(const core::GrantAction &action);
     void deliverChunk(const MsgKey &key, Bytes chunk, Picoseconds at);

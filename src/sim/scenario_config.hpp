@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Declarative scenario files (.edm under scenarios/): a small key/value +
+ * `[section]` format describing a topology, EdmConfig flag set and
+ * workload, so experiments live as data instead of bespoke main()s.
+ *
+ * Format (see docs/SCENARIOS.md):
+ *
+ *   # comment
+ *   [scenario]
+ *   name = incast
+ *   kind = incast            # or "interference"
+ *   base_seed = 7
+ *   rounds = 20
+ *
+ *   [sweep]
+ *   n_to_1 = 5, 9, 13
+ *
+ *   [config]                 # base EdmConfig keys, applied to every mode
+ *   max_train_blocks = 64
+ *
+ *   [mode strict]            # EdmConfig overlay, one table row per mode
+ *   strict_grant_accounting = true
+ *
+ * Unknown keys are hard errors: a typo must fail loudly, never
+ * silently fall back to a default schedule.
+ */
+
+#ifndef EDM_SIM_SCENARIO_CONFIG_HPP
+#define EDM_SIM_SCENARIO_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/scenario_exec.hpp"
+
+namespace edm {
+
+/** One `[section]`: its header text and key/value pairs in file order. */
+struct ScenarioSection
+{
+    std::string name; ///< full header, e.g. "scenario" or "mode strict"
+    std::vector<std::pair<std::string, std::string>> entries;
+
+    /** Value of @p key, or nullptr when absent (last wins on repeats). */
+    const std::string *find(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    long getInt(const std::string &key, long def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Comma-separated list of non-negative integers. */
+    std::vector<std::size_t> getSizeList(const std::string &key) const;
+};
+
+/** A parsed scenario file: sections in file order. */
+struct ScenarioDoc
+{
+    std::vector<ScenarioSection> sections;
+
+    const ScenarioSection *section(const std::string &name) const;
+    std::vector<const ScenarioSection *>
+    sectionsWithPrefix(const std::string &prefix) const;
+};
+
+/** Parse scenario text. False + @p error on malformed input. */
+bool parseScenarioText(const std::string &text, ScenarioDoc &doc,
+                       std::string &error);
+
+/** Read and parse a scenario file. */
+bool loadScenarioDoc(const std::string &path, ScenarioDoc &doc,
+                     std::string &error);
+
+/**
+ * Apply one `key = value` pair onto an EdmConfig. Unknown keys and
+ * unparseable values fail (false + @p error). Durations are in
+ * nanoseconds (`*_ns`), rates in Gb/s (`link_gbps`).
+ */
+bool applyEdmConfigKey(core::EdmConfig &cfg, const std::string &key,
+                       const std::string &value, std::string &error);
+
+/** One `[mode <name>]` overlay: EdmConfig keys for one table row. */
+struct ScenarioModeSpec
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+/** A fully validated scenario ready to run. */
+struct ScenarioSpec
+{
+    std::string name;
+    std::string kind; ///< "incast" or "interference"
+    std::uint64_t base_seed = 1;
+    int rounds = 20; ///< closed-loop chain length (incast)
+
+    // ---- incast workload + sweep ----
+    IncastWorkload workload;
+    std::vector<std::size_t> n_to_1;
+    std::vector<std::size_t> all_to_all;
+    std::vector<std::size_t> quick_n_to_1;
+    std::vector<std::size_t> quick_all_to_all;
+
+    // ---- interference setup ----
+    InterferenceSetup interference;
+    int max_frames = 8;
+
+    /** Base EdmConfig keys (validated, applied before each mode). */
+    std::vector<std::pair<std::string, std::string>> config;
+    /** Mode overlays in file order; empty means one unnamed base mode. */
+    std::vector<ScenarioModeSpec> modes;
+
+    /** Base config + one mode's overlay, validated at load time. */
+    core::EdmConfig configFor(const ScenarioModeSpec &mode) const;
+};
+
+/** Load + validate a scenario file into a runnable spec. */
+bool loadScenarioSpec(const std::string &path, ScenarioSpec &spec,
+                      std::string &error);
+
+} // namespace edm
+
+#endif // EDM_SIM_SCENARIO_CONFIG_HPP

@@ -1,0 +1,130 @@
+#include "sim/scenario_exec.hpp"
+
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "core/fabric.hpp"
+#include "mac/frame.hpp"
+
+namespace edm {
+
+double
+benchScaleEnv(double fallback)
+{
+    if (const char *s = std::getenv("EDM_BENCH_SCALE")) {
+        const double v = std::atof(s);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+void
+runIncastPoint(ScenarioContext &ctx, const IncastPoint &pt,
+               const IncastWorkload &wl, int rounds, core::EdmConfig cfg)
+{
+    using core::NodeId;
+    cfg.num_nodes = pt.nodes;
+    Simulation &sim = ctx.sim();
+    const bool all_to_all = pt.pattern == "all-to-all";
+    core::CycleFabric fab(cfg, sim);
+
+    long completed = 0;
+    long offered = 0;
+    std::function<void(NodeId, NodeId, int)> issue =
+        [&](NodeId from, NodeId to, int left) {
+            if (left <= 0)
+                return;
+            if (left % 3 == 0) {
+                fab.write(from, to, 0x1000u * from,
+                          std::vector<std::uint8_t>(wl.write_bytes, 1),
+                          [&issue, &completed, from, to,
+                           left](Picoseconds) {
+                              ++completed;
+                              issue(from, to, left - 1);
+                          });
+            } else {
+                fab.read(from, to, 0x1000u * from, wl.read_bytes,
+                         [&issue, &completed, from, to, left](
+                             std::vector<std::uint8_t>, Picoseconds,
+                             bool) {
+                             ++completed;
+                             issue(from, to, left - 1);
+                         });
+            }
+        };
+    for (NodeId i = 0; i < pt.nodes; ++i) {
+        for (int k = 0; k < wl.chains_per_node; ++k) {
+            if (all_to_all) {
+                // Deterministic spread: chain k of node i targets the
+                // k-th next node, so every pair stays loaded.
+                const auto to = static_cast<NodeId>(
+                    (i + 1 + k % (pt.nodes - 1)) % pt.nodes);
+                issue(i, to, rounds);
+                offered += rounds;
+            } else if (i != 0) {
+                issue(i, 0, rounds);
+                offered += rounds;
+            }
+        }
+    }
+    sim.run();
+
+    const auto acc = fab.grantAccounting();
+    ctx.record("offered", static_cast<double>(offered));
+    ctx.record("completed", static_cast<double>(completed));
+    ctx.record("grants",
+               static_cast<double>(
+                   fab.switchStack().scheduler().grantsIssued()));
+    ctx.record("wasted_slots",
+               static_cast<double>(acc.wasted_grant_slots));
+    ctx.record("parked", static_cast<double>(acc.grants_parked));
+    ctx.record("stranded",
+               static_cast<double>(
+                   fab.switchStack().scheduler().pendingLedgerEntries()));
+    ctx.record("peak_staging",
+               static_cast<double>(fab.peakEgressStaging()));
+    Samples reads = fab.readLatency();
+    ctx.record("read_p99",
+               reads.count() ? reads.percentile(99) : 0.0);
+}
+
+void
+runInterferencePoint(ScenarioContext &ctx, const InterferenceSetup &setup,
+                     int frames, core::EdmConfig cfg)
+{
+    Simulation &sim = ctx.sim();
+    cfg.num_nodes = setup.nodes;
+    cfg.link_rate = Gbps{setup.link_gbps};
+    core::CycleFabric fabric(cfg, sim, {setup.memory_node});
+    fabric.host(setup.memory_node)
+        .store()
+        ->write(0x1000, std::vector<std::uint8_t>(setup.read_bytes, 0x77));
+
+    auto measure_read = [&]() {
+        Picoseconds lat = 0;
+        fabric.read(0, setup.memory_node, 0x1000, setup.read_bytes,
+                    [&](std::vector<std::uint8_t>, Picoseconds l, bool) {
+                        lat = l;
+                    });
+        sim.run();
+        return lat;
+    };
+
+    // Warm-up (opens the DRAM row), then load the uplink and read
+    // through the queued frames.
+    measure_read();
+    mac::Frame jumbo;
+    jumbo.payload.assign(setup.frame_payload, 0xEE);
+    const auto bytes = mac::serialize(jumbo);
+    for (int i = 0; i < frames; ++i)
+        fabric.injectFrame(0, bytes);
+
+    ctx.record("read_ns", toNs(measure_read()));
+    ctx.record("frames_delivered",
+               static_cast<double>(
+                   fabric.host(setup.memory_node).stats().frames_received));
+}
+
+} // namespace edm

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared execution bodies for the incast-contention and
+ * preemption-interference experiments. examples/incast_stress.cpp,
+ * examples/preemption_interference.cpp and examples/run_scenario.cpp
+ * all call these — the declarative scenario runner reproduces the
+ * example tables bit-exactly *by construction*, because there is only
+ * one implementation of each experiment.
+ */
+
+#ifndef EDM_SIM_SCENARIO_EXEC_HPP
+#define EDM_SIM_SCENARIO_EXEC_HPP
+
+#include <string>
+
+#include "core/config.hpp"
+#include "core/message.hpp"
+#include "sim/scenario_runner.hpp"
+
+namespace edm {
+
+/**
+ * EDM_BENCH_SCALE as a factor, or @p fallback when the variable is
+ * unset or not a positive number. The examples' --quick paths and the
+ * benches sample at this one consistent scale.
+ */
+double benchScaleEnv(double fallback);
+
+/** Closed-loop mixed read/write incast workload parameters. */
+struct IncastWorkload
+{
+    int chains_per_node = 6;
+    Bytes read_bytes = 900;
+    Bytes write_bytes = 700;
+};
+
+/** One incast sweep point (the scheduler mode lives in the EdmConfig). */
+struct IncastPoint
+{
+    std::string pattern; ///< "N-to-1" or "all-to-all"
+    std::size_t nodes = 0;
+};
+
+/**
+ * Run one incast point on @p ctx's simulation: chains_per_node
+ * closed-loop chains per sender, each `rounds` long, mixing reads and
+ * writes 2:1. Records offered/completed/grants/wasted_slots/parked/
+ * stranded/peak_staging/read_p99. @p cfg carries the scheduler mode
+ * flags; num_nodes is overwritten from the point.
+ */
+void runIncastPoint(ScenarioContext &ctx, const IncastPoint &pt,
+                    const IncastWorkload &wl, int rounds,
+                    core::EdmConfig cfg);
+
+/** Preemption-interference topology/workload parameters (§3.2.3). */
+struct InterferenceSetup
+{
+    std::size_t nodes = 2;
+    core::NodeId memory_node = 1;
+    double link_gbps = 25.0;
+    Bytes read_bytes = 64;
+    std::size_t frame_payload = 8900;
+};
+
+/**
+ * Measure one read preempting @p frames queued jumbo frames. Records
+ * read_ns and frames_delivered. num_nodes/link_rate in @p cfg are
+ * overwritten from the setup.
+ */
+void runInterferencePoint(ScenarioContext &ctx,
+                          const InterferenceSetup &setup, int frames,
+                          core::EdmConfig cfg);
+
+} // namespace edm
+
+#endif // EDM_SIM_SCENARIO_EXEC_HPP

@@ -284,6 +284,49 @@ TEST(EdmFlow, SrptBeatsFcfsOnHeavyTails)
     EXPECT_LT(run(core::Priority::Srpt), run(core::Priority::Fcfs));
 }
 
+TEST(EdmFlow, IdWrapStallsInsteadOfMergingOntoLiveId)
+{
+    // Mirror of HostStack's id-wrap stall (PR 5): strand message id 0
+    // on the pair (0, 1) mid-transfer, churn 255 more writes through
+    // ids 1..255, then offer one more. Its id wraps onto the live id 0
+    // — the old code asserted on the duplicate live id (and before
+    // that silently merged the two jobs' delivery accounting); the fix
+    // parks the job and counts a stall. Pair-FIFO granting means a
+    // message can only strand through a fault-path abort: kill the
+    // port's ledger between the first and second chunk grant, so the
+    // half-delivered message never retires from the live table.
+    Simulation sim;
+    EdmModelConfig mc;
+    mc.strict_grant_accounting = true;
+    EdmFlowModel model(sim, smallCluster(2), mc);
+
+    model.offer(makeJob(0, 0, 1, 512, 0)); // two 256 B chunks
+    // The demand registers at 10 ns (one propagation) and chunk 1 is
+    // granted immediately; chunk 2 waits out the port occupancy
+    // (~20 ns at 100G). Aborting at 15 ns reclaims the queued demand —
+    // strict mode also retires its pair-FIFO slot so later demands
+    // still flow — and leaves id 0 live forever at 256 of 512 bytes.
+    sim.events().schedule(15 * kNanosecond,
+                          [&] { model.scheduler().abortPort(0); });
+
+    // Closed-loop churn, spaced far beyond one small job's completion
+    // time so the X cap never parks anything: ids 1..255 launch and
+    // retire around the stranded id 0.
+    for (int i = 1; i <= 255; ++i)
+        model.offer(makeJob(static_cast<std::uint64_t>(i), 0, 1, 256,
+                            i * 5 * kMicrosecond));
+    sim.run();
+    EXPECT_EQ(model.completed(), 255u);
+    EXPECT_EQ(model.idStalls(), 0u);
+
+    // next_id_ has wrapped back to 0, which is still live (stranded).
+    model.offer(makeJob(256, 0, 1, 256, sim.now() + kMicrosecond));
+    sim.run();
+    EXPECT_EQ(model.idStalls(), 1u);
+    EXPECT_EQ(model.completed(), 255u); // parked, not merged
+    EXPECT_EQ(model.staleGrants(), 0u);
+}
+
 TEST(Ird, ConflictsAppearUnderLoad)
 {
     Simulation sim;

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Offline query tool for fabric event logs (docs/EVENT_LOG.md).
+ *
+ * The log answers scheduling forensics without rerunning the sim:
+ *
+ *   edm_trace dump    <file> [filters]   every record, one line each
+ *   edm_trace summary <file> [filters]   per-flow lifecycle summaries
+ *   edm_trace parked  <file> [--min-ns N] [filters]
+ *                                        park->drain/drop pairs with
+ *                                        latency and outcome — "which
+ *                                        flows had grants parked longer
+ *                                        than N ns, and why"
+ *   edm_trace histo   <file> [filters]   wasted-grant reasons and
+ *                                        park-latency histogram
+ *
+ * Filters: --type <name> --port N --src N --dst N --id N --response
+ *          --from NS --to NS   (times in simulation nanoseconds)
+ */
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "trace/event_log.hpp"
+
+namespace {
+
+using namespace edm;
+using trace::Detail;
+using trace::EventType;
+using trace::Record;
+
+struct Filter
+{
+    int type = -1; ///< EventType value, -1 = any
+    long port = -1;
+    long src = -1;
+    long dst = -1;
+    long id = -1;
+    bool response_only = false;
+    double from_ns = -1;
+    double to_ns = -1;
+
+    bool
+    pass(const Record &r) const
+    {
+        if (type >= 0 && r.type != type)
+            return false;
+        if (port >= 0 && r.port != port)
+            return false;
+        if (src >= 0 && r.src != src)
+            return false;
+        if (dst >= 0 && r.dst != dst)
+            return false;
+        if (id >= 0 && r.id != id)
+            return false;
+        if (response_only && !r.response())
+            return false;
+        const double ns = toNs(r.at);
+        if (from_ns >= 0 && ns < from_ns)
+            return false;
+        if (to_ns >= 0 && ns > to_ns)
+            return false;
+        return true;
+    }
+};
+
+int
+typeFromName(const std::string &name)
+{
+    for (int t = 0; t <= 15; ++t)
+        if (name == trace::toString(static_cast<EventType>(t)))
+            return t;
+    return -1;
+}
+
+using FlowKey = std::tuple<std::uint16_t, std::uint16_t, std::uint8_t,
+                           bool>;
+
+std::string
+flowName(const FlowKey &k)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%u->%u id %u %s",
+                  static_cast<unsigned>(std::get<0>(k)),
+                  static_cast<unsigned>(std::get<1>(k)),
+                  static_cast<unsigned>(std::get<2>(k)),
+                  std::get<3>(k) ? "rsp" : "req");
+    return buf;
+}
+
+FlowKey
+flowOf(const Record &r)
+{
+    return FlowKey{r.src, r.dst, r.id, r.response()};
+}
+
+void
+dumpRecord(const Record &r)
+{
+    std::printf("%14.3f ns  port %-4u %-16s %-20s %u->%u id %-3u %s "
+                "arg %" PRIu64 "\n",
+                toNs(r.at), static_cast<unsigned>(r.port),
+                trace::toString(r.eventType()),
+                trace::toString(r.detailCode()),
+                static_cast<unsigned>(r.src),
+                static_cast<unsigned>(r.dst),
+                static_cast<unsigned>(r.id),
+                r.response() ? "rsp" : "req", r.arg);
+}
+
+int
+cmdDump(const std::vector<Record> &recs)
+{
+    for (const Record &r : recs)
+        dumpRecord(r);
+    std::printf("%zu records\n", recs.size());
+    return 0;
+}
+
+/** Per-flow lifecycle rollup. */
+struct FlowSummary
+{
+    std::uint64_t issued = 0, issued_bytes = 0;
+    std::uint64_t parked = 0, drained = 0, dropped = 0;
+    std::uint64_t ledger_open = 0, ledger_retire = 0, ledger_abort = 0;
+    std::uint64_t stalls = 0;
+    Picoseconds first = 0, last = 0;
+    bool seen = false;
+
+    void
+    touch(Picoseconds at)
+    {
+        if (!seen) {
+            first = at;
+            seen = true;
+        }
+        last = at;
+    }
+};
+
+int
+cmdSummary(const std::vector<Record> &recs)
+{
+    std::map<FlowKey, FlowSummary> flows;
+    for (const Record &r : recs) {
+        const EventType t = r.eventType();
+        switch (t) {
+        case EventType::GrantIssued:
+        case EventType::GrantParked:
+        case EventType::GrantDrained:
+        case EventType::GrantDropped:
+        case EventType::LedgerOpen:
+        case EventType::LedgerRetire:
+        case EventType::LedgerAbort:
+        case EventType::IdWrapStall:
+            break;
+        default:
+            continue; // port-scoped events have no flow key
+        }
+        FlowSummary &f = flows[flowOf(r)];
+        f.touch(r.at);
+        switch (t) {
+        case EventType::GrantIssued:
+            ++f.issued;
+            f.issued_bytes += r.arg;
+            break;
+        case EventType::GrantParked: ++f.parked; break;
+        case EventType::GrantDrained: ++f.drained; break;
+        case EventType::GrantDropped: ++f.dropped; break;
+        case EventType::LedgerOpen: ++f.ledger_open; break;
+        case EventType::LedgerRetire: ++f.ledger_retire; break;
+        case EventType::LedgerAbort: ++f.ledger_abort; break;
+        case EventType::IdWrapStall: ++f.stalls; break;
+        default: break;
+        }
+    }
+    std::printf("%-22s %7s %10s %7s %7s %7s %6s %6s %6s %6s %12s\n",
+                "flow", "grants", "bytes", "parked", "drained", "dropped",
+                "open", "retire", "abort", "stall", "span ns");
+    for (const auto &kv : flows) {
+        const FlowSummary &f = kv.second;
+        std::printf("%-22s %7" PRIu64 " %10" PRIu64 " %7" PRIu64
+                    " %7" PRIu64 " %7" PRIu64 " %6" PRIu64 " %6" PRIu64
+                    " %6" PRIu64 " %6" PRIu64 " %12.1f\n",
+                    flowName(kv.first).c_str(), f.issued, f.issued_bytes,
+                    f.parked, f.drained, f.dropped, f.ledger_open,
+                    f.ledger_retire, f.ledger_abort, f.stalls,
+                    toNs(f.last - f.first));
+    }
+    std::printf("%zu flows\n", flows.size());
+    return 0;
+}
+
+/** One parked grant resolved (or not) by a later drain/drop. */
+struct ParkSpan
+{
+    FlowKey flow;
+    Picoseconds parked_at = 0;
+    Picoseconds resolved_at = 0;
+    bool resolved = false;
+    bool drained = false;
+    Detail reason = Detail::None;
+};
+
+std::vector<ParkSpan>
+parkSpans(const std::vector<Record> &recs)
+{
+    // Parked grants drain FIFO per flow (HostStack keeps them in a
+    // deque), so matching park->resolution in order is exact.
+    std::map<FlowKey, std::deque<std::size_t>> open;
+    std::vector<ParkSpan> spans;
+    for (const Record &r : recs) {
+        const EventType t = r.eventType();
+        if (t == EventType::GrantParked) {
+            ParkSpan s;
+            s.flow = flowOf(r);
+            s.parked_at = r.at;
+            open[s.flow].push_back(spans.size());
+            spans.push_back(s);
+            continue;
+        }
+        if (t != EventType::GrantDrained && t != EventType::GrantDropped)
+            continue;
+        auto it = open.find(flowOf(r));
+        if (it == open.end() || it->second.empty())
+            continue; // drop of a never-parked grant (unknown, stale...)
+        ParkSpan &s = spans[it->second.front()];
+        it->second.pop_front();
+        s.resolved = true;
+        s.resolved_at = r.at;
+        s.drained = t == EventType::GrantDrained;
+        s.reason = r.detailCode();
+    }
+    return spans;
+}
+
+int
+cmdParked(const std::vector<Record> &recs, double min_ns)
+{
+    const auto spans = parkSpans(recs);
+    std::size_t shown = 0;
+    std::printf("%-22s %14s %12s %-10s %s\n", "flow", "parked at ns",
+                "parked ns", "outcome", "why");
+    for (const ParkSpan &s : spans) {
+        const double ns =
+            s.resolved ? toNs(s.resolved_at - s.parked_at) : -1;
+        if (s.resolved && ns < min_ns)
+            continue;
+        ++shown;
+        if (s.resolved)
+            std::printf("%-22s %14.3f %12.1f %-10s %s\n",
+                        flowName(s.flow).c_str(), toNs(s.parked_at), ns,
+                        s.drained ? "drained" : "dropped",
+                        s.drained ? "-" : trace::toString(s.reason));
+        else
+            std::printf("%-22s %14.3f %12s %-10s %s\n",
+                        flowName(s.flow).c_str(), toNs(s.parked_at),
+                        "never", "unresolved",
+                        "still parked at end of log");
+    }
+    std::printf("%zu of %zu parked grants shown (min %.0f ns)\n", shown,
+                spans.size(), min_ns);
+    return 0;
+}
+
+int
+cmdHisto(const std::vector<Record> &recs)
+{
+    // Wasted grants by reason.
+    std::map<std::uint8_t, std::uint64_t> drops;
+    for (const Record &r : recs)
+        if (r.eventType() == EventType::GrantDropped)
+            ++drops[r.detail];
+    std::printf("wasted grants by reason:\n");
+    if (drops.empty())
+        std::printf("  (none)\n");
+    for (const auto &kv : drops)
+        std::printf("  %-20s %8" PRIu64 "\n",
+                    trace::toString(static_cast<Detail>(kv.first)),
+                    kv.second);
+
+    // Park latency histogram.
+    static const double kEdges[] = {100, 1e3, 1e4, 1e5, 1e6};
+    static const char *kNames[] = {"< 100 ns",  "< 1 us",   "< 10 us",
+                                   "< 100 us",  "< 1 ms",   ">= 1 ms"};
+    std::uint64_t buckets[7] = {0};
+    std::uint64_t unresolved = 0;
+    for (const ParkSpan &s : parkSpans(recs)) {
+        if (!s.resolved) {
+            ++unresolved;
+            continue;
+        }
+        const double ns = toNs(s.resolved_at - s.parked_at);
+        std::size_t b = 0;
+        while (b < 5 && ns >= kEdges[b])
+            ++b;
+        ++buckets[b];
+    }
+    std::printf("\npark latency:\n");
+    for (std::size_t b = 0; b < 6; ++b)
+        std::printf("  %-10s %8" PRIu64 "\n", kNames[b], buckets[b]);
+    std::printf("  %-10s %8" PRIu64 "\n", "unresolved", unresolved);
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: edm_trace <dump|summary|parked|histo> <file> "
+        "[--type NAME] [--port N]\n"
+        "                 [--src N] [--dst N] [--id N] [--response]\n"
+        "                 [--from NS] [--to NS] [--min-ns N]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    const std::string path = argv[2];
+    Filter filter;
+    double min_ns = 0;
+    for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--response") {
+            filter.response_only = true;
+            continue;
+        }
+        const char *v = next();
+        if (!v)
+            return usage();
+        if (a == "--type") {
+            filter.type = typeFromName(v);
+            if (filter.type < 0) {
+                std::fprintf(stderr, "unknown event type '%s'\n", v);
+                return 2;
+            }
+        } else if (a == "--port") {
+            filter.port = std::atol(v);
+        } else if (a == "--src") {
+            filter.src = std::atol(v);
+        } else if (a == "--dst") {
+            filter.dst = std::atol(v);
+        } else if (a == "--id") {
+            filter.id = std::atol(v);
+        } else if (a == "--from") {
+            filter.from_ns = std::atof(v);
+        } else if (a == "--to") {
+            filter.to_ns = std::atof(v);
+        } else if (a == "--min-ns") {
+            min_ns = std::atof(v);
+        } else {
+            return usage();
+        }
+    }
+
+    trace::LogReader reader;
+    if (!reader.open(path)) {
+        std::fprintf(stderr, "%s: not a readable EDMTRACE file\n",
+                     path.c_str());
+        return 1;
+    }
+    std::vector<Record> recs;
+    Record r;
+    while (reader.next(r))
+        if (filter.pass(r))
+            recs.push_back(r);
+
+    if (cmd == "dump")
+        return cmdDump(recs);
+    if (cmd == "summary")
+        return cmdSummary(recs);
+    if (cmd == "parked")
+        return cmdParked(recs, min_ns);
+    if (cmd == "histo")
+        return cmdHisto(recs);
+    return usage();
+}
