@@ -45,9 +45,17 @@
  * Every (point, mode) pair runs as an independent scenario on the
  * ScenarioRunner pool; EDM_SWEEP_THREADS pins the worker count.
  *
- * Build & run:   ./build/incast_stress [rounds] [--quick]
+ * Build & run:   ./build/incast_stress [rounds] [--quick] [--storm]
  * (--quick: one point per pattern at EDM_BENCH_SCALE-scaled rounds —
  * the CI artifact. Unset, the scale defaults to 0.5.)
+ *
+ * --storm overlays the scenarios/failure_storm.edm fault campaign on
+ * every N-to-1 point: an all-reads workload (so every stranded op is
+ * retryable), a correlated corruption storm over the memory node and
+ * two senders with auto-repair, host retry/backoff enabled, and the
+ * recovery columns (downed / retried / recovered / abandoned /
+ * tt_repair) appended to the table. docs/FAULTS.md documents the
+ * model and the metric definitions.
  */
 
 #include <cmath>
@@ -58,6 +66,7 @@
 #include <vector>
 
 #include "core/occupancy.hpp"
+#include "sim/scenario_config.hpp"
 #include "sim/scenario_exec.hpp"
 #include "sim/scenario_runner.hpp"
 
@@ -100,14 +109,20 @@ main(int argc, char **argv)
 {
     int rounds = 20;
     bool quick = false;
+    bool storm = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
             continue;
         }
+        if (std::strcmp(argv[i], "--storm") == 0) {
+            storm = true;
+            continue;
+        }
         rounds = std::atoi(argv[i]);
         if (rounds <= 0) {
-            std::fprintf(stderr, "usage: %s [rounds>0] [--quick]\n",
+            std::fprintf(stderr,
+                         "usage: %s [rounds>0] [--quick] [--storm]\n",
                          argv[0]);
             return 2;
         }
@@ -119,9 +134,14 @@ main(int argc, char **argv)
         rounds = std::max(
             1L, std::lround(rounds * benchScaleEnv(0.5)));
 
-    std::printf("incast contention stress, %d rounds x %d chains/node, "
-                "mixed 900 B reads / 700 B writes\n",
-                rounds, kChainsPerNode);
+    if (storm)
+        std::printf("incast contention stress under a failure storm, "
+                    "%d rounds x 4 chains/node, all-reads 900 B\n",
+                    rounds);
+    else
+        std::printf("incast contention stress, %d rounds x %d "
+                    "chains/node, mixed 900 B reads / 700 B writes\n",
+                    rounds, kChainsPerNode);
 
     // The occupancy model's prediction for the peakstage column: every
     // full chunk the legacy charge paces through a saturated egress
@@ -157,12 +177,27 @@ main(int argc, char **argv)
     for (const std::size_t n : n_to_1)
         for (const Mode m : kModes)
             points.push_back(Point{"N-to-1", n, m});
-    for (const std::size_t n : all_to_all)
-        for (const Mode m : kModes)
-            points.push_back(Point{"all-to-all", n, m});
+    if (!storm) // the storm campaign targets the N-to-1 fan-in only
+        for (const std::size_t n : all_to_all)
+            for (const Mode m : kModes)
+                points.push_back(Point{"all-to-all", n, m});
 
     IncastWorkload workload;
     workload.chains_per_node = kChainsPerNode;
+
+    // --storm: the scenarios/failure_storm.edm campaign, inline.
+    FaultCampaignSpec faults;
+    if (storm) {
+        workload.chains_per_node = 4;
+        workload.write_bytes = 0; // all-reads: every stranded op retries
+        faults.active = true;
+        faults.storm_at = 4000 * kNanosecond;
+        faults.storm_nodes = {0, 2, 3};
+        faults.storm_blocks = 8;
+        faults.storm_jitter = 500 * kNanosecond;
+        faults.storm_seed = 42;
+        faults.repair_after = 6000 * kNanosecond;
+    }
 
     ScenarioRunner::Options opts;
     opts.base_seed = 7;
@@ -170,26 +205,37 @@ main(int argc, char **argv)
     for (const Point &pt : points) {
         runner.add(std::string(pt.pattern) + "/" +
                        std::to_string(pt.nodes) + "/" + modeName(pt.mode),
-                   [pt, workload, rounds](ScenarioContext &ctx) {
+                   [pt, workload, rounds, storm,
+                    &faults](ScenarioContext &ctx) {
                        EdmConfig cfg;
                        cfg.strict_grant_accounting =
                            pt.mode != Mode::Legacy;
                        cfg.wire_charged_occupancy = pt.mode == Mode::Wire;
+                       if (storm) {
+                           cfg.read_timeout = 150000 * kNanosecond;
+                           cfg.read_retry_limit = 5;
+                           cfg.read_retry_base = 5000 * kNanosecond;
+                           cfg.link_error_threshold = 8;
+                       }
                        runIncastPoint(ctx,
                                       IncastPoint{pt.pattern, pt.nodes},
-                                      workload, rounds, cfg);
+                                      workload, rounds, cfg, &faults);
                    });
     }
     const auto results = runner.runAll();
 
-    std::printf("  %-11s %6s %-7s %8s %9s %8s %8s %9s %9s %11s\n",
+    std::printf("  %-11s %6s %-7s %8s %9s %8s %8s %9s %9s %11s",
                 "pattern", "nodes", "mode", "offered", "completed",
                 "wasted", "parked", "stranded", "peakstage", "read p99ns");
+    if (storm)
+        std::printf(" %7s %8s %9s %9s %12s", "downed", "retried",
+                    "recovered", "abandoned", "tt_repair ns");
+    std::printf("\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
         const Point &pt = points[i];
         std::printf("  %-11s %6zu %-7s %8.0f %9.0f %8.0f %8.0f %9.0f "
-                    "%9.0f %11.1f\n",
+                    "%9.0f %11.1f",
                     pt.pattern, pt.nodes, modeName(pt.mode),
                     r.metricStat("offered").mean(),
                     r.metricStat("completed").mean(),
@@ -198,6 +244,14 @@ main(int argc, char **argv)
                     r.metricStat("stranded").mean(),
                     r.metricStat("peak_staging").mean(),
                     r.metricStat("read_p99").mean());
+        if (storm)
+            std::printf(" %7.0f %8.0f %9.0f %9.0f %12.1f",
+                        r.metricStat("links_disabled").mean(),
+                        r.metricStat("retried").mean(),
+                        r.metricStat("recovered").mean(),
+                        r.metricStat("abandoned").mean(),
+                        r.metricStat("tt_repair_ns").mean());
+        std::printf("\n");
     }
 
     std::printf(

@@ -93,7 +93,8 @@ runIncast(const ScenarioSpec &spec, bool quick,
                         rounds](ScenarioContext &ctx) {
                            runIncastPoint(ctx,
                                           IncastPoint{pattern, nodes},
-                                          spec.workload, rounds, cfg);
+                                          spec.workload, rounds, cfg,
+                                          &spec.faults);
                        });
         }
     };
@@ -104,14 +105,19 @@ runIncast(const ScenarioSpec &spec, bool quick,
 
     const auto results = runner.runAll();
 
-    std::printf("  %-11s %6s %-7s %8s %9s %8s %8s %9s %9s %11s\n",
+    const bool faults = spec.faults.active;
+    std::printf("  %-11s %6s %-7s %8s %9s %8s %8s %9s %9s %11s",
                 "pattern", "nodes", "mode", "offered", "completed",
                 "wasted", "parked", "stranded", "peakstage", "read p99ns");
+    if (faults)
+        std::printf(" %7s %8s %9s %9s %12s", "downed", "retried",
+                    "recovered", "abandoned", "tt_repair ns");
+    std::printf("\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
         const IncastRow &row = rows[i];
         std::printf("  %-11s %6zu %-7s %8.0f %9.0f %8.0f %8.0f %9.0f "
-                    "%9.0f %11.1f\n",
+                    "%9.0f %11.1f",
                     row.pattern.c_str(), row.nodes, row.mode.c_str(),
                     r.metricStat("offered").mean(),
                     r.metricStat("completed").mean(),
@@ -120,6 +126,14 @@ runIncast(const ScenarioSpec &spec, bool quick,
                     r.metricStat("stranded").mean(),
                     r.metricStat("peak_staging").mean(),
                     r.metricStat("read_p99").mean());
+        if (faults)
+            std::printf(" %7.0f %8.0f %9.0f %9.0f %12.1f",
+                        r.metricStat("links_disabled").mean(),
+                        r.metricStat("retried").mean(),
+                        r.metricStat("recovered").mean(),
+                        r.metricStat("abandoned").mean(),
+                        r.metricStat("tt_repair_ns").mean());
+        std::printf("\n");
     }
     return 0;
 }

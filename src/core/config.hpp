@@ -11,6 +11,7 @@
 #define EDM_CORE_CONFIG_HPP
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/time.hpp"
 #include "common/units.hpp"
@@ -74,6 +75,32 @@ struct EdmConfig
 
     /** Read-timeout guard against memory-node failure (§3.3). 0 = off. */
     Picoseconds read_timeout = 0;
+
+    /**
+     * Errors tolerated on an uplink before the PHY monitor declares the
+     * link damaged and disables it (§3.3). The default matches the
+     * historical CycleFabric::kLinkErrorThreshold constant, so legacy
+     * schedules are unchanged; fault campaigns lower it to tune
+     * detection sensitivity (time-to-disable) without needing longer
+     * corruption bursts.
+     */
+    std::uint64_t link_error_threshold = 16;
+
+    /**
+     * Bounded host-side read retry (§3.3 availability). When > 0, a
+     * read that hits the read_timeout guard — or whose flow the
+     * scheduler retired through a fault abort — is re-issued as a fresh
+     * RREQ up to this many times, with exponential backoff
+     * (read_retry_base << attempt) before each re-issue. The reported
+     * completion latency spans the whole recovery (measured from the
+     * original post). 0 (default) keeps the legacy semantics bit-exact:
+     * a timed-out read dies as a NULL response. Only reads retry — RMW
+     * is not idempotent, and writes have no timeout guard.
+     */
+    int read_retry_limit = 0;
+
+    /** Backoff base for read retries (attempt n waits base << n). */
+    Picoseconds read_retry_base = 2 * kMicrosecond;
 
     /**
      * Strict demand-lifecycle accounting. The scheduler keeps an explicit

@@ -50,6 +50,18 @@ CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
                 !switch_->egressFrameBacklog(dst).empty();
         });
 
+    // Fail-fast read retries: a fault abort that retires a response
+    // flow means the reader's data sender went dark — route the abort
+    // to the waiting reader so it re-issues on the backoff path instead
+    // of waiting out the full read timeout. Only wired when the retry
+    // budget exists; otherwise abortPort stays exactly the legacy sweep.
+    if (cfg_.read_retry_limit > 0) {
+        switch_->scheduler().setAbortSink([this](const FlowKey &key) {
+            if (key.response)
+                hosts_[key.dst]->onFlowAborted(key.src, key.id);
+        });
+    }
+
     // Attach the (purely observational) event log to every preemption
     // mux so enter/re-enter decisions are recorded with their port.
     if (cfg_.event_log) {
@@ -315,7 +327,9 @@ CycleFabric::emitHost(NodeId id)
         --health.corrupt_next;
         ++health.errors;
         deliver = false;
-        if (health.errors >= kLinkErrorThreshold && !health.disabled) {
+        if (link_health_hook_)
+            link_health_hook_(id, LinkEvent::ErrorDetected, health.errors);
+        if (health.errors >= cfg_.link_error_threshold && !health.disabled) {
             health.disabled = true;
             EDM_WARN("uplink of node %u disabled after %llu line errors",
                      id, static_cast<unsigned long long>(health.errors));
@@ -329,6 +343,8 @@ CycleFabric::emitHost(NodeId id)
             // bought.
             switch_->scheduler().abortPort(id);
             hosts_[id]->onUplinkDisabled();
+            if (link_health_hook_)
+                link_health_hook_(id, LinkEvent::Disabled, health.errors);
         }
     }
 
@@ -678,6 +694,33 @@ CycleFabric::corruptUplink(NodeId src, int blocks)
     // transmitter, including any already committed to an in-flight
     // train: pull those back so the per-block path re-emits them.
     abortUplinkTrain(src);
+}
+
+void
+CycleFabric::repairUplink(NodeId src)
+{
+    EDM_ASSERT(src < uplink_health_.size(), "node %u out of range", src);
+    LinkHealth &health = uplink_health_[src];
+    if (!health.disabled && health.corrupt_next == 0 && health.errors == 0)
+        return;
+    const bool was_disabled = health.disabled;
+    health.disabled = false;
+    health.errors = 0;
+    // A disabled link stops consuming its corruption budget (blocks are
+    // dropped before the corruption check), and a saturating injection
+    // such as ReplicatedFabric::failNetwork leaves it effectively
+    // infinite — repairing the physical medium clears it outright.
+    health.corrupt_next = 0;
+    if (auto *log = cfg_.event_log)
+        log->log(trace::EventType::FaultRecover, sim_.now(), src, src, 0, 0,
+                 false, trace::Detail::LinkRepaired, 0);
+    if (was_disabled)
+        hosts_[src]->onUplinkRepaired();
+    if (link_health_hook_)
+        link_health_hook_(src, LinkEvent::Repaired, 0);
+    // Restart the pump: queued work parked behind the dead link (or new
+    // work admitted by the reopened gate) flows again from this instant.
+    pumpHost(src);
 }
 
 CycleFabric::GrantAccounting

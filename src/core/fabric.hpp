@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -104,8 +105,44 @@ class CycleFabric
      */
     bool linkDisabled(NodeId src) const;
 
-    /** Errors tolerated before a link is declared damaged and disabled. */
+    /**
+     * Repair node @p src's uplink: clear the disabled latch, zero the
+     * error counter and drop any still-pending corruption budget (the
+     * physical fault is fixed — a repaired transceiver does not owe the
+     * wire leftover corrupt blocks). The host's uplink gate reopens
+     * (HostStack::onUplinkRepaired) and the pump restarts, so queued
+     * and new demands flow again; the scheduler needs no explicit
+     * re-admit — fresh demands reopen ledger entries naturally. A no-op
+     * on a healthy link with no injected corruption.
+     */
+    void repairUplink(NodeId src);
+
+    /**
+     * Default errors tolerated before a link is declared damaged and
+     * disabled (EdmConfig::link_error_threshold overrides per fabric).
+     */
     static constexpr std::uint64_t kLinkErrorThreshold = 16;
+
+    /** Uplink health transitions, observable without polling. */
+    enum class LinkEvent
+    {
+        ErrorDetected, ///< a corrupted block was caught (arg = errors)
+        Disabled,      ///< the threshold latched the link off
+        Repaired,      ///< repairUplink() brought the link back
+    };
+
+    using LinkHealthHook =
+        std::function<void(NodeId, LinkEvent, std::uint64_t errors)>;
+
+    /**
+     * Observe uplink health transitions (FaultCampaign's recovery-time
+     * probes). Purely observational: the hook must not re-enter the
+     * fabric's fault API synchronously.
+     */
+    void setLinkHealthHook(LinkHealthHook hook)
+    {
+        link_health_hook_ = std::move(hook);
+    }
 
     /**
      * Fabric-wide grant-accounting metrics: the hosts' grant outcomes
@@ -198,6 +235,7 @@ class CycleFabric
     std::vector<TxPump> switch_pumps_;
     std::vector<phy::BlockFifo> frame_backlog_;
     std::vector<LinkHealth> uplink_health_;
+    LinkHealthHook link_health_hook_;
 
     Samples read_lat_;
     Samples write_lat_;

@@ -157,6 +157,7 @@ HostStack::launch(PendingRequest req)
     st.read_cb = std::move(req.read_cb);
     st.write_cb = std::move(req.write_cb);
     st.rmw_cb = std::move(req.rmw_cb);
+    st.retries = req.retries;
 
     switch (req.msg.type) {
       case MemMsgType::RREQ:
@@ -506,6 +507,12 @@ HostStack::onUplinkDisabled()
 }
 
 void
+HostStack::onUplinkRepaired()
+{
+    uplink_disabled_ = false;
+}
+
+void
 HostStack::serveWrite(const MemMessage &chunk)
 {
     EDM_ASSERT(store_ && dram_, "node %u has no memory to serve writes",
@@ -623,6 +630,8 @@ HostStack::completeRead(const MemMessage &chunk)
             cb(result, latency);
     } else {
         ++stats_.reads_completed;
+        if (st.retries > 0)
+            ++stats_.reads_recovered;
         auto cb = std::move(st.read_cb);
         auto data = std::move(st.data);
         const NodeId dst = chunk.src;
@@ -641,6 +650,12 @@ HostStack::onReadTimeout(NodeId dst, MsgId id)
     if (it == requests_.end())
         return;
     ++stats_.read_timeouts;
+    it->second.timeout = kInvalidEvent; // this firing was the guard
+    if (cfg_.read_retry_limit > 0 &&
+        it->second.type == MemMsgType::RREQ) {
+        recoverLostRead(it);
+        return;
+    }
     if (auto *log = cfg_.event_log)
         log->log(trace::EventType::FaultRecover, events_.now(), id_, dst,
                  id_, id, true, trace::Detail::ReadTimeout, 0);
@@ -650,6 +665,75 @@ HostStack::onReadTimeout(NodeId dst, MsgId id)
     release(dst);
     if (cb)
         cb({}, latency, true); // NULL (zero-size) response, §3.3
+}
+
+void
+HostStack::recoverLostRead(
+    std::map<std::pair<NodeId, MsgId>, RequestState>::iterator it)
+{
+    const NodeId dst = it->first.first;
+    const MsgId id = it->first.second;
+    RequestState &st = it->second;
+    if (st.timeout != kInvalidEvent) {
+        events_.cancel(st.timeout);
+        st.timeout = kInvalidEvent;
+    }
+    if (st.retries < cfg_.read_retry_limit) {
+        // Re-issue as a fresh RREQ (new message id via launch) after
+        // exponential backoff. The original post time rides along so
+        // the completion latency spans the entire recovery; any chunk
+        // prefix that landed before the loss is discarded — the retried
+        // request restarts the transfer.
+        PendingRequest req;
+        req.msg.type = MemMsgType::RREQ;
+        req.msg.src = id_;
+        req.msg.dst = dst;
+        req.msg.addr = st.remote_addr;
+        req.msg.len = st.total;
+        req.read_cb = std::move(st.read_cb);
+        req.posted = st.posted;
+        req.retries = st.retries + 1;
+        const Picoseconds backoff = cfg_.read_retry_base << st.retries;
+        ++stats_.read_retries;
+        if (auto *log = cfg_.event_log)
+            log->log(trace::EventType::FaultRecover, events_.now(), id_,
+                     dst, id_, id, true, trace::Detail::ReadRetry,
+                     static_cast<std::uint64_t>(req.retries));
+        requests_.erase(it);
+        release(dst);
+        events_.scheduleAfter(backoff,
+                              [this, dst, req = std::move(req)]() mutable {
+                                  admit(dst, std::move(req));
+                              });
+        return;
+    }
+    // Retry budget exhausted: abandon with the legacy NULL response.
+    ++stats_.reads_abandoned;
+    if (auto *log = cfg_.event_log)
+        log->log(trace::EventType::FaultRecover, events_.now(), id_, dst,
+                 id_, id, true, trace::Detail::ReadAbandoned,
+                 static_cast<std::uint64_t>(st.retries));
+    auto cb = std::move(st.read_cb);
+    const Picoseconds latency = events_.now() - st.posted;
+    requests_.erase(it);
+    release(dst);
+    if (cb)
+        cb({}, latency, true);
+}
+
+void
+HostStack::onFlowAborted(NodeId mem_node, MsgId id)
+{
+    // Fail-fast is an opt-in refinement of the timeout guard: without a
+    // retry budget the legacy NULL path stays the only authority.
+    if (cfg_.read_retry_limit <= 0)
+        return;
+    auto it = requests_.find(std::make_pair(mem_node, id));
+    if (it == requests_.end() || it->second.type != MemMsgType::RREQ)
+        return; // RMW is not idempotent — its timeout decides alone
+    it->second.data.clear();
+    it->second.done = 0;
+    recoverLostRead(it);
 }
 
 void

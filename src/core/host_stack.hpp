@@ -94,6 +94,23 @@ struct HostStats
      * the wire (and used to panic the host).
      */
     std::uint64_t id_stalls = 0;
+
+    /**
+     * Reads re-issued after a timeout or a fault-aborted flow
+     * (EdmConfig::read_retry_limit). Each re-issue counts once; a read
+     * that retries three times before completing contributes three.
+     */
+    std::uint64_t read_retries = 0;
+
+    /** Reads that completed after at least one retry. */
+    std::uint64_t reads_recovered = 0;
+
+    /**
+     * Reads abandoned with a NULL response after exhausting the retry
+     * budget. Zero when retries are disabled (the legacy NULL path
+     * counts only read_timeouts).
+     */
+    std::uint64_t reads_abandoned = 0;
 };
 
 /**
@@ -161,6 +178,24 @@ class HostStack
      */
     void onUplinkDisabled();
 
+    /**
+     * Fabric reports that this node's uplink was repaired
+     * (CycleFabric::repairUplink). Reopens the grant gate; in-flight
+     * requests and retries flow again.
+     */
+    void onUplinkRepaired();
+
+    /**
+     * Scheduler reports (via the fabric) that the response flow we are
+     * waiting on — data sender @p mem_node, message @p id — was retired
+     * by a fault abort: its sender's uplink died and the data will
+     * never arrive. With retries enabled this fail-fasts the read onto
+     * the backoff path instead of waiting out the full read_timeout;
+     * without them it is a no-op (the legacy timeout guard keeps sole
+     * authority over the NULL response).
+     */
+    void onFlowAborted(NodeId mem_node, MsgId id);
+
     /** TX preemption mux the fabric drains (one block per slot). */
     phy::PreemptionMux &mux() { return mux_; }
 
@@ -201,6 +236,7 @@ class HostStack
         WriteCallback write_cb;
         RmwCallback rmw_cb;
         Picoseconds posted = 0;
+        int retries = 0; ///< re-issues consumed (read retry path)
     };
 
     /** Compute-side state of an outstanding request, keyed (dst, id). */
@@ -216,6 +252,7 @@ class HostStack
         WriteCallback write_cb;
         RmwCallback rmw_cb;
         EventId timeout = kInvalidEvent;
+        int retries = 0; ///< re-issues consumed (read retry path)
     };
 
     /** Memory-side state of an in-progress RRES, keyed (dst, id). */
@@ -304,6 +341,9 @@ class HostStack
     void sendWriteChunk(NodeId dst, MsgId id, Bytes chunk);
     void completeRead(const MemMessage &chunk);
     void onReadTimeout(NodeId dst, MsgId id);
+    /** Retry-or-abandon a lost read; @p it must point into requests_. */
+    void recoverLostRead(std::map<std::pair<NodeId, MsgId>,
+                                  RequestState>::iterator it);
 };
 
 } // namespace core

@@ -3,13 +3,14 @@
 #include <memory>
 
 #include "common/logging.hpp"
+#include "trace/event_log.hpp"
 
 namespace edm {
 namespace core {
 
 ReplicatedFabric::ReplicatedFabric(const EdmConfig &cfg, Simulation &sim,
                                    std::vector<NodeId> memory_nodes)
-    : cfg_(cfg)
+    : cfg_(cfg), sim_(sim)
 {
     // Disable per-network read timeouts: the replication layer decides
     // completion (a network that lost its switch simply never answers;
@@ -59,14 +60,60 @@ ReplicatedFabric::write(NodeId from, NodeId to, std::uint64_t addr,
 }
 
 void
+ReplicatedFabric::rmw(NodeId from, NodeId to, std::uint64_t addr,
+                      mem::RmwOp op, std::uint64_t arg0, std::uint64_t arg1,
+                      RmwCallback cb)
+{
+    EDM_ASSERT(cb, "replicated RMW needs a callback");
+    auto done = std::make_shared<bool>(false);
+    auto once = [this, done, cb = std::move(cb)](mem::RmwResult result,
+                                                 Picoseconds lat) {
+        if (*done) {
+            ++duplicates_;
+            return;
+        }
+        *done = true;
+        cb(result, lat);
+    };
+    primary_->rmw(from, to, addr, op, arg0, arg1, once);
+    backup_->rmw(from, to, addr, op, arg0, arg1, once);
+}
+
+void
 ReplicatedFabric::failNetwork(bool backup_network)
 {
     CycleFabric &f = backup_network ? *backup_ : *primary_;
+    if (auto *log = cfg_.event_log)
+        log->log(trace::EventType::FaultInject, sim_.now(),
+                 backup_network ? 1 : 0, 0, 0, 0, false,
+                 trace::Detail::SwitchFail, cfg_.num_nodes);
     // Power loss at the switch: every uplink goes dark. We model it by
     // saturating each link's corruption budget, which trips the damage
     // threshold and disables the link.
     for (NodeId n = 0; n < cfg_.num_nodes; ++n)
         f.corruptUplink(n, 1 << 30);
+}
+
+void
+ReplicatedFabric::recoverNetwork(bool backup_network)
+{
+    CycleFabric &dead = backup_network ? *backup_ : *primary_;
+    CycleFabric &alive = backup_network ? *primary_ : *backup_;
+    if (auto *log = cfg_.event_log)
+        log->log(trace::EventType::FaultRecover, sim_.now(),
+                 backup_network ? 1 : 0, 0, 0, 0, false,
+                 trace::Detail::SwitchFailback, cfg_.num_nodes);
+    // State resync by observation *before* the links come back: the
+    // moment an uplink reopens, a queued RREQ could reach a memory node
+    // and read a page the outage left stale.
+    for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
+        mem::BackingStore *to = dead.host(n).store();
+        mem::BackingStore *from = alive.host(n).store();
+        if (to && from)
+            to->syncFrom(*from);
+    }
+    for (NodeId n = 0; n < cfg_.num_nodes; ++n)
+        dead.repairUplink(n);
 }
 
 } // namespace core

@@ -56,16 +56,40 @@ class ReplicatedFabric
                std::vector<std::uint8_t> data, WriteCallback cb);
 
     /**
+     * Mirrored atomic RMW (first response wins, duplicate dropped).
+     * Both networks' memory-node NICs execute the operation against
+     * their own store replica; determinism of the mirrored message
+     * streams keeps the replicas convergent, so the duplicate result is
+     * identical to the winner — the header's "every outgoing
+     * remote-memory message" contract, which read/write already honor.
+     */
+    void rmw(NodeId from, NodeId to, std::uint64_t addr, mem::RmwOp op,
+             std::uint64_t arg0, std::uint64_t arg1, RmwCallback cb);
+
+    /**
      * Fail one entire ToR network: every uplink into that switch is
      * disabled, as when the switch loses power.
      */
     void failNetwork(bool backup_network);
+
+    /**
+     * Bring a failed ToR network back (switch failback): repair every
+     * uplink (CycleFabric::repairUplink clears the saturated corruption
+     * budgets failNetwork left behind) and resync the recovered
+     * network's memory-node store replicas from the surviving network
+     * by observation — writes mirrored during the outage died on the
+     * dark network's uplinks, so its replicas adopt the survivor's
+     * observed pages before the first post-failback read could race a
+     * stale copy to the first-response-wins merge.
+     */
+    void recoverNetwork(bool backup_network);
 
     /** Responses that arrived second and were discarded. */
     std::uint64_t duplicatesDropped() const { return duplicates_; }
 
   private:
     EdmConfig cfg_;
+    Simulation &sim_;
     std::unique_ptr<CycleFabric> primary_;
     std::unique_ptr<CycleFabric> backup_;
     std::uint64_t duplicates_ = 0;

@@ -401,6 +401,7 @@ Scheduler::flowBytes(const FlowKey &key) const
 void
 Scheduler::abortPort(NodeId port)
 {
+    std::vector<FlowKey> aborted;
     for (auto it = ledger_.begin(); it != ledger_.end();) {
         if (it->first.src != port) {
             ++it;
@@ -416,7 +417,14 @@ Scheduler::abortPort(NodeId port)
                      trace::Detail::None, stale);
         if (cfg_.strict_grant_accounting)
             reclaimQueuedDemand(key);
+        if (abort_sink_)
+            aborted.push_back(key);
     }
+    // Notify after the sweep: a sink may re-enter the scheduler (a host
+    // re-issuing the aborted read opens a fresh demand), which must not
+    // happen while the ledger iterator is live.
+    for (const FlowKey &key : aborted)
+        abort_sink_(key);
 }
 
 } // namespace core

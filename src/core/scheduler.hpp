@@ -133,6 +133,16 @@ class Scheduler
      */
     using FrameActivityProbe = std::function<bool(NodeId src, NodeId dst)>;
 
+    /**
+     * Observer of fault-aborted flows: called once per ledger entry
+     * abortPort() retires, *after* the ledger sweep completes (so the
+     * sink may re-enter the scheduler — e.g. a host re-issuing the read
+     * opens a fresh demand). Installed by the fabric to fail-fast host
+     * retries (EdmConfig::read_retry_limit) instead of waiting out the
+     * read timeout; never installed (and free) otherwise.
+     */
+    using AbortSink = std::function<void(const FlowKey &)>;
+
     Scheduler(const EdmConfig &cfg, EventQueue &events, GrantSink sink);
 
     /** Install the frame-backlog probe (see FrameActivityProbe). */
@@ -140,6 +150,13 @@ class Scheduler
     setFrameActivityProbe(FrameActivityProbe probe)
     {
         frame_probe_ = std::move(probe);
+    }
+
+    /** Install the fault-abort observer (see AbortSink). */
+    void
+    setAbortSink(AbortSink sink)
+    {
+        abort_sink_ = std::move(sink);
     }
 
     /**
@@ -232,6 +249,7 @@ class Scheduler
     EventQueue &events_;
     GrantSink sink_;
     FrameActivityProbe frame_probe_;
+    AbortSink abort_sink_;
 
     std::vector<std::unique_ptr<Queue>> queues_; ///< one per dst port
     // Uplink (source) and downlink (destination) reservations are

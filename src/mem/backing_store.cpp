@@ -71,6 +71,13 @@ BackingStore::write64(std::uint64_t addr, std::uint64_t value)
     write(addr, bytes);
 }
 
+void
+BackingStore::syncFrom(const BackingStore &other)
+{
+    for (const auto &[page_no, page] : other.pages_)
+        pages_[page_no] = page;
+}
+
 RmwResult
 BackingStore::rmw(RmwOp op, std::uint64_t addr,
                   std::uint64_t arg0, std::uint64_t arg1)

@@ -61,6 +61,14 @@ class BackingStore
     /** Number of materialized 4 KiB pages (for capacity accounting). */
     std::size_t residentPages() const { return pages_.size(); }
 
+    /**
+     * Overwrite this store's pages with every resident page of
+     * @p other (pages only this store touched are left in place).
+     * Page-granular state resync for replica failback: the recovered
+     * store adopts the surviving replica's observed contents.
+     */
+    void syncFrom(const BackingStore &other);
+
   private:
     static constexpr std::uint64_t kPageBytes = 4096;
     using Page = std::array<std::uint8_t, kPageBytes>;

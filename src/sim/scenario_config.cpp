@@ -254,6 +254,18 @@ applyEdmConfigKey(core::EdmConfig &cfg, const std::string &key,
         if (!parseLong(value, n) || n < 0)
             return bad_value();
         cfg.read_timeout = n * kNanosecond;
+    } else if (key == "link_error_threshold") {
+        if (!parseLong(value, n) || n < 1)
+            return bad_value();
+        cfg.link_error_threshold = static_cast<std::uint64_t>(n);
+    } else if (key == "read_retry_limit") {
+        if (!parseLong(value, n) || n < 0)
+            return bad_value();
+        cfg.read_retry_limit = static_cast<int>(n);
+    } else if (key == "read_retry_base_ns") {
+        if (!parseLong(value, n) || n < 1)
+            return bad_value();
+        cfg.read_retry_base = n * kNanosecond;
     } else if (key == "strict_grant_accounting") {
         if (!parseBool(value, b))
             return bad_value();
@@ -390,6 +402,39 @@ loadScenarioSpec(const std::string &path, ScenarioSpec &spec,
             spec.config.push_back(kv);
         }
     }
+    spec.faults = FaultCampaignSpec{};
+    if (const ScenarioSection *fs = doc.section("faults")) {
+        for (const auto &kv : fs->entries) {
+            const std::string &k = kv.first;
+            if (k != "storm_at_ns" && k != "storm_nodes" &&
+                k != "storm_blocks" && k != "storm_jitter_ns" &&
+                k != "storm_seed" && k != "repair_after_ns") {
+                error = "unknown [faults] key '" + k + "'";
+                return false;
+            }
+        }
+        spec.faults.active = true;
+        const long at = fs->getInt("storm_at_ns", 0);
+        const long blocks = fs->getInt("storm_blocks", 32);
+        const long jitter = fs->getInt("storm_jitter_ns", 0);
+        const long repair = fs->getInt("repair_after_ns", 0);
+        if (at < 0 || blocks < 1 || jitter < 0 || repair < 0) {
+            error = "[faults] values must be non-negative (storm_blocks "
+                    ">= 1)";
+            return false;
+        }
+        spec.faults.storm_at = at * kNanosecond;
+        spec.faults.storm_blocks = static_cast<int>(blocks);
+        spec.faults.storm_jitter = jitter * kNanosecond;
+        spec.faults.storm_seed =
+            static_cast<std::uint64_t>(fs->getInt("storm_seed", 1));
+        spec.faults.repair_after = repair * kNanosecond;
+        spec.faults.storm_nodes.clear();
+        for (const std::size_t n : fs->getSizeList("storm_nodes"))
+            spec.faults.storm_nodes.push_back(
+                static_cast<core::NodeId>(n));
+    }
+
     spec.modes.clear();
     for (const ScenarioSection *ms : doc.sectionsWithPrefix("mode")) {
         ScenarioModeSpec mode;

@@ -91,6 +91,28 @@ struct ScenarioModeSpec
     std::vector<std::pair<std::string, std::string>> overrides;
 };
 
+/**
+ * Declarative `[faults]` campaign: a correlated link-failure storm with
+ * optional auto-repair, executed by scenario_exec through a
+ * FaultCampaign on each sweep point's fabric. Times are nanoseconds in
+ * the file (`*_ns` keys); retry/threshold knobs live in `[config]`
+ * (`read_retry_limit`, `read_retry_base_ns`, `link_error_threshold`).
+ */
+struct FaultCampaignSpec
+{
+    bool active = false; ///< a [faults] section was present
+
+    Picoseconds storm_at = 0; ///< when the storm begins
+    /** Uplinks the storm hits; empty = every sender (nodes 1..N-1). */
+    std::vector<core::NodeId> storm_nodes;
+    int storm_blocks = 32; ///< corrupt blocks per hit uplink
+    Picoseconds storm_jitter = 0; ///< per-node start spread [0, jitter]
+    std::uint64_t storm_seed = 1; ///< jitter RNG seed
+
+    /** Repair each disabled link this long after its disable; 0=never. */
+    Picoseconds repair_after = 0;
+};
+
 /** A fully validated scenario ready to run. */
 struct ScenarioSpec
 {
@@ -114,6 +136,9 @@ struct ScenarioSpec
     std::vector<std::pair<std::string, std::string>> config;
     /** Mode overlays in file order; empty means one unnamed base mode. */
     std::vector<ScenarioModeSpec> modes;
+
+    /** Declarative fault campaign (inactive unless [faults] present). */
+    FaultCampaignSpec faults;
 
     /** Base config + one mode's overlay, validated at load time. */
     core::EdmConfig configFor(const ScenarioModeSpec &mode) const;

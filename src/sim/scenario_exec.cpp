@@ -2,10 +2,13 @@
 
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/fabric.hpp"
 #include "mac/frame.hpp"
+#include "sim/fault_campaign.hpp"
+#include "sim/scenario_config.hpp"
 
 namespace edm {
 
@@ -22,7 +25,8 @@ benchScaleEnv(double fallback)
 
 void
 runIncastPoint(ScenarioContext &ctx, const IncastPoint &pt,
-               const IncastWorkload &wl, int rounds, core::EdmConfig cfg)
+               const IncastWorkload &wl, int rounds, core::EdmConfig cfg,
+               const FaultCampaignSpec *faults)
 {
     using core::NodeId;
     cfg.num_nodes = pt.nodes;
@@ -30,13 +34,26 @@ runIncastPoint(ScenarioContext &ctx, const IncastPoint &pt,
     const bool all_to_all = pt.pattern == "all-to-all";
     core::CycleFabric fab(cfg, sim);
 
+    std::unique_ptr<FaultCampaign> campaign;
+    if (faults && faults->active) {
+        campaign = std::make_unique<FaultCampaign>(sim, fab);
+        std::vector<NodeId> storm = faults->storm_nodes;
+        if (storm.empty())
+            for (NodeId n = 1; n < pt.nodes; ++n)
+                storm.push_back(n);
+        campaign->stormAt(faults->storm_at, storm, faults->storm_blocks,
+                          faults->storm_jitter, faults->storm_seed);
+        if (faults->repair_after > 0)
+            campaign->autoRepairAfter(faults->repair_after);
+    }
+
     long completed = 0;
     long offered = 0;
     std::function<void(NodeId, NodeId, int)> issue =
         [&](NodeId from, NodeId to, int left) {
             if (left <= 0)
                 return;
-            if (left % 3 == 0) {
+            if (left % 3 == 0 && wl.write_bytes > 0) {
                 fab.write(from, to, 0x1000u * from,
                           std::vector<std::uint8_t>(wl.write_bytes, 1),
                           [&issue, &completed, from, to,
@@ -88,6 +105,23 @@ runIncastPoint(ScenarioContext &ctx, const IncastPoint &pt,
     Samples reads = fab.readLatency();
     ctx.record("read_p99",
                reads.count() ? reads.percentile(99) : 0.0);
+
+    if (campaign) {
+        const FaultStats fs = campaign->stats();
+        ctx.record("links_disabled",
+                   static_cast<double>(fs.links_disabled));
+        ctx.record("links_repaired",
+                   static_cast<double>(fs.links_repaired));
+        ctx.record("retried", static_cast<double>(fs.ops_retried));
+        ctx.record("recovered", static_cast<double>(fs.ops_recovered));
+        ctx.record("abandoned", static_cast<double>(fs.ops_abandoned));
+        ctx.record("tt_detect_ns",
+                   fs.detect_ns.count() ? fs.detect_ns.mean() : 0.0);
+        ctx.record("tt_disable_ns",
+                   fs.disable_ns.count() ? fs.disable_ns.mean() : 0.0);
+        ctx.record("tt_repair_ns",
+                   fs.repair_ns.count() ? fs.repair_ns.mean() : 0.0);
+    }
 }
 
 void

@@ -19,6 +19,8 @@
 
 namespace edm {
 
+struct FaultCampaignSpec;
+
 /**
  * EDM_BENCH_SCALE as a factor, or @p fallback when the variable is
  * unset or not a positive number. The examples' --quick paths and the
@@ -26,7 +28,11 @@ namespace edm {
  */
 double benchScaleEnv(double fallback);
 
-/** Closed-loop mixed read/write incast workload parameters. */
+/**
+ * Closed-loop mixed read/write incast workload parameters.
+ * write_bytes = 0 makes the chains all-reads (fault campaigns use this
+ * so every stranded op is retryable).
+ */
 struct IncastWorkload
 {
     int chains_per_node = 6;
@@ -44,13 +50,18 @@ struct IncastPoint
 /**
  * Run one incast point on @p ctx's simulation: chains_per_node
  * closed-loop chains per sender, each `rounds` long, mixing reads and
- * writes 2:1. Records offered/completed/grants/wasted_slots/parked/
- * stranded/peak_staging/read_p99. @p cfg carries the scheduler mode
- * flags; num_nodes is overwritten from the point.
+ * writes 2:1 (all-reads when wl.write_bytes is 0). Records
+ * offered/completed/grants/wasted_slots/parked/stranded/peak_staging/
+ * read_p99. @p cfg carries the scheduler mode flags; num_nodes is
+ * overwritten from the point. An active @p faults spec runs a
+ * FaultCampaign against the point's fabric and additionally records
+ * the recovery metrics (links_disabled/links_repaired/retried/
+ * recovered/abandoned/tt_detect_ns/tt_disable_ns/tt_repair_ns).
  */
 void runIncastPoint(ScenarioContext &ctx, const IncastPoint &pt,
                     const IncastWorkload &wl, int rounds,
-                    core::EdmConfig cfg);
+                    core::EdmConfig cfg,
+                    const FaultCampaignSpec *faults = nullptr);
 
 /** Preemption-interference topology/workload parameters (§3.2.3). */
 struct InterferenceSetup

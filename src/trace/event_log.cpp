@@ -59,6 +59,11 @@ toString(Detail detail)
     case Detail::FrameTrain: return "frame-train";
     case Detail::LinkDisabled: return "link-disabled";
     case Detail::ReadTimeout: return "read-timeout";
+    case Detail::LinkRepaired: return "link-repaired";
+    case Detail::ReadRetry: return "read-retry";
+    case Detail::ReadAbandoned: return "read-abandoned";
+    case Detail::SwitchFail: return "switch-fail";
+    case Detail::SwitchFailback: return "switch-failback";
     }
     return "unknown";
 }

@@ -72,6 +72,11 @@ enum class Detail : std::uint8_t
     FrameTrain = 9,      ///< TrainEmit/TrainTrim: Ethernet-frame train
     LinkDisabled = 10,   ///< FaultRecover: error threshold disabled the link
     ReadTimeout = 11,    ///< FaultRecover: read recovered via NULL response
+    LinkRepaired = 12,   ///< FaultRecover: uplink repaired and re-admitted
+    ReadRetry = 13,      ///< FaultRecover: read re-issued (arg=attempt)
+    ReadAbandoned = 14,  ///< FaultRecover: retry budget exhausted, NULL
+    SwitchFail = 15,     ///< FaultInject: replicated network power loss
+    SwitchFailback = 16, ///< FaultRecover: replicated network resynced
 };
 
 /** Record::flags bit: the flow is a response (read data) direction. */

@@ -269,5 +269,84 @@ TEST(ScenarioSpecTest, ParsedSpecReproducesHandBuiltConfigExactly)
     }
 }
 
+TEST(ScenarioConfig, AppliesFaultRecoveryKeys)
+{
+    core::EdmConfig cfg;
+    std::string error;
+    EXPECT_TRUE(
+        applyEdmConfigKey(cfg, "link_error_threshold", "8", error))
+        << error;
+    EXPECT_TRUE(applyEdmConfigKey(cfg, "read_retry_limit", "5", error));
+    EXPECT_TRUE(
+        applyEdmConfigKey(cfg, "read_retry_base_ns", "5000", error));
+    EXPECT_EQ(cfg.link_error_threshold, 8u);
+    EXPECT_EQ(cfg.read_retry_limit, 5);
+    EXPECT_EQ(cfg.read_retry_base, 5000 * kNanosecond);
+
+    // A zero threshold would disable the link on the first healthy
+    // block; a zero backoff base would retry in a busy loop.
+    EXPECT_FALSE(
+        applyEdmConfigKey(cfg, "link_error_threshold", "0", error));
+    EXPECT_FALSE(
+        applyEdmConfigKey(cfg, "read_retry_base_ns", "0", error));
+    // retry_limit = 0 is the legacy bit-exact default: valid.
+    EXPECT_TRUE(applyEdmConfigKey(cfg, "read_retry_limit", "0", error));
+}
+
+TEST(ScenarioSpecTest, LoadsShippedFailureStormScenario)
+{
+    ScenarioSpec spec;
+    std::string error;
+    ASSERT_TRUE(loadScenarioSpec(
+        EDM_SOURCE_DIR "/scenarios/failure_storm.edm", spec, error))
+        << error;
+    EXPECT_EQ(spec.name, "failure_storm");
+    EXPECT_EQ(spec.kind, "incast");
+    EXPECT_EQ(spec.workload.write_bytes, 0u); // all-reads: retryable
+
+    ASSERT_TRUE(spec.faults.active);
+    EXPECT_EQ(spec.faults.storm_at, 4000 * kNanosecond);
+    ASSERT_EQ(spec.faults.storm_nodes.size(), 3u);
+    EXPECT_EQ(spec.faults.storm_nodes[0], 0u);
+    EXPECT_EQ(spec.faults.storm_nodes[1], 2u);
+    EXPECT_EQ(spec.faults.storm_nodes[2], 3u);
+    EXPECT_EQ(spec.faults.storm_blocks, 8);
+    EXPECT_EQ(spec.faults.storm_jitter, 500 * kNanosecond);
+    EXPECT_EQ(spec.faults.storm_seed, 42u);
+    EXPECT_EQ(spec.faults.repair_after, 6000 * kNanosecond);
+
+    // Retry/backoff knobs ride in [config] and land on every mode.
+    ASSERT_EQ(spec.modes.size(), 3u);
+    const core::EdmConfig cfg = spec.configFor(spec.modes[0]);
+    EXPECT_EQ(cfg.read_retry_limit, 5);
+    EXPECT_EQ(cfg.link_error_threshold, 8u);
+    EXPECT_GT(cfg.read_timeout, 0);
+
+    // A scenario with no [faults] section stays inactive.
+    ScenarioSpec plain;
+    ASSERT_TRUE(loadScenarioSpec(EDM_SOURCE_DIR "/scenarios/incast.edm",
+                                 plain, error))
+        << error;
+    EXPECT_FALSE(plain.faults.active);
+}
+
+TEST(ScenarioSpecTest, UnknownFaultKeysAreHardErrors)
+{
+    const char *bad = "[scenario]\nname = x\nkind = incast\n"
+                      "[sweep]\nn_to_1 = 2\n"
+                      "[faults]\nstorm_att_ns = 4000\n";
+    const std::string path =
+        std::string(::testing::TempDir()) + "badfaults.edm";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(bad, f);
+    std::fclose(f);
+    ScenarioSpec spec;
+    std::string error;
+    EXPECT_FALSE(loadScenarioSpec(path, spec, error));
+    EXPECT_NE(error.find("faults"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace edm

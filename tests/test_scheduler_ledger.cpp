@@ -596,6 +596,60 @@ TEST(SchedulerLedger, UplinkDisableDropsParkedGrants)
     EXPECT_EQ(host.stats().parked_grants_dropped, 2u);
 }
 
+TEST(SchedulerLedger, RepairReopensLedgerAndRegrants)
+{
+    // Disable -> abort retires every ledger entry on the port; repair
+    // must fully reopen the path: latch cleared, error counter and any
+    // residual corruption budget zeroed, and a fresh read granted,
+    // ledgered and retired exactly like on a never-failed link.
+    EdmConfig cfg;
+    cfg.num_nodes = 2;
+    cfg.strict_grant_accounting = true;
+    cfg.link_error_threshold = 4;
+    cfg.read_timeout = 2 * kMicrosecond;
+    Simulation sim;
+    CycleFabric fab(cfg, sim, {1});
+    fab.host(1).store()->write64(0x100, 42);
+
+    fab.corruptUplink(0, 1000); // far more than the damage threshold
+    int timeouts = 0;
+    for (int i = 0; i < 3; ++i) {
+        fab.host(0).postRead(1, 0x100, 8,
+                             [&](std::vector<std::uint8_t>, Picoseconds,
+                                 bool to) { timeouts += to; });
+        sim.run();
+    }
+    ASSERT_TRUE(fab.linkDisabled(0));
+    ASSERT_EQ(timeouts, 3);
+    EXPECT_EQ(fab.switchStack().scheduler().pendingLedgerEntries(), 0u);
+    const std::uint64_t grants_before =
+        fab.switchStack().scheduler().grantsIssued();
+
+    fab.repairUplink(0);
+    EXPECT_FALSE(fab.linkDisabled(0));
+    EXPECT_EQ(fab.linkErrors(0), 0u);
+
+    // The repaired link serves a read end to end: the RREQ transmits
+    // uncorrupted (repair zeroed the residual budget), the scheduler
+    // re-grants on the reopened port, and the entry retires clean.
+    std::uint64_t got = 0;
+    bool timed_out = true;
+    fab.host(0).postRead(1, 0x100, 8,
+                         [&](std::vector<std::uint8_t> d, Picoseconds,
+                             bool to) {
+                             timed_out = to;
+                             if (d.size() == 8)
+                                 for (int b = 7; b >= 0; --b)
+                                     got = (got << 8) | d[b];
+                         });
+    sim.run();
+    EXPECT_FALSE(timed_out);
+    EXPECT_EQ(got, 42u);
+    EXPECT_GT(fab.switchStack().scheduler().grantsIssued(),
+              grants_before);
+    EXPECT_EQ(fab.switchStack().scheduler().pendingLedgerEntries(), 0u);
+}
+
 } // namespace
 } // namespace core
 } // namespace edm

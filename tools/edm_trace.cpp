@@ -13,6 +13,11 @@
  *                                        than N ns, and why"
  *   edm_trace histo   <file> [filters]   wasted-grant reasons and
  *                                        park-latency histogram
+ *   edm_trace faults  <file> [filters]   per-link fault episodes —
+ *                                        inject -> disable -> repair
+ *                                        pairing with phase latencies,
+ *                                        plus retry/abandon and switch
+ *                                        fail/failback counts
  *
  * Filters: --type <name> --port N --src N --dst N --id N --response
  *          --from NS --to NS   (times in simulation nanoseconds)
@@ -312,12 +317,117 @@ cmdHisto(const std::vector<Record> &recs)
     return 0;
 }
 
+/**
+ * One link's inject -> disable -> repair lifecycle. A repair closes the
+ * episode; corruption landing while the link is already down folds into
+ * the open episode (its blocks are dropped before the corruption
+ * check, so it cannot advance the phases).
+ */
+struct FaultEpisode
+{
+    std::uint16_t port = 0;
+    Picoseconds injected_at = -1;
+    Picoseconds disabled_at = -1;
+    Picoseconds repaired_at = -1;
+};
+
+void
+printEpisode(const FaultEpisode &e)
+{
+    char disable[24] = "-", repair[24] = "-";
+    if (e.injected_at >= 0 && e.disabled_at >= 0)
+        std::snprintf(disable, sizeof(disable), "%.1f",
+                      toNs(e.disabled_at - e.injected_at));
+    if (e.disabled_at >= 0 && e.repaired_at >= 0)
+        std::snprintf(repair, sizeof(repair), "%.1f",
+                      toNs(e.repaired_at - e.disabled_at));
+    auto stamp = [](char *buf, std::size_t n, Picoseconds t) {
+        if (t >= 0)
+            std::snprintf(buf, n, "%.3f", toNs(t));
+        else
+            std::snprintf(buf, n, "-");
+    };
+    char inj[24], dis[24], rep[24];
+    stamp(inj, sizeof(inj), e.injected_at);
+    stamp(dis, sizeof(dis), e.disabled_at);
+    stamp(rep, sizeof(rep), e.repaired_at);
+    std::printf("%-6u %14s %14s %14s %14s %14s\n",
+                static_cast<unsigned>(e.port), inj, dis, rep, disable,
+                repair);
+}
+
+int
+cmdFaults(const std::vector<Record> &recs)
+{
+    std::map<std::uint16_t, FaultEpisode> open;
+    std::vector<FaultEpisode> episodes;
+    std::uint64_t injections = 0, retries = 0, abandoned = 0;
+    std::uint64_t switch_fails = 0, switch_failbacks = 0;
+    for (const Record &r : recs) {
+        const EventType t = r.eventType();
+        const Detail d = r.detailCode();
+        if (t == EventType::FaultInject) {
+            if (d == Detail::SwitchFail) {
+                ++switch_fails;
+                continue;
+            }
+            ++injections;
+            FaultEpisode &e = open[r.port];
+            e.port = r.port;
+            if (e.injected_at < 0)
+                e.injected_at = r.at;
+            continue;
+        }
+        if (t != EventType::FaultRecover)
+            continue;
+        switch (d) {
+        case Detail::LinkDisabled: {
+            FaultEpisode &e = open[r.port];
+            e.port = r.port;
+            if (e.disabled_at < 0)
+                e.disabled_at = r.at;
+            break;
+        }
+        case Detail::LinkRepaired: {
+            FaultEpisode &e = open[r.port];
+            e.port = r.port;
+            e.repaired_at = r.at;
+            episodes.push_back(e);
+            open.erase(r.port);
+            break;
+        }
+        case Detail::ReadRetry: ++retries; break;
+        case Detail::ReadAbandoned: ++abandoned; break;
+        case Detail::SwitchFailback: ++switch_failbacks; break;
+        default: break;
+        }
+    }
+
+    std::printf("%-6s %14s %14s %14s %14s %14s\n", "port",
+                "injected ns", "disabled ns", "repaired ns",
+                "tt_disable ns", "tt_repair ns");
+    for (const FaultEpisode &e : episodes)
+        printEpisode(e);
+    for (const auto &kv : open)
+        printEpisode(kv.second); // unresolved at end of log
+    std::printf("%zu fault episodes (%zu unresolved), %" PRIu64
+                " corruption bursts\n",
+                episodes.size() + open.size(), open.size(), injections);
+    std::printf("host recovery: %" PRIu64 " read retries, %" PRIu64
+                " reads abandoned\n",
+                retries, abandoned);
+    std::printf("replicated: %" PRIu64 " switch failures, %" PRIu64
+                " failbacks\n",
+                switch_fails, switch_failbacks);
+    return 0;
+}
+
 int
 usage()
 {
     std::fprintf(
         stderr,
-        "usage: edm_trace <dump|summary|parked|histo> <file> "
+        "usage: edm_trace <dump|summary|parked|histo|faults> <file> "
         "[--type NAME] [--port N]\n"
         "                 [--src N] [--dst N] [--id N] [--response]\n"
         "                 [--from NS] [--to NS] [--min-ns N]\n");
@@ -392,5 +502,7 @@ main(int argc, char **argv)
         return cmdParked(recs, min_ns);
     if (cmd == "histo")
         return cmdHisto(recs);
+    if (cmd == "faults")
+        return cmdFaults(recs);
     return usage();
 }
