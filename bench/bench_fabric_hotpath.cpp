@@ -7,6 +7,9 @@
  *   pr2  memory block trains + timing-wheel queue (frames per-block)
  *   pr3  payload-agnostic trains: frame bursts train too, and the
  *        egress path runs on pooled allocation-free storage
+ *   pr8  partitioned conservative-PDES engine: hosts and switch split
+ *        across per-partition event queues advancing in lock-step
+ *        lookahead windows (EdmConfig::fabric_workers)
  *
  * Four closed-loop workloads on an 8-node fabric (7 compute + 1
  * memory): bulk 2 KB reads, streaming 2 KB writes, a mixed read/write
@@ -15,6 +18,18 @@
  * simulations — test_block_train / test_frame_train prove it, the
  * cross-check here re-asserts it each run — so the blocks/sec ratios
  * are pure simulator speedup.
+ *
+ * The pr8 section runs a pairwise 24-node workload (12 co-partitioned
+ * node pairs spread over 8 host partition groups) at 1/2/4/8 fabric
+ * workers, re-asserts bit-identical results per worker count
+ * (test_parallel_engine.cpp owns the full determinism proof), and
+ * reports speedup over the single-thread pr3 referee. Wall-clock
+ * scaling obviously needs the cores: the checked-in JSON is produced
+ * by CI runners, a 1-vCPU container will show ~1x.
+ *
+ * The chunk-sweep section measures the PR 5 follow-up — grant chunk
+ * size under wire-charged occupancy (scenarios/chunk_sweep_wire.edm
+ * carries the declarative form, kGoldenChunkSweepWire the baseline).
  *
  * Run:   ./build/bench_fabric_hotpath [ops-per-node] [--json <path>]
  */
@@ -47,6 +62,7 @@ struct RunStats
     std::uint64_t completions = 0;
     std::uint64_t frames = 0;
     edm::Picoseconds end_time = 0;
+    double read_p99_ns = 0; ///< chunk-sweep rows only
 };
 
 enum class Load
@@ -188,6 +204,129 @@ run(Load load, const Engine &eng, std::uint64_t ops_per_node)
     return rs;
 }
 
+/**
+ * Pairwise closed-loop workload for the parallel engine: 24 nodes as
+ * 12 co-partitioned pairs spread across 8 host partition groups (plus
+ * the switch partition). Even nodes read 2 KB from their partner, odd
+ * nodes stream 2 KB writes back; every block still crosses the switch
+ * partition both ways, so the mailbox handoff is on the hot path.
+ */
+RunStats
+runParallel(int workers, std::uint64_t ops_per_node)
+{
+    constexpr std::size_t kParNodes = 24;
+    Simulation sim;
+    EdmConfig cfg;
+    cfg.num_nodes = kParNodes;
+    cfg.link_rate = Gbps{25.0};
+    cfg.fabric_workers = workers;
+    if (workers > 0) {
+        cfg.fabric_partition_map.resize(kParNodes);
+        for (std::size_t n = 0; n < kParNodes; ++n)
+            cfg.fabric_partition_map[n] =
+                static_cast<std::uint16_t>(1 + (n / 2) % 8);
+    }
+    CycleFabric fab(cfg, sim);
+    for (NodeId n = 0; n < kParNodes; ++n)
+        fab.host(n).store()->write(
+            0x10000, std::vector<std::uint8_t>(kOpBytes, 0x5A));
+
+    RunStats rs;
+    std::vector<std::uint64_t> remaining(kParNodes, ops_per_node);
+    std::function<void(NodeId)> issue = [&](NodeId n) {
+        if (remaining[n] == 0)
+            return;
+        --remaining[n];
+        const NodeId partner = static_cast<NodeId>(n ^ 1u);
+        if (n & 1) {
+            fab.write(n, partner,
+                      0x20000 + static_cast<std::uint64_t>(n) * 0x10000,
+                      std::vector<std::uint8_t>(
+                          kOpBytes, static_cast<std::uint8_t>(n)),
+                      [&issue, n](Picoseconds) { issue(n); });
+        } else {
+            fab.read(n, partner, 0x10000, kOpBytes,
+                     [&issue, n](std::vector<std::uint8_t>, Picoseconds,
+                                 bool) { issue(n); });
+        }
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (NodeId n = 0; n < kParNodes; ++n)
+        issue(n);
+    fab.run();
+    rs.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    for (NodeId n = 0; n < kParNodes; ++n) {
+        const auto &st = fab.host(n).stats();
+        rs.blocks += st.mem_blocks_sent + st.mem_blocks_received;
+        rs.completions += st.reads_completed + st.writes_completed;
+    }
+    rs.events = fab.eventsExecuted();
+    rs.end_time = fab.endTime();
+    return rs;
+}
+
+/**
+ * Grant-chunk size under wire-charged occupancy (the PR 5 follow-up):
+ * the 7-to-1 incast regime where the chunk size decides how coarsely
+ * the scheduler meters the contested memory downlink.
+ */
+RunStats
+runChunkSweep(Bytes chunk, std::uint64_t ops_per_node)
+{
+    Simulation sim;
+    EdmConfig cfg;
+    cfg.num_nodes = kNodes;
+    cfg.link_rate = Gbps{25.0};
+    cfg.strict_grant_accounting = true;
+    cfg.wire_charged_occupancy = true;
+    cfg.chunk_bytes = chunk;
+    const NodeId mem = kNodes - 1;
+    CycleFabric fab(cfg, sim, {mem});
+    fab.host(mem).store()->write(0x10000,
+                                 std::vector<std::uint8_t>(1024, 0x5A));
+
+    RunStats rs;
+    std::vector<std::uint64_t> remaining(kNodes - 1, ops_per_node);
+    std::function<void(NodeId)> issue = [&](NodeId n) {
+        if (remaining[n] == 0)
+            return;
+        --remaining[n];
+        if ((remaining[n] % 3) == 0) {
+            fab.write(n, mem,
+                      0x20000 + static_cast<std::uint64_t>(n) * 0x10000,
+                      std::vector<std::uint8_t>(
+                          700, static_cast<std::uint8_t>(n)),
+                      [&issue, n](Picoseconds) { issue(n); });
+        } else {
+            fab.read(n, mem, 0x10000, 900,
+                     [&issue, n](std::vector<std::uint8_t>, Picoseconds,
+                                 bool) { issue(n); });
+        }
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (NodeId n = 0; n < kNodes - 1; ++n)
+        issue(n);
+    sim.run();
+    rs.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    for (NodeId n = 0; n < kNodes; ++n) {
+        const auto &st = fab.host(n).stats();
+        rs.blocks += st.mem_blocks_sent + st.mem_blocks_received;
+        rs.completions += st.reads_completed + st.writes_completed;
+    }
+    rs.events = sim.events().executed();
+    rs.end_time = sim.now();
+    const Samples &reads = fab.readLatency();
+    rs.read_p99_ns = reads.count() ? reads.percentile(99) : 0.0;
+    return rs;
+}
+
 } // namespace
 
 int
@@ -275,5 +414,80 @@ main(int argc, char **argv)
                 "(target >= 1.5x on mixed+frames vs pr2)\n",
                 std::pow(geo_pr1, 1.0 / rows),
                 std::pow(geo_pr2, 1.0 / rows));
+
+    // ---- pr8: partitioned conservative-PDES engine ------------------
+    std::printf("\n=== pr8 parallel engine: pairwise 24-node workload, "
+                "8 host partitions ===\n\n");
+    std::printf("  %-16s %12s %12s %10s\n", "config", "Mblocks/s",
+                "events", "vs pr3");
+    runParallel(4, ops / 4 + 1); // warm-up (spawns the thread pool)
+    const RunStats referee = runParallel(0, ops);
+    constexpr int kWorkerCounts[] = {1, 2, 4, 8};
+    std::printf("  %-16s %12.2f %12llu %9s\n", "pr3-referee",
+                static_cast<double>(referee.blocks) / referee.wall_s / 1e6,
+                static_cast<unsigned long long>(referee.events), "1.00x");
+    json.record("pairwise-24node", "pr3-referee",
+                {{"blocks_per_sec",
+                  static_cast<double>(referee.blocks) / referee.wall_s},
+                 {"ns_per_block",
+                  referee.wall_s / static_cast<double>(referee.blocks) *
+                      1e9},
+                 {"events", static_cast<double>(referee.events)},
+                 {"speedup_vs_pr3", 1.0}});
+    for (int workers : kWorkerCounts) {
+        const RunStats r = runParallel(workers, ops);
+        // Model-level equivalence with the single-thread referee: the
+        // parallel path batches trains differently (tighter lookahead
+        // cap) but may not change anything the model observes.
+        if (r.completions != referee.completions ||
+            r.blocks != referee.blocks ||
+            r.end_time != referee.end_time || r.completions == 0) {
+            std::fprintf(
+                stderr,
+                "FATAL: pr8-parallel-w%d diverged from the referee "
+                "(%llu vs %llu blocks, end %lld vs %lld)\n",
+                workers, static_cast<unsigned long long>(r.blocks),
+                static_cast<unsigned long long>(referee.blocks),
+                static_cast<long long>(r.end_time),
+                static_cast<long long>(referee.end_time));
+            return 1;
+        }
+        const double speedup = referee.wall_s / r.wall_s;
+        std::printf("  pr8-parallel-w%-2d %12.2f %12llu %9.2fx\n", workers,
+                    static_cast<double>(r.blocks) / r.wall_s / 1e6,
+                    static_cast<unsigned long long>(r.events), speedup);
+        json.record("pairwise-24node",
+                    "pr8-parallel-w" + std::to_string(workers),
+                    {{"blocks_per_sec",
+                      static_cast<double>(r.blocks) / r.wall_s},
+                     {"ns_per_block",
+                      r.wall_s / static_cast<double>(r.blocks) * 1e9},
+                     {"events", static_cast<double>(r.events)},
+                     {"speedup_vs_pr3", speedup}});
+    }
+    std::printf("\n  (scaling needs the cores: CI runners regenerate the "
+                "checked-in JSON;\n   a 1-vCPU container shows ~1x)\n");
+
+    // ---- PR 5 follow-up: chunk size under wire-charged occupancy ----
+    std::printf("\n=== chunk-bytes sweep, wire-charged occupancy, "
+                "7-to-1 incast ===\n\n");
+    std::printf("  %-12s %12s %12s %12s\n", "chunk", "Mblocks/s",
+                "read p99 ns", "end us");
+    for (Bytes chunk : {Bytes{128}, Bytes{256}, Bytes{512}, Bytes{1024}}) {
+        const RunStats r = runChunkSweep(chunk, ops);
+        std::printf("  %-12llu %12.2f %12.1f %12.1f\n",
+                    static_cast<unsigned long long>(chunk),
+                    static_cast<double>(r.blocks) / r.wall_s / 1e6,
+                    r.read_p99_ns,
+                    static_cast<double>(r.end_time) / 1e6);
+        json.record("chunk-sweep-wire",
+                    "chunk-" + std::to_string(chunk) + "B",
+                    {{"blocks_per_sec",
+                      static_cast<double>(r.blocks) / r.wall_s},
+                     {"read_p99_ns", r.read_p99_ns},
+                     {"end_time_us",
+                      static_cast<double>(r.end_time) / 1e6},
+                     {"events", static_cast<double>(r.events)}});
+    }
     return 0;
 }

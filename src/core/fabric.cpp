@@ -24,10 +24,52 @@ CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
                 memory_nodes.end();
     };
 
+    // Partitioned execution (PR 8): partition 0 is always the switch
+    // (it keeps the Simulation's root queue); hosts live on partitions
+    // >= 1 per fabric_partition_map, all on partition 1 by default. The
+    // engine is built before the hosts because each HostStack binds to
+    // its partition's queue at construction.
+    if (cfg_.fabric_workers > 0) {
+        if (cfg_.fabric_partition_map.empty()) {
+            node_part_.assign(cfg_.num_nodes, 1);
+        } else {
+            EDM_ASSERT(cfg_.fabric_partition_map.size() == cfg_.num_nodes,
+                       "fabric_partition_map has %zu entries for %u nodes",
+                       cfg_.fabric_partition_map.size(), cfg_.num_nodes);
+            node_part_ = cfg_.fabric_partition_map;
+            for (std::uint16_t p : node_part_)
+                EDM_ASSERT(p >= 1,
+                           "partition 0 is reserved for the switch");
+        }
+        std::size_t nparts = 2;
+        for (std::uint16_t p : node_part_)
+            nparts = std::max<std::size_t>(nparts, p + 1u);
+        ParallelFabricEngine::Options eopts;
+        eopts.workers = cfg_.fabric_workers;
+        eopts.window =
+            std::max<Picoseconds>(1, (cfg_.cycle + hopLatency()) / 2);
+        // The structured event log timestamps cross-partition state
+        // synchronously, and the preemption re-entry probe makes every
+        // grant decision read host-side mux state: both demand globally
+        // ordered execution.
+        eopts.force_serial = cfg_.event_log != nullptr ||
+            (cfg_.wire_charged_occupancy && cfg_.charge_preemption_reentry);
+        eopts.hazard = [this] { return corrupt_pending_links_ > 0; };
+        engine_ = std::make_unique<ParallelFabricEngine>(
+            sim_.events(), nparts, eopts);
+    } else {
+        node_part_.assign(cfg_.num_nodes, 0);
+    }
+    const std::size_t nparts = engine_ ? engine_->partitions() : 1;
+    train_pools_.resize(nparts);
+    read_lat_p_.resize(nparts);
+    write_lat_p_.resize(nparts);
+    rmw_lat_p_.resize(nparts);
+
     hosts_.reserve(cfg_.num_nodes);
     for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
         hosts_.push_back(std::make_unique<HostStack>(
-            i, cfg_, sim_.events(), is_memory(i),
+            i, cfg_, hq(i), is_memory(i),
             [this, i] { pumpHost(i); }));
     }
     switch_ = std::make_unique<SwitchStack>(
@@ -75,9 +117,22 @@ CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
     // so its completion callback sees the true delivery latency. This is
     // a measurement channel, not a protocol message (the paper measures
     // write latency at the memory node the same way).
-    for (auto &h : hosts_) {
-        h->setWriteDeliveredHook(
-            [this](const MemMessage &chunk, Picoseconds t) {
+    for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
+        hosts_[i]->setWriteDeliveredHook(
+            [this, i](const MemMessage &chunk, Picoseconds t) {
+                // The report is a synchronous call back into the writer
+                // from the memory node's rx path. Under the engine that
+                // is only race-free when both live on one partition —
+                // the default map trivially satisfies this; custom maps
+                // must co-locate writer/memory pairs that exchange
+                // writes.
+                EDM_ASSERT(
+                    !engine_ ||
+                        node_part_[chunk.src] == node_part_[i],
+                    "write-delivered report crosses partitions "
+                    "(writer %u on %u, memory node %u on %u): "
+                    "co-locate them in fabric_partition_map",
+                    chunk.src, node_part_[chunk.src], i, node_part_[i]);
                 hosts_[chunk.src]->notifyWriteDelivered(chunk.dst, chunk.id,
                                                         t);
             });
@@ -101,14 +156,17 @@ CycleFabric::hopLatency() const
 }
 
 CycleFabric::Train
-CycleFabric::acquireTrain()
+CycleFabric::acquireTrain(std::size_t part)
 {
     // Trains churn at line rate; recycling the two vectors avoids an
-    // allocator round trip per train.
-    if (train_pool_.empty())
+    // allocator round trip per train. Pools are per *executing*
+    // partition (acquired on the emitting side, released on the
+    // delivering side), so no pool is ever touched from two threads.
+    std::vector<Train> &pool = train_pools_[part];
+    if (pool.empty())
         return Train{};
-    Train t = std::move(train_pool_.back());
-    train_pool_.pop_back();
+    Train t = std::move(pool.back());
+    pool.pop_back();
     t.blocks.clear();
     t.avails.clear();
     t.kind = Train::Kind::Memory;
@@ -117,10 +175,11 @@ CycleFabric::acquireTrain()
 }
 
 void
-CycleFabric::releaseTrain(Train t)
+CycleFabric::releaseTrain(std::size_t part, Train t)
 {
-    if (train_pool_.size() < 64)
-        train_pool_.push_back(std::move(t));
+    std::vector<Train> &pool = train_pools_[part];
+    if (pool.size() < 64)
+        pool.push_back(std::move(t));
 }
 
 std::size_t
@@ -134,7 +193,20 @@ CycleFabric::trainCap(std::size_t knob) const
     // before anything downstream has seen them.
     const auto safety =
         static_cast<std::size_t>(hopLatency() / cfg_.cycle) + 2;
-    return std::max<std::size_t>(1, std::min(knob, safety));
+    std::size_t cap = std::max<std::size_t>(1, std::min(knob, safety));
+    if (engine_) {
+        // Tighter parallel cap: a train's delivery must land at least
+        // one lookahead window after its last emission slot, so the
+        // producer's trim/abort paths (gated on last_emit_end) can
+        // never touch a train whose delivery pop may be running
+        // concurrently: (len - 1) * cycle <= link_delay - window.
+        const Picoseconds link_delay = cfg_.cycle + hopLatency();
+        const Picoseconds margin = link_delay - engine_->window();
+        cap = std::min(cap,
+                       static_cast<std::size_t>(margin / cfg_.cycle) + 1);
+        cap = std::max<std::size_t>(1, cap);
+    }
+    return cap;
 }
 
 void
@@ -149,17 +221,41 @@ CycleFabric::noteTrainEvent(trace::EventType type, NodeId port,
 }
 
 void
-CycleFabric::commitTrain(TxPump &p, Train t, std::size_t run,
+CycleFabric::scheduleArrival(std::size_t src_part, std::size_t dst_part,
+                             Picoseconds when, EventQueue::Callback cb)
+{
+    if (engine_ && src_part != dst_part)
+        engine_->crossSchedule(src_part, dst_part, when, std::move(cb));
+    else if (engine_)
+        engine_->queue(dst_part).schedule(when, std::move(cb));
+    else
+        sim_.events().schedule(when, std::move(cb));
+}
+
+void
+CycleFabric::commitTrain(TxPump &p, EventQueue &q, std::size_t src_part,
+                         std::size_t dst_part, Train t, std::size_t run,
                          Picoseconds now, EventQueue::Callback deliver,
                          EventQueue::Callback emit)
 {
     t.start = now;
-    t.delivery = sim_.events().schedule(now + cfg_.cycle + hopLatency(),
-                                        std::move(deliver));
-    p.trains.push_back(std::move(t));
+    // Same call order as the legacy path (delivery first, then emit):
+    // sequence numbers — direct or merge-assigned — depend on it.
+    if (engine_) {
+        t.delivery = kInvalidEvent; // mailboxed ids are not cancellable
+        scheduleArrival(src_part, dst_part, now + cfg_.cycle + hopLatency(),
+                        std::move(deliver));
+    } else {
+        t.delivery = q.schedule(now + cfg_.cycle + hopLatency(),
+                                std::move(deliver));
+    }
+    const bool pushed = p.trains.push_back(std::move(t));
+    EDM_ASSERT(pushed, "in-flight train ring overflowed");
+    (void)pushed;
     p.next_slot = now + static_cast<Picoseconds>(run) * cfg_.cycle;
     p.emit_at = now + static_cast<Picoseconds>(run - 1) * cfg_.cycle;
-    p.emit_ev = sim_.events().schedule(p.emit_at, std::move(emit));
+    p.last_emit_end = p.emit_at;
+    p.emit_ev = q.schedule(p.emit_at, std::move(emit));
 }
 
 void
@@ -202,21 +298,21 @@ CycleFabric::takeFrameTrain(phy::PreemptionMux &mux,
 // ---------------------------------------------------------------------------
 
 void
-CycleFabric::pumpWake(TxPump &p, Picoseconds ready,
+CycleFabric::pumpWake(TxPump &p, EventQueue &q, Picoseconds ready,
                       EventQueue::Callback emit)
 {
-    Picoseconds start = std::max(sim_.now(), p.next_slot);
+    Picoseconds start = std::max(q.now(), p.next_slot);
     if (ready > start)
         start = ready;
     if (!p.active) {
         p.active = true;
         p.emit_at = start;
-        p.emit_ev = sim_.events().schedule(start, std::move(emit));
+        p.emit_ev = q.schedule(start, std::move(emit));
     } else if (p.emit_ev != kInvalidEvent && start < p.emit_at) {
         // Parked waiting on in-flight blocks, but fresher work (e.g. a
         // grant) is emittable sooner. Rescheduling re-sequences the
         // event, just as a fresh activation would have.
-        sim_.events().reschedule(p.emit_ev, start);
+        q.reschedule(p.emit_ev, start);
         p.emit_at = start;
     }
 }
@@ -224,13 +320,14 @@ CycleFabric::pumpWake(TxPump &p, Picoseconds ready,
 void
 CycleFabric::pumpHost(NodeId id)
 {
+    EventQueue &q = hq(id);
     trimUplinkTrain(id);
     const Picoseconds ready = frame_backlog_[id].empty()
-        ? hosts_[id]->mux().readyAt(sim_.now())
-        : sim_.now();
+        ? hosts_[id]->mux().readyAt(q.now())
+        : q.now();
     if (ready == phy::PreemptionMux::kNever)
         return;
-    pumpWake(host_pumps_[id], ready, [this, id] { emitHost(id); });
+    pumpWake(host_pumps_[id], q, ready, [this, id] { emitHost(id); });
 }
 
 void
@@ -238,21 +335,23 @@ CycleFabric::emitHost(NodeId id)
 {
     TxPump &p = host_pumps_[id];
     auto &mux = hosts_[id]->mux();
+    EventQueue &q = hq(id);
+    const std::size_t part = node_part_[id];
     p.emit_ev = kInvalidEvent;
 
     // Top up the mux's bounded frame staging buffer from the backlog.
     auto &backlog = frame_backlog_[id];
     topUpFrames(mux, backlog);
 
-    const Picoseconds now = sim_.now();
+    const Picoseconds now = q.now();
     if (now < p.next_slot) {
         // Train-continuation sentinel: it fires at the train's *last*
         // slot so that the next real emit is sequenced here — exactly
         // where baseline's per-slot chain would have scheduled it —
         // keeping same-timestamp ordering against enqueue events.
         p.emit_at = p.next_slot;
-        p.emit_ev = sim_.events().schedule(p.next_slot,
-                                           [this, id] { emitHost(id); });
+        p.emit_ev = q.schedule(p.next_slot,
+                               [this, id] { emitHost(id); });
         return;
     }
     const Picoseconds ready = mux.readyAt(now);
@@ -264,8 +363,8 @@ CycleFabric::emitHost(NodeId id)
         // Queued blocks are still in flight upstream: park until the
         // head becomes emittable.
         p.emit_at = std::max(ready, p.next_slot);
-        p.emit_ev = sim_.events().schedule(p.emit_at,
-                                           [this, id] { emitHost(id); });
+        p.emit_ev = q.schedule(p.emit_at,
+                               [this, id] { emitHost(id); });
         return;
     }
 
@@ -279,18 +378,18 @@ CycleFabric::emitHost(NodeId id)
     // blocks it would have.
     const bool trains_ok = health.corrupt_next == 0 && !health.disabled;
     if (train_cap_ > 1 && trains_ok) {
-        Train t = acquireTrain();
+        Train t = acquireTrain(part);
         const std::size_t run = mux.takeTrainRun(now, cfg_.cycle,
                                                  train_cap_, 2, t.blocks,
                                                  t.avails);
         if (run >= 2) {
             noteTrainEvent(trace::EventType::TrainEmit, id, t.kind, run);
-            commitTrain(p, std::move(t), run, now,
+            commitTrain(p, q, part, 0, std::move(t), run, now,
                         [this, id] { deliverHostTrain(id); },
                         [this, id] { emitHost(id); });
             return;
         }
-        releaseTrain(std::move(t));
+        releaseTrain(part, std::move(t));
     }
 
     // Frame-train path: outside a memory message, a run of staged L2
@@ -303,16 +402,16 @@ CycleFabric::emitHost(NodeId id)
     // queued (memory-only traffic must not pay for the attempt).
     if (frame_train_cap_ > 1 && trains_ok && !mux.midMemoryMessage() &&
         (mux.frameBacklog() > 0 || !backlog.empty())) {
-        Train t = acquireTrain();
+        Train t = acquireTrain(part);
         const std::size_t run = takeFrameTrain(mux, backlog, now, t);
         if (run >= 2) {
             noteTrainEvent(trace::EventType::TrainEmit, id, t.kind, run);
-            commitTrain(p, std::move(t), run, now,
+            commitTrain(p, q, part, 0, std::move(t), run, now,
                         [this, id] { deliverHostTrain(id); },
                         [this, id] { emitHost(id); });
             return;
         }
-        releaseTrain(std::move(t));
+        releaseTrain(part, std::move(t));
     }
 
     const phy::PhyBlock block = mux.next(now);
@@ -325,6 +424,8 @@ CycleFabric::emitHost(NodeId id)
     bool deliver = !health.disabled;
     if (deliver && health.corrupt_next > 0) {
         --health.corrupt_next;
+        if (health.corrupt_next == 0)
+            --corrupt_pending_links_; // budget drained: hazard may clear
         ++health.errors;
         deliver = false;
         if (link_health_hook_)
@@ -349,15 +450,15 @@ CycleFabric::emitHost(NodeId id)
     }
 
     if (deliver) {
-        sim_.events().schedule(now + cfg_.cycle + hopLatency(),
-                               [this, id, block] {
-                                   switch_->rxBlock(id, block);
-                               });
+        scheduleArrival(part, 0, now + cfg_.cycle + hopLatency(),
+                        [this, id, block] {
+                            switch_->rxBlock(id, block);
+                        });
     }
 
     p.emit_at = p.next_slot;
-    p.emit_ev = sim_.events().schedule(p.next_slot,
-                                       [this, id] { emitHost(id); });
+    p.emit_ev = q.schedule(p.next_slot,
+                           [this, id] { emitHost(id); });
 }
 
 void
@@ -374,19 +475,27 @@ CycleFabric::deliverHostTrain(NodeId id)
                               sim_.now(), cfg_.cycle);
     else
         switch_->rxFrameTrain(id, t.blocks.data(), t.blocks.size());
-    releaseTrain(std::move(t));
+    releaseTrain(0, std::move(t)); // delivery executes on the switch
 }
 
 void
 CycleFabric::abortUplinkTrain(NodeId id)
 {
     TxPump &p = host_pumps_[id];
+    EventQueue &q = hq(id);
+    const Picoseconds now = q.now();
+    // last_emit_end gate before any ring access: once the newest
+    // train's last slot has passed nothing is trimmable, and under the
+    // engine its delivery pop may already be concurrent — the producer
+    // must not even read back(). (Fault paths only run in serial
+    // windows, but the gate keeps the invariant uniform.)
+    if (now > p.last_emit_end)
+        return;
     if (p.trains.empty())
         return;
     // Only the newest train can still be mid-emission: trains earlier in
     // the FIFO finished their slots before this one started.
     Train &t = p.trains.back();
-    const Picoseconds now = sim_.now();
     const auto len = static_cast<Picoseconds>(t.blocks.size());
     if (now > t.start + (len - 1) * cfg_.cycle)
         return; // every block already left the transmitter
@@ -416,22 +525,24 @@ CycleFabric::abortUplinkTrain(NodeId id)
     t.blocks.resize(committed);
     p.next_slot = t.start +
         static_cast<Picoseconds>(committed) * cfg_.cycle;
+    p.last_emit_end = t.start +
+        static_cast<Picoseconds>(committed - 1) * cfg_.cycle;
     if (p.emit_ev != kInvalidEvent) {
         p.emit_at = std::max(now, p.next_slot);
-        sim_.events().reschedule(p.emit_ev, p.emit_at);
+        q.reschedule(p.emit_ev, p.emit_at);
     }
 }
 
 void
-CycleFabric::trimFrameTrain(NodeId port, TxPump &p, Train &t,
-                            phy::PreemptionMux &mux)
+CycleFabric::trimFrameTrain(NodeId port, TxPump &p, EventQueue &q,
+                            Train &t, phy::PreemptionMux &mux)
 {
     // A frame train committed slots on the bet that the memory queue
     // sleeps past them; a memory block that has just arrived (or been
     // made available) claims every slot its availability reaches —
     // after a frame slot the mux always prefers eligible memory — so
     // the overtaken tail un-commits and returns to the staging head.
-    const Picoseconds now = sim_.now();
+    const Picoseconds now = q.now();
     const auto len = static_cast<Picoseconds>(t.blocks.size());
     // Strict >: a memory block landing exactly on the *last* slot still
     // wins it (same tie rule as mid-train, below) — only past the last
@@ -464,9 +575,11 @@ CycleFabric::trimFrameTrain(NodeId port, TxPump &p, Train &t,
     mux.restoreFrameRun(t.blocks.data() + keep, t.blocks.size() - keep);
     t.blocks.resize(keep);
     p.next_slot = t.start + static_cast<Picoseconds>(keep) * cfg_.cycle;
+    p.last_emit_end = t.start +
+        static_cast<Picoseconds>(keep - 1) * cfg_.cycle;
     if (p.emit_ev != kInvalidEvent) {
         p.emit_at = std::max(now, p.next_slot);
-        sim_.events().reschedule(p.emit_ev, p.emit_at);
+        q.reschedule(p.emit_ev, p.emit_at);
     }
 }
 
@@ -478,12 +591,15 @@ CycleFabric::trimUplinkTrain(NodeId id)
     // never lets fresh work overtake an in-flight train. Frame trains
     // do: a memory arrival preempts their remaining slots.
     TxPump &p = host_pumps_[id];
+    EventQueue &q = hq(id);
+    if (q.now() > p.last_emit_end)
+        return; // fully emitted: never touch the ring (see abort)
     if (p.trains.empty())
         return;
     Train &t = p.trains.back();
     if (t.kind != Train::Kind::Frame)
         return;
-    trimFrameTrain(id, p, t, hosts_[id]->mux());
+    trimFrameTrain(id, p, q, t, hosts_[id]->mux());
 }
 
 void
@@ -495,15 +611,18 @@ CycleFabric::trimEgressTrain(NodeId port)
     // /G/ is the canonical case — would have gone on the wire *before*
     // those, so the overtaken tail un-commits and re-queues behind it.
     TxPump &p = switch_pumps_[port];
+    EventQueue &q = sq();
+    const Picoseconds now = q.now();
+    if (now > p.last_emit_end)
+        return; // fully emitted: never touch the ring (see abort)
     if (p.trains.empty())
         return;
     Train &t = p.trains.back();
     auto &mux = switch_->egressMux(port);
     if (t.kind == Train::Kind::Frame) {
-        trimFrameTrain(port, p, t, mux);
+        trimFrameTrain(port, p, q, t, mux);
         return;
     }
-    const Picoseconds now = sim_.now();
     const auto len = static_cast<Picoseconds>(t.blocks.size());
     if (now > t.start + (len - 1) * cfg_.cycle)
         return; // every block already on the wire
@@ -524,22 +643,25 @@ CycleFabric::trimEgressTrain(NodeId port)
     t.blocks.resize(keep);
     t.avails.resize(keep);
     p.next_slot = t.start + static_cast<Picoseconds>(keep) * cfg_.cycle;
+    p.last_emit_end = t.start +
+        static_cast<Picoseconds>(keep - 1) * cfg_.cycle;
     if (p.emit_ev != kInvalidEvent) {
         p.emit_at = std::max(now, p.next_slot);
-        sim_.events().reschedule(p.emit_ev, p.emit_at);
+        q.reschedule(p.emit_ev, p.emit_at);
     }
 }
 
 void
 CycleFabric::pumpSwitchPort(NodeId port)
 {
+    EventQueue &q = sq();
     trimEgressTrain(port);
     const Picoseconds ready = switch_->egressFrameBacklog(port).empty()
-        ? switch_->egressMux(port).readyAt(sim_.now())
-        : sim_.now();
+        ? switch_->egressMux(port).readyAt(q.now())
+        : q.now();
     if (ready == phy::PreemptionMux::kNever)
         return;
-    pumpWake(switch_pumps_[port], ready,
+    pumpWake(switch_pumps_[port], q, ready,
              [this, port] { emitSwitchPort(port); });
 }
 
@@ -548,17 +670,18 @@ CycleFabric::emitSwitchPort(NodeId port)
 {
     TxPump &p = switch_pumps_[port];
     auto &mux = switch_->egressMux(port);
+    EventQueue &q = sq();
     p.emit_ev = kInvalidEvent;
 
     // Top up the bounded frame staging buffer from the L2 backlog.
     auto &backlog = switch_->egressFrameBacklog(port);
     topUpFrames(mux, backlog);
 
-    const Picoseconds now = sim_.now();
+    const Picoseconds now = q.now();
     if (now < p.next_slot) {
         // Train-continuation sentinel (see emitHost).
         p.emit_at = p.next_slot;
-        p.emit_ev = sim_.events().schedule(
+        p.emit_ev = q.schedule(
             p.next_slot, [this, port] { emitSwitchPort(port); });
         return;
     }
@@ -569,7 +692,7 @@ CycleFabric::emitSwitchPort(NodeId port)
     }
     if (ready > now) {
         p.emit_at = std::max(ready, p.next_slot);
-        p.emit_ev = sim_.events().schedule(
+        p.emit_ev = q.schedule(
             p.emit_at, [this, port] { emitSwitchPort(port); });
         return;
     }
@@ -579,18 +702,18 @@ CycleFabric::emitSwitchPort(NodeId port)
     // ahead of time with future availability stamps, and a grant /G/ may
     // still lawfully slot in between those future blocks.
     if (train_cap_ > 1) {
-        Train t = acquireTrain();
+        Train t = acquireTrain(0);
         const std::size_t run = mux.takeTrainRun(now, cfg_.cycle,
                                                  train_cap_, 2, t.blocks,
                                                  t.avails);
         if (run >= 2) {
             noteTrainEvent(trace::EventType::TrainEmit, port, t.kind, run);
-            commitTrain(p, std::move(t), run, now,
+            commitTrain(p, q, 0, node_part_[port], std::move(t), run, now,
                         [this, port] { deliverSwitchTrain(port); },
                         [this, port] { emitSwitchPort(port); });
             return;
         }
-        releaseTrain(std::move(t));
+        releaseTrain(0, std::move(t));
     }
 
     // Frame-train path (see emitHost): flooded L2 bursts leave
@@ -599,28 +722,28 @@ CycleFabric::emitSwitchPort(NodeId port)
     // (trimEgressTrain dispatches to trimFrameTrain).
     if (frame_train_cap_ > 1 && !mux.midMemoryMessage() &&
         (mux.frameBacklog() > 0 || !backlog.empty())) {
-        Train t = acquireTrain();
+        Train t = acquireTrain(0);
         const std::size_t run = takeFrameTrain(mux, backlog, now, t);
         if (run >= 2) {
             noteTrainEvent(trace::EventType::TrainEmit, port, t.kind, run);
-            commitTrain(p, std::move(t), run, now,
+            commitTrain(p, q, 0, node_part_[port], std::move(t), run, now,
                         [this, port] { deliverSwitchTrain(port); },
                         [this, port] { emitSwitchPort(port); });
             return;
         }
-        releaseTrain(std::move(t));
+        releaseTrain(0, std::move(t));
     }
 
     const phy::PhyBlock block = mux.next(now);
     p.next_slot = now + cfg_.cycle;
 
-    sim_.events().schedule(now + cfg_.cycle + hopLatency(),
-                           [this, port, block] {
-                               hosts_[port]->rxBlock(block);
-                           });
+    scheduleArrival(0, node_part_[port], now + cfg_.cycle + hopLatency(),
+                    [this, port, block] {
+                        hosts_[port]->rxBlock(block);
+                    });
 
     p.emit_at = p.next_slot;
-    p.emit_ev = sim_.events().schedule(p.next_slot, [this, port] {
+    p.emit_ev = q.schedule(p.next_slot, [this, port] {
         emitSwitchPort(port);
     });
 }
@@ -636,19 +759,23 @@ CycleFabric::deliverSwitchTrain(NodeId port)
         hosts_[port]->rxBlockTrain(t.blocks.data(), t.blocks.size());
     else
         hosts_[port]->rxFrameTrain(t.blocks.data(), t.blocks.size());
-    releaseTrain(std::move(t));
+    releaseTrain(node_part_[port], std::move(t)); // runs on the host side
 }
 
 void
 CycleFabric::read(NodeId from, NodeId to, std::uint64_t addr, Bytes len,
                   ReadCallback cb)
 {
+    // Completions execute on the issuing host's partition: record into
+    // that partition's store (index 0 when no engine).
+    const std::size_t part = node_part_[from];
     host(from).postRead(
         to, addr, len,
-        [this, cb = std::move(cb)](std::vector<std::uint8_t> data,
-                                   Picoseconds latency, bool timed_out) {
+        [this, part, cb = std::move(cb)](std::vector<std::uint8_t> data,
+                                         Picoseconds latency,
+                                         bool timed_out) {
             if (!timed_out)
-                read_lat_.add(toNs(latency));
+                read_lat_p_[part].add(toNs(latency));
             if (cb)
                 cb(std::move(data), latency, timed_out);
         });
@@ -658,10 +785,11 @@ void
 CycleFabric::write(NodeId from, NodeId to, std::uint64_t addr,
                    std::vector<std::uint8_t> data, WriteCallback cb)
 {
+    const std::size_t part = node_part_[from];
     host(from).postWrite(
         to, addr, std::move(data),
-        [this, cb = std::move(cb)](Picoseconds latency) {
-            write_lat_.add(toNs(latency));
+        [this, part, cb = std::move(cb)](Picoseconds latency) {
+            write_lat_p_[part].add(toNs(latency));
             if (cb)
                 cb(latency);
         });
@@ -671,11 +799,12 @@ void
 CycleFabric::rmw(NodeId from, NodeId to, std::uint64_t addr, mem::RmwOp op,
                  std::uint64_t arg0, std::uint64_t arg1, RmwCallback cb)
 {
+    const std::size_t part = node_part_[from];
     host(from).postRmw(
         to, addr, op, arg0, arg1,
-        [this, cb = std::move(cb)](mem::RmwResult result,
-                                   Picoseconds latency) {
-            rmw_lat_.add(toNs(latency));
+        [this, part, cb = std::move(cb)](mem::RmwResult result,
+                                         Picoseconds latency) {
+            rmw_lat_p_[part].add(toNs(latency));
             if (cb)
                 cb(result, latency);
         });
@@ -685,6 +814,8 @@ void
 CycleFabric::corruptUplink(NodeId src, int blocks)
 {
     EDM_ASSERT(src < uplink_health_.size(), "node %u out of range", src);
+    if (uplink_health_[src].corrupt_next == 0 && blocks > 0)
+        ++corrupt_pending_links_; // engine hazard: serial until drained
     uplink_health_[src].corrupt_next += blocks;
     if (auto *log = cfg_.event_log)
         log->log(trace::EventType::FaultInject, sim_.now(), src, src, 0, 0,
@@ -706,6 +837,8 @@ CycleFabric::repairUplink(NodeId src)
     const bool was_disabled = health.disabled;
     health.disabled = false;
     health.errors = 0;
+    if (health.corrupt_next > 0)
+        --corrupt_pending_links_; // engine hazard bookkeeping
     // A disabled link stops consuming its corruption budget (blocks are
     // dropped before the corruption check), and a saturating injection
     // such as ReplicatedFabric::failNetwork leaves it effectively
@@ -763,6 +896,37 @@ CycleFabric::injectFrame(NodeId src, const std::vector<std::uint8_t> &frame)
     const auto blocks = phy::encodeFrame(frame);
     frame_backlog_[src].append(blocks.data(), blocks.size());
     pumpHost(src);
+}
+
+const Samples &
+CycleFabric::mergedLat(Samples &merged,
+                       const std::vector<Samples> &parts) const
+{
+    // Rebuilt on every access: the accessors run between (not during)
+    // simulation phases, and the stores are small relative to a run.
+    merged.reset();
+    for (const Samples &s : parts)
+        for (double v : s.raw())
+            merged.add(v);
+    return merged;
+}
+
+std::uint64_t
+CycleFabric::run(Picoseconds horizon)
+{
+    return engine_ ? engine_->run(horizon) : sim_.run(horizon);
+}
+
+Picoseconds
+CycleFabric::endTime() const
+{
+    return engine_ ? engine_->now() : sim_.now();
+}
+
+std::uint64_t
+CycleFabric::eventsExecuted() const
+{
+    return engine_ ? engine_->eventsExecuted() : sim_.events().executed();
 }
 
 } // namespace core

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer ring.
+ *
+ * The parallel fabric engine (src/sim/parallel_engine.*) runs each
+ * partition on its own worker thread; a port's TxPump (producer side,
+ * the partition that owns the emitting node) and its train delivery
+ * (consumer side, the partition that owns the receiving node) may
+ * therefore live on different threads. This ring carries in-flight
+ * trains and cross-partition window handoff entries between them, the
+ * same bounded-FIFO seam CdcFifo models for clock-domain crossings —
+ * but lock-free, because it is crossed by real threads, not simulated
+ * clocks.
+ *
+ * Contract: exactly one producer thread calls push_back()/back(),
+ * exactly one consumer thread calls front()/pop_front(); either side
+ * may call empty()/size(). The consumer must observe non-empty (via
+ * empty() or size()) before calling front(). Synchronization is
+ * index-based acquire/release, so element payloads published by
+ * push_back() are visible to a consumer that observed the new tail.
+ */
+
+#ifndef EDM_HW_SPSC_RING_HPP
+#define EDM_HW_SPSC_RING_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace hw {
+
+/**
+ * Lock-free bounded SPSC FIFO.
+ *
+ * @tparam T element type (moved in/out)
+ * @tparam Capacity maximum resident elements; must be a power of two
+ */
+template <typename T, std::size_t Capacity>
+class SpscRing
+{
+    static_assert(Capacity != 0 && (Capacity & (Capacity - 1)) == 0,
+                  "SpscRing capacity must be a power of two");
+
+  public:
+    /** Enqueue; returns false when full (producer must backpressure). */
+    bool
+    push_back(T v)
+    {
+        const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+        if (t - head_.load(std::memory_order_acquire) == Capacity)
+            return false;
+        buf_[t & kMask] = std::move(v);
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Most recently pushed element. Producer-side only. @pre !empty() */
+    T &
+    back()
+    {
+        return buf_[(tail_.load(std::memory_order_relaxed) - 1) & kMask];
+    }
+
+    /** Oldest element. Consumer-side only. @pre observed non-empty. */
+    T &
+    front()
+    {
+        return buf_[head_.load(std::memory_order_relaxed) & kMask];
+    }
+
+    /** Drop the oldest element. Consumer-side only. @pre non-empty. */
+    void
+    pop_front()
+    {
+        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        buf_[h & kMask] = T{};
+        head_.store(h + 1, std::memory_order_release);
+    }
+
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_acquire) ==
+            tail_.load(std::memory_order_acquire);
+    }
+
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(
+            tail_.load(std::memory_order_acquire) -
+            head_.load(std::memory_order_acquire));
+    }
+
+    static constexpr std::size_t capacity() { return Capacity; }
+
+  private:
+    static constexpr std::uint64_t kMask = Capacity - 1;
+
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    alignas(64) T buf_[Capacity]{};
+};
+
+} // namespace hw
+} // namespace edm
+
+#endif // EDM_HW_SPSC_RING_HPP

@@ -18,7 +18,10 @@ FaultCampaign::corruptAt(Picoseconds at, core::NodeId node, int blocks)
 {
     EDM_ASSERT(node < nodes_.size(), "campaign node %u out of range",
                node);
-    sim_.events().schedule(at, [this, node, blocks] {
+    // Serial-marked: fault injection reaches across partitions
+    // (train aborts, link health, scheduler aborts), so the parallel
+    // engine must execute the containing window globally ordered.
+    sim_.events().scheduleSerial(at, [this, node, blocks] {
         NodeState &st = nodes_[node];
         // A fresh burst restarts the phase clocks unless the link is
         // already down (extra corruption on a dead link is invisible —
@@ -53,15 +56,15 @@ FaultCampaign::repairAt(Picoseconds at, core::NodeId node)
 {
     EDM_ASSERT(node < nodes_.size(), "campaign node %u out of range",
                node);
-    sim_.events().schedule(at,
-                           [this, node] { fabric_.repairUplink(node); });
+    sim_.events().scheduleSerial(
+        at, [this, node] { fabric_.repairUplink(node); });
 }
 
 void
 FaultCampaign::failSwitchAt(Picoseconds at, bool backup_network)
 {
     EDM_ASSERT(rep_, "switch actions need attachReplicated()");
-    sim_.events().schedule(at, [this, backup_network] {
+    sim_.events().scheduleSerial(at, [this, backup_network] {
         ++stats_.switch_failures;
         rep_->failNetwork(backup_network);
     });
@@ -71,7 +74,7 @@ void
 FaultCampaign::failbackSwitchAt(Picoseconds at, bool backup_network)
 {
     EDM_ASSERT(rep_, "switch actions need attachReplicated()");
-    sim_.events().schedule(at, [this, backup_network] {
+    sim_.events().scheduleSerial(at, [this, backup_network] {
         ++stats_.switch_failbacks;
         rep_->recoverNetwork(backup_network);
     });
@@ -98,10 +101,9 @@ FaultCampaign::onLinkEvent(core::NodeId node,
         if (auto_repair_delay_ > 0) {
             // Hook rule: never re-enter the fabric synchronously — the
             // repair runs as its own event, even for a zero-ish delay.
-            sim_.events().schedule(sim_.now() + auto_repair_delay_,
-                                   [this, node] {
-                                       fabric_.repairUplink(node);
-                                   });
+            sim_.events().scheduleSerial(
+                sim_.now() + auto_repair_delay_,
+                [this, node] { fabric_.repairUplink(node); });
         }
         break;
       case core::CycleFabric::LinkEvent::Repaired:

@@ -1,0 +1,346 @@
+#include "parallel_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "sim/scenario_runner.hpp"
+
+namespace edm {
+
+namespace {
+
+/** Spin-wait step: stay polite to hyperthreads, then to the scheduler. */
+inline void
+spinWait(unsigned &spins)
+{
+    if (++spins < 4096) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        asm volatile("yield");
+#endif
+    } else {
+        // Oversubscribed (or single-core) machines need a real yield or
+        // the spinners starve the thread doing the work.
+        std::this_thread::yield();
+        spins = 0;
+    }
+}
+
+} // namespace
+
+ParallelFabricEngine::ParallelFabricEngine(EventQueue &root,
+                                           std::size_t partitions,
+                                           Options opts)
+    : window_(opts.window), force_serial_(opts.force_serial),
+      hazard_(std::move(opts.hazard))
+{
+    EDM_ASSERT(partitions >= 1, "need at least one partition");
+    EDM_ASSERT(window_ >= 1, "window must be positive");
+    queues_.reserve(partitions);
+    queues_.push_back(&root);
+    for (std::size_t p = 1; p < partitions; ++p) {
+        owned_.push_back(std::make_unique<EventQueue>());
+        queues_.push_back(owned_.back().get());
+    }
+    mailboxes_.resize(partitions * partitions);
+    for (std::size_t s = 0; s < partitions; ++s)
+        for (std::size_t d = 0; d < partitions; ++d)
+            if (s != d)
+                mailboxes_[s * partitions + d] =
+                    std::make_unique<Mailbox>();
+    nthreads_ = static_cast<unsigned>(
+        clampWorkers(opts.workers, partitions));
+}
+
+ParallelFabricEngine::~ParallelFabricEngine()
+{
+    if (!threads_.empty()) {
+        quit_.store(true, std::memory_order_relaxed);
+        go_epoch_.fetch_add(1, std::memory_order_release);
+        for (std::thread &t : threads_)
+            t.join();
+    }
+}
+
+int
+ParallelFabricEngine::clampWorkers(int requested, std::size_t partitions)
+{
+    long eff = std::max(1, requested);
+    eff = std::min(eff, static_cast<long>(partitions));
+    const unsigned runner = activeScenarioRunnerThreads();
+    if (runner > 0) {
+        unsigned hc = std::thread::hardware_concurrency();
+        if (hc == 0)
+            hc = 1;
+        const unsigned budget = std::max(1u, hc / runner);
+        eff = std::min(eff, static_cast<long>(budget));
+    }
+    return static_cast<int>(eff);
+}
+
+EventId
+ParallelFabricEngine::crossSchedule(std::size_t src, std::size_t dst,
+                                    Picoseconds when, Callback cb)
+{
+    EDM_ASSERT(src != dst, "crossSchedule within one partition");
+    if (!running_ || in_serial_) {
+        // Single-threaded phases (setup, serial windows) schedule
+        // directly; serial windows draw globally ordered sequences via
+        // the shared counter, exactly like the legacy path.
+        return queues_[dst]->schedule(when, std::move(cb));
+    }
+    Mailbox &box = mailbox(src, dst);
+    CrossEntry e;
+    e.when = when;
+    e.key = queues_[src]->takeSpawnKey();
+    e.cb = std::move(cb);
+    const bool ok = box.push_back(std::move(e));
+    EDM_ASSERT(ok,
+               "cross-partition mailbox %zu->%zu overflowed (capacity "
+               "%zu); raise ParallelFabricEngine::kMailboxCapacity",
+               src, dst, kMailboxCapacity);
+    (void)ok;
+    return kInvalidEvent;
+}
+
+Picoseconds
+ParallelFabricEngine::now() const
+{
+    Picoseconds t = 0;
+    for (const EventQueue *q : queues_)
+        t = std::max(t, q->now());
+    return t;
+}
+
+std::uint64_t
+ParallelFabricEngine::eventsExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const EventQueue *q : queues_)
+        n += q->executed();
+    return n;
+}
+
+std::uint64_t
+ParallelFabricEngine::run(Picoseconds horizon)
+{
+    EDM_ASSERT(!running_, "ParallelFabricEngine::run re-entered");
+    running_ = true;
+    for (const EventQueue *q : queues_)
+        global_seq_ = std::max(global_seq_, q->seqCursor());
+    const std::uint64_t start = eventsExecuted();
+
+    for (;;) {
+        Picoseconds t_min = INT64_MAX;
+        bool any = false;
+        for (const EventQueue *q : queues_) {
+            Picoseconds w = 0;
+            std::uint64_t s = 0;
+            if (q->peekNext(w, s)) {
+                any = true;
+                t_min = std::min(t_min, w);
+            }
+        }
+        if (!any || t_min > horizon)
+            break;
+
+        // Absolute delta-grid: the window covering t_min is the same
+        // whatever state the previous run() call left behind, so
+        // horizon-bounded runs resume deterministically.
+        const Picoseconds w_start = (t_min / window_) * window_;
+        const Picoseconds w_end = w_start + window_;
+
+        bool serial = force_serial_ || (hazard_ && hazard_());
+        if (!serial)
+            for (const EventQueue *q : queues_)
+                if (q->serialEventBefore(w_end)) {
+                    serial = true;
+                    break;
+                }
+
+        ++windows_;
+        if (serial) {
+            ++serial_windows_;
+            runSerialWindow(w_end, horizon);
+        } else {
+            runParallelWindow(w_end, horizon);
+        }
+    }
+
+    running_ = false;
+    return eventsExecuted() - start;
+}
+
+void
+ParallelFabricEngine::runAssigned(unsigned self)
+{
+    const Picoseconds h = job_horizon_;
+    for (std::size_t p = self; p < queues_.size(); p += nthreads_)
+        queues_[p]->run(h);
+}
+
+void
+ParallelFabricEngine::workerMain(unsigned self)
+{
+    std::uint64_t epoch = 0;
+    unsigned spins = 0;
+    for (;;) {
+        while (go_epoch_.load(std::memory_order_acquire) == epoch)
+            spinWait(spins);
+        ++epoch;
+        if (quit_.load(std::memory_order_relaxed))
+            return;
+        runAssigned(self);
+        done_.fetch_add(1, std::memory_order_release);
+        spins = 0;
+    }
+}
+
+void
+ParallelFabricEngine::ensureThreads()
+{
+    if (!threads_.empty() || nthreads_ <= 1)
+        return;
+    threads_.reserve(nthreads_ - 1);
+    for (unsigned t = 1; t < nthreads_; ++t)
+        threads_.emplace_back([this, t] { workerMain(t); });
+}
+
+void
+ParallelFabricEngine::runParallelWindow(Picoseconds w_end,
+                                        Picoseconds horizon)
+{
+    // Execute strictly inside the window; a horizon mid-window just
+    // shortens this run, the merge below still commits staged work.
+    job_horizon_ = std::min(w_end - 1, horizon);
+    for (EventQueue *q : queues_)
+        q->beginWindow(w_end, global_seq_);
+
+    if (nthreads_ > 1) {
+        ensureThreads();
+        done_.store(0, std::memory_order_relaxed);
+        go_epoch_.fetch_add(1, std::memory_order_release);
+        runAssigned(0);
+        const unsigned want = nthreads_ - 1;
+        unsigned spins = 0;
+        while (done_.load(std::memory_order_acquire) != want)
+            spinWait(spins);
+    } else {
+        runAssigned(0);
+    }
+
+    mergeWindow();
+    for (EventQueue *q : queues_)
+        q->endWindow();
+}
+
+void
+ParallelFabricEngine::mergeWindow()
+{
+    merge_buf_.clear();
+    const std::size_t np = queues_.size();
+    for (std::size_t p = 0; p < np; ++p) {
+        EventQueue *q = queues_[p];
+        for (const EventQueue::StagedRef &r : q->stagedRefs()) {
+            if (!q->stagedLive(r))
+                continue;
+            MergeItem it;
+            it.key = q->stagedKey(r);
+            it.src = static_cast<std::uint32_t>(p);
+            it.dst = static_cast<std::uint32_t>(p);
+            it.ref = r;
+            merge_buf_.push_back(std::move(it));
+        }
+    }
+    for (std::size_t s = 0; s < np; ++s) {
+        for (std::size_t d = 0; d < np; ++d) {
+            if (s == d)
+                continue;
+            Mailbox &box = mailbox(s, d);
+            while (!box.empty()) {
+                CrossEntry e = std::move(box.front());
+                box.pop_front();
+                MergeItem it;
+                it.key = e.key;
+                it.src = static_cast<std::uint32_t>(s);
+                it.dst = static_cast<std::uint32_t>(d);
+                it.cross = true;
+                it.when = e.when;
+                it.cb = std::move(e.cb);
+                merge_buf_.push_back(std::move(it));
+            }
+        }
+    }
+
+    // The deterministic merge rule: spawning event first (time, then
+    // sequence — both globally meaningful), then the stable partition
+    // tiebreak, then the order the parent made its calls in. This is
+    // the order a single thread would have made these schedule calls,
+    // so sequence assignment reproduces the serial schedule.
+    std::sort(merge_buf_.begin(), merge_buf_.end(),
+              [](const MergeItem &a, const MergeItem &b) {
+                  if (a.key.parent_time != b.key.parent_time)
+                      return a.key.parent_time < b.key.parent_time;
+                  if (a.key.parent_seq != b.key.parent_seq)
+                      return a.key.parent_seq < b.key.parent_seq;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.key.call_index < b.key.call_index;
+              });
+
+    for (MergeItem &it : merge_buf_) {
+        if (it.cross) {
+            queues_[it.dst]->scheduleCommitted(it.when, std::move(it.cb),
+                                               global_seq_);
+            ++global_seq_;
+        } else if (queues_[it.dst]->commitStaged(it.ref, global_seq_)) {
+            ++global_seq_;
+        }
+    }
+    merge_buf_.clear();
+}
+
+void
+ParallelFabricEngine::runSerialWindow(Picoseconds w_end,
+                                      Picoseconds horizon)
+{
+    in_serial_ = true;
+    for (EventQueue *q : queues_) {
+        q->shareSeqCounter(&global_seq_);
+        q->shareContext(&serial_ctx_);
+    }
+    const Picoseconds lim = std::min(w_end - 1, horizon);
+    for (;;) {
+        std::size_t best = queues_.size();
+        Picoseconds bw = 0;
+        std::uint64_t bs = 0;
+        for (std::size_t i = 0; i < queues_.size(); ++i) {
+            Picoseconds w = 0;
+            std::uint64_t s = 0;
+            if (!queues_[i]->peekNext(w, s))
+                continue;
+            if (best == queues_.size() || w < bw ||
+                (w == bw && s < bs)) {
+                best = i;
+                bw = w;
+                bs = s;
+            }
+        }
+        if (best == queues_.size() || bw > lim)
+            break;
+        // Lock-step every clock to the event time first: the callback
+        // may synchronously read or schedule on other partitions.
+        for (EventQueue *q : queues_)
+            q->syncNow(bw);
+        queues_[best]->step(bw);
+    }
+    for (EventQueue *q : queues_) {
+        q->shareSeqCounter(nullptr);
+        q->shareContext(nullptr);
+    }
+    in_serial_ = false;
+}
+
+} // namespace edm

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Conservative-PDES partitioned execution engine for the cycle fabric.
+ *
+ * The fabric's links have a fixed, positive hop latency: an event on one
+ * partition can only affect another partition at least that far in the
+ * future. That lookahead makes the classic conservative window scheme
+ * sound (Chandy–Misra null-message reasoning, specialized to a fixed
+ * delay): all partitions advance in lock-step windows [W, W + delta)
+ * on an absolute delta-grid, each draining its own EventQueue with no
+ * locks, then meet at a barrier where cross-window work is merged.
+ *
+ * Determinism is the point, not a side effect. During a window, a
+ * schedule call targeting a time at or beyond the window end is
+ * *staged* (local queue) or *mailboxed* (bounded SPSC ring per
+ * src/dst partition pair) together with the SpawnKey of the event that
+ * made it. At the barrier every staged and mailboxed entry is sorted by
+ * (parent_time, parent_seq, src_partition, call_index) and assigned
+ * sequence numbers from one global cursor in that order. Since a
+ * parent's identity and its call order are simulation facts — not
+ * threading facts — the resulting (time, seq) execution order is
+ * bit-identical for any worker count, 1 included.
+ *
+ * Events whose callbacks touch several partitions synchronously (fault
+ * injection/repair, the structured event log) are handled by *serial
+ * windows*: scheduleSerial marks them, and any window containing one —
+ * or requested by the hazard callback — is executed one event at a
+ * time on the calling thread, globally ordered, with all partition
+ * clocks lock-stepped. Serial windows are triggered by simulation
+ * state only, never by thread timing, so they are worker-invariant too.
+ *
+ * The legacy single-thread path (EdmConfig::fabric_workers = 0) does
+ * not construct this engine at all and stays the bit-exact referee;
+ * see docs/PARALLEL.md for the model and its proof obligations.
+ */
+
+#ifndef EDM_SIM_PARALLEL_ENGINE_HPP
+#define EDM_SIM_PARALLEL_ENGINE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/time.hpp"
+#include "hw/spsc_ring.hpp"
+#include "sim/event_queue.hpp"
+
+namespace edm {
+
+/**
+ * Lock-step windowed executor over one EventQueue per partition.
+ *
+ * Partition 0 is the caller-provided root queue (the Simulation's);
+ * partitions 1..N-1 are owned by the engine. The mapping of model
+ * entities to partitions is the caller's contract (CycleFabric puts
+ * the switch on 0 and hosts on their configured partitions).
+ */
+class ParallelFabricEngine
+{
+  public:
+    using Callback = EventQueue::Callback;
+
+    struct Options
+    {
+        /** Requested worker threads (clamped; see clampWorkers). */
+        int workers = 1;
+        /** Window width = minimum cross-partition latency (ps). */
+        Picoseconds window = 1;
+        /** Execute every window serially (event log, probes...). */
+        bool force_serial = false;
+        /**
+         * Extra serial trigger evaluated at each window start; must
+         * depend on simulation state only (e.g. pending link
+         * corruption), never on wall-clock or thread state.
+         */
+        std::function<bool()> hazard;
+    };
+
+    ParallelFabricEngine(EventQueue &root, std::size_t partitions,
+                         Options opts);
+    ~ParallelFabricEngine();
+
+    ParallelFabricEngine(const ParallelFabricEngine &) = delete;
+    ParallelFabricEngine &operator=(const ParallelFabricEngine &) = delete;
+
+    std::size_t partitions() const { return queues_.size(); }
+
+    /** The partition's event queue (0 = the root queue). */
+    EventQueue &queue(std::size_t p) { return *queues_[p]; }
+
+    /** Worker threads actually used after clamping. */
+    int effectiveWorkers() const { return static_cast<int>(nthreads_); }
+
+    Picoseconds window() const { return window_; }
+
+    /**
+     * Schedule @p cb at @p when on partition @p dst from code running
+     * on partition @p src. Inside a parallel window this mailboxes the
+     * call (when must be >= the window end — guaranteed when the
+     * window is bounded by the minimum cross-partition latency);
+     * during serial windows and outside run() it schedules directly.
+     * Returns a cancellable id only in the direct case; mailboxed
+     * calls return kInvalidEvent (they cannot be cancelled, only
+     * superseded by model state).
+     */
+    EventId crossSchedule(std::size_t src, std::size_t dst,
+                          Picoseconds when, Callback cb);
+
+    /**
+     * Drain all partitions up to and including @p horizon. Returns the
+     * number of events executed by this call.
+     */
+    std::uint64_t run(Picoseconds horizon = INT64_MAX);
+
+    /** Latest partition clock == time of the last executed event. */
+    Picoseconds now() const;
+
+    /** Events executed across all partitions (lifetime total). */
+    std::uint64_t eventsExecuted() const;
+
+    // ---- introspection (tests, docs) ----
+    std::uint64_t windowsRun() const { return windows_; }
+    std::uint64_t serialWindowsRun() const { return serial_windows_; }
+
+    /**
+     * Worker budget: min(requested, partitions), further divided by
+     * active ScenarioRunner workers so nested sweeps keep
+     * runner x fabric <= hardware_concurrency.
+     */
+    static int clampWorkers(int requested, std::size_t partitions);
+
+  private:
+    /** One mailboxed cross-partition schedule call. */
+    struct CrossEntry
+    {
+        Picoseconds when = 0;
+        EventQueue::SpawnKey key;
+        Callback cb;
+    };
+
+    /**
+     * Mailbox capacity per (src, dst) pair per window. Sized for the
+     * worst case of the default two-partition split: every host's
+     * per-block fallback can cross once per cycle for a whole window
+     * (window / cycle entries each, ~12 at 25G defaults), so hundreds
+     * of entries per window on wide fabrics. Overflow is a hard panic,
+     * not data loss.
+     */
+    static constexpr std::size_t kMailboxCapacity = 1024;
+    using Mailbox = hw::SpscRing<CrossEntry, kMailboxCapacity>;
+
+    /** Barrier merge working entry (staged local or mailboxed cross). */
+    struct MergeItem
+    {
+        EventQueue::SpawnKey key;
+        std::uint32_t src = 0;
+        std::uint32_t dst = 0;
+        bool cross = false;
+        EventQueue::StagedRef ref{0, 0}; ///< staged entries
+        Picoseconds when = 0;            ///< cross entries
+        Callback cb;                     ///< cross entries
+    };
+
+    Mailbox &mailbox(std::size_t src, std::size_t dst)
+    {
+        return *mailboxes_[src * queues_.size() + dst];
+    }
+
+    void runParallelWindow(Picoseconds w_end, Picoseconds horizon);
+    void runSerialWindow(Picoseconds w_end, Picoseconds horizon);
+    void mergeWindow();
+    void runAssigned(unsigned self);
+    void ensureThreads();
+    void workerMain(unsigned self);
+
+    std::vector<EventQueue *> queues_; ///< [0] = root, rest owned
+    std::vector<std::unique_ptr<EventQueue>> owned_;
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+    Picoseconds window_;
+    bool force_serial_;
+    std::function<bool()> hazard_;
+
+    std::uint64_t global_seq_ = 0; ///< barrier-assigned sequence cursor
+    EventQueue::ExecContext serial_ctx_; ///< shared during serial windows
+    std::vector<MergeItem> merge_buf_;
+
+    bool running_ = false;
+    bool in_serial_ = false;
+    std::uint64_t windows_ = 0;
+    std::uint64_t serial_windows_ = 0;
+
+    // ---- worker pool (spawned lazily at the first parallel window) ----
+    unsigned nthreads_ = 1; ///< total workers including the caller
+    std::vector<std::thread> threads_;
+    alignas(64) std::atomic<std::uint64_t> go_epoch_{0};
+    alignas(64) std::atomic<unsigned> done_{0};
+    std::atomic<bool> quit_{false};
+    Picoseconds job_horizon_ = 0; ///< published by the go_epoch_ bump
+};
+
+} // namespace edm
+
+#endif // EDM_SIM_PARALLEL_ENGINE_HPP

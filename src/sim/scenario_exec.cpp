@@ -86,7 +86,9 @@ runIncastPoint(ScenarioContext &ctx, const IncastPoint &pt,
             }
         }
     }
-    sim.run();
+    // Drains the partitioned engine when cfg.fabric_workers >= 1 and
+    // falls back to the shared Simulation loop otherwise.
+    fab.run();
 
     const auto acc = fab.grantAccounting();
     ctx.record("offered", static_cast<double>(offered));
@@ -142,7 +144,7 @@ runInterferencePoint(ScenarioContext &ctx, const InterferenceSetup &setup,
                     [&](std::vector<std::uint8_t>, Picoseconds l, bool) {
                         lat = l;
                     });
-        sim.run();
+        fabric.run();
         return lat;
     };
 

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Parallel fabric engine determinism tests: the partitioned
+ * conservative-PDES execution path (EdmConfig::fabric_workers >= 1)
+ * must reproduce the single-threaded referee *bit-exactly* — every
+ * completion latency, every counter — for any worker count, on clean
+ * runs, under wire-charged occupancy, and mid-way through a fault
+ * campaign. The tests also pin the nested-oversubscription guard:
+ * fabrics built inside ScenarioRunner workers divide their thread
+ * budget so runner workers x fabric workers never exceeds the machine.
+ *
+ * Note on the digest: the parallel path uses a tighter train-length
+ * safety cap (trains may not outlive the lookahead window), so event
+ * counts and batching differ from the legacy path by design — but
+ * train batching is timing-transparent (test_block_train.cpp), so
+ * every model-level observable below must still match exactly.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fabric.hpp"
+#include "sim/fault_campaign.hpp"
+#include "sim/parallel_engine.hpp"
+#include "sim/scenario_runner.hpp"
+
+namespace edm {
+namespace core {
+namespace {
+
+/** Every model-level observable of one fabric run. */
+struct Digest
+{
+    std::vector<double> read_lat;
+    std::vector<double> write_lat;
+    std::vector<double> rmw_lat;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rmws = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t frames_flooded = 0;
+    std::uint64_t grants_sent = 0;
+    std::uint64_t blocks_forwarded = 0;
+    std::uint64_t link_errors = 0;
+    std::uint64_t wasted_grant_slots = 0;
+    std::uint64_t grants_parked = 0;
+    Picoseconds end_time = 0;
+};
+
+Digest
+digestOf(CycleFabric &fab, std::size_t nodes)
+{
+    Digest d;
+    d.read_lat = fab.readLatency().raw();
+    d.write_lat = fab.writeLatency().raw();
+    d.rmw_lat = fab.rmwLatency().raw();
+    for (NodeId n = 0; n < nodes; ++n) {
+        d.reads += fab.host(n).stats().reads_completed;
+        d.writes += fab.host(n).stats().writes_completed;
+        d.rmws += fab.host(n).stats().rmws_completed;
+        d.timeouts += fab.host(n).stats().read_timeouts;
+        d.link_errors += fab.linkErrors(n);
+    }
+    d.frames_flooded = fab.switchStack().stats().frames_flooded;
+    d.grants_sent = fab.switchStack().stats().grants_sent;
+    d.blocks_forwarded = fab.switchStack().stats().blocks_forwarded;
+    d.wasted_grant_slots = fab.grantAccounting().wasted_grant_slots;
+    d.grants_parked = fab.grantAccounting().grants_parked;
+    d.end_time = fab.endTime();
+    return d;
+}
+
+/**
+ * Latency samples are recorded per partition and merged in partition
+ * order, so the raw vector's *order* is partition-layout-dependent;
+ * the sample multiset is not. Sort before comparing across layouts.
+ */
+void
+expectSameModel(const Digest &ref, const Digest &got, const char *what)
+{
+    auto sorted = [](std::vector<double> v) {
+        std::sort(v.begin(), v.end());
+        return v;
+    };
+    EXPECT_EQ(sorted(ref.read_lat), sorted(got.read_lat)) << what;
+    EXPECT_EQ(sorted(ref.write_lat), sorted(got.write_lat)) << what;
+    EXPECT_EQ(sorted(ref.rmw_lat), sorted(got.rmw_lat)) << what;
+    EXPECT_EQ(ref.reads, got.reads) << what;
+    EXPECT_EQ(ref.writes, got.writes) << what;
+    EXPECT_EQ(ref.rmws, got.rmws) << what;
+    EXPECT_EQ(ref.timeouts, got.timeouts) << what;
+    EXPECT_EQ(ref.frames_flooded, got.frames_flooded) << what;
+    EXPECT_EQ(ref.grants_sent, got.grants_sent) << what;
+    EXPECT_EQ(ref.blocks_forwarded, got.blocks_forwarded) << what;
+    EXPECT_EQ(ref.link_errors, got.link_errors) << what;
+    EXPECT_EQ(ref.wasted_grant_slots, got.wasted_grant_slots) << what;
+    EXPECT_EQ(ref.grants_parked, got.grants_parked) << what;
+    EXPECT_EQ(ref.end_time, got.end_time) << what;
+}
+
+/** Bit-exact comparison, including raw sample order. */
+void
+expectIdentical(const Digest &ref, const Digest &got, const char *what)
+{
+    EXPECT_EQ(ref.read_lat, got.read_lat) << what;
+    EXPECT_EQ(ref.write_lat, got.write_lat) << what;
+    EXPECT_EQ(ref.rmw_lat, got.rmw_lat) << what;
+    expectSameModel(ref, got, what);
+}
+
+/**
+ * Closed-loop mixed traffic: every node runs read/write/rmw chains
+ * against a rotating set of peers, re-issuing from each completion.
+ */
+void
+driveMixed(CycleFabric &fab, std::size_t nodes, int chains, int rounds)
+{
+    for (NodeId n = 0; n < nodes; ++n)
+        fab.host(n).store()->write(
+            0x1000, std::vector<std::uint8_t>(2048, 0xA5));
+
+    auto issueRead = std::make_shared<std::function<void(NodeId, int)>>();
+    auto issueWrite = std::make_shared<std::function<void(NodeId, int)>>();
+    auto issueRmw = std::make_shared<std::function<void(NodeId, int)>>();
+    *issueRead = [&fab, nodes, issueRead](NodeId from, int left) {
+        if (left <= 0)
+            return;
+        const NodeId to = static_cast<NodeId>((from + 1) % nodes);
+        fab.read(from, to, 0x1000, 700 + 64 * (left % 5),
+                 [issueRead, from, left](std::vector<std::uint8_t>,
+                                         Picoseconds, bool) {
+                     (*issueRead)(from, left - 1);
+                 });
+    };
+    *issueWrite = [&fab, nodes, issueWrite](NodeId from, int left) {
+        if (left <= 0)
+            return;
+        const NodeId to = static_cast<NodeId>((from + 2) % nodes);
+        fab.write(from, to, 0x2000 + 0x100 * from,
+                  std::vector<std::uint8_t>(400 + 32 * (left % 7), 0x5A),
+                  [issueWrite, from, left](Picoseconds) {
+                      (*issueWrite)(from, left - 1);
+                  });
+    };
+    *issueRmw = [&fab, nodes, issueRmw](NodeId from, int left) {
+        if (left <= 0)
+            return;
+        const NodeId to = static_cast<NodeId>((from + 1) % nodes);
+        fab.rmw(from, to, 0x1000, mem::RmwOp::FetchAndAdd, 3, 0,
+                [issueRmw, from, left](mem::RmwResult, Picoseconds) {
+                    (*issueRmw)(from, left - 1);
+                });
+    };
+    for (NodeId n = 0; n < nodes; ++n)
+        for (int c = 0; c < chains; ++c) {
+            (*issueRead)(n, rounds);
+            (*issueWrite)(n, rounds);
+            if (c == 0)
+                (*issueRmw)(n, rounds / 2);
+        }
+}
+
+Digest
+runMixed(EdmConfig cfg, std::size_t nodes)
+{
+    Simulation sim(11);
+    CycleFabric fab(cfg, sim);
+    driveMixed(fab, nodes, 2, 8);
+    fab.run();
+    return digestOf(fab, nodes);
+}
+
+/**
+ * Multi-group traffic: writes and rmws stay inside co-partitioned
+ * pairs (node 2k <-> 2k+1) — the write-delivered report is a direct
+ * cross-stack call and requires co-location — while reads roam across
+ * partitions to exercise the mailbox handoff.
+ */
+void
+drivePairwise(CycleFabric &fab, std::size_t nodes, int rounds)
+{
+    for (NodeId n = 0; n < nodes; ++n)
+        fab.host(n).store()->write(
+            0x1000, std::vector<std::uint8_t>(2048, 0xA5));
+
+    auto issue = std::make_shared<std::function<void(NodeId, int)>>();
+    *issue = [&fab, nodes, issue](NodeId from, int left) {
+        if (left <= 0)
+            return;
+        const NodeId partner = static_cast<NodeId>(from ^ 1);
+        const NodeId across = static_cast<NodeId>((from + 3) % nodes);
+        if (left % 3 == 0) {
+            fab.write(from, partner, 0x2000 + 0x100 * from,
+                      std::vector<std::uint8_t>(500 + 16 * (left % 5),
+                                                0x5A),
+                      [issue, from, left](Picoseconds) {
+                          (*issue)(from, left - 1);
+                      });
+        } else if (left % 3 == 1) {
+            fab.rmw(from, partner, 0x1000, mem::RmwOp::FetchAndAdd, 1, 0,
+                    [issue, from, left](mem::RmwResult, Picoseconds) {
+                        (*issue)(from, left - 1);
+                    });
+        } else {
+            fab.read(from, across, 0x1000, 800,
+                     [issue, from, left](std::vector<std::uint8_t>,
+                                         Picoseconds, bool) {
+                         (*issue)(from, left - 1);
+                     });
+        }
+    };
+    for (NodeId n = 0; n < nodes; ++n)
+        for (int c = 0; c < 2; ++c)
+            (*issue)(n, rounds);
+}
+
+Digest
+runPairwise(EdmConfig cfg, std::size_t nodes)
+{
+    Simulation sim(17);
+    CycleFabric fab(cfg, sim);
+    drivePairwise(fab, nodes, 9);
+    fab.run();
+    return digestOf(fab, nodes);
+}
+
+EdmConfig
+mixedConfig(std::size_t nodes, int workers)
+{
+    EdmConfig cfg;
+    cfg.num_nodes = nodes;
+    cfg.strict_grant_accounting = true;
+    cfg.fabric_workers = workers;
+    return cfg;
+}
+
+TEST(ParallelEngine, DefaultMapBitExactVsRefereeAtEveryWorkerCount)
+{
+    constexpr std::size_t kNodes = 6;
+    const Digest referee = runMixed(mixedConfig(kNodes, 0), kNodes);
+    ASSERT_GT(referee.reads, 0u);
+    ASSERT_GT(referee.writes, 0u);
+    ASSERT_GT(referee.rmws, 0u);
+    for (int workers : {1, 2, 4, 8}) {
+        const Digest par = runMixed(mixedConfig(kNodes, workers), kNodes);
+        expectIdentical(referee, par,
+                        ("workers=" + std::to_string(workers)).c_str());
+    }
+}
+
+TEST(ParallelEngine, WireChargedBitExactVsReferee)
+{
+    constexpr std::size_t kNodes = 5;
+    EdmConfig base = mixedConfig(kNodes, 0);
+    base.wire_charged_occupancy = true;
+    const Digest referee = runMixed(base, kNodes);
+    for (int workers : {1, 4}) {
+        EdmConfig cfg = base;
+        cfg.fabric_workers = workers;
+        const Digest par = runMixed(cfg, kNodes);
+        expectIdentical(referee, par, "wire-charged parallel");
+    }
+}
+
+TEST(ParallelEngine, ReentryChargingForcesSerialWindowsAndStaysExact)
+{
+    constexpr std::size_t kNodes = 5;
+    EdmConfig base = mixedConfig(kNodes, 0);
+    base.wire_charged_occupancy = true;
+    base.charge_preemption_reentry = true;
+    const Digest referee = runMixed(base, kNodes);
+
+    EdmConfig cfg = base;
+    cfg.fabric_workers = 4;
+    Simulation sim(11);
+    CycleFabric fab(cfg, sim);
+    ASSERT_NE(fab.engine(), nullptr);
+    driveMixed(fab, kNodes, 2, 8);
+    fab.run();
+    expectIdentical(referee, digestOf(fab, kNodes), "forced serial");
+    // Re-entry charging mutates shared mux state across partitions, so
+    // the engine must refuse to parallelize any window at all.
+    EXPECT_GT(fab.engine()->windowsRun(), 0u);
+    EXPECT_EQ(fab.engine()->serialWindowsRun(),
+              fab.engine()->windowsRun());
+}
+
+TEST(ParallelEngine, CleanRunsParallelizeWindows)
+{
+    constexpr std::size_t kNodes = 6;
+    EdmConfig cfg = mixedConfig(kNodes, 4);
+    Simulation sim(11);
+    CycleFabric fab(cfg, sim);
+    ASSERT_NE(fab.engine(), nullptr);
+    driveMixed(fab, kNodes, 2, 8);
+    fab.run();
+    // No faults, no wire-charged re-entry: every window runs parallel.
+    EXPECT_GT(fab.engine()->windowsRun(), 0u);
+    EXPECT_EQ(fab.engine()->serialWindowsRun(), 0u);
+}
+
+TEST(ParallelEngine, LegacyModeBuildsNoEngine)
+{
+    EdmConfig cfg = mixedConfig(4, 0);
+    Simulation sim(3);
+    CycleFabric fab(cfg, sim);
+    EXPECT_EQ(fab.engine(), nullptr);
+    // partitionOf stays 0 for every node in legacy mode.
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_EQ(fab.partitionOf(n), 0u);
+}
+
+TEST(ParallelEngine, MultiGroupMapIsWorkerCountInvariant)
+{
+    // Hosts split across four partitions: merge order inside the
+    // latency stores differs from the legacy interleave (documented
+    // divergence boundary), but the schedule itself must be identical
+    // for every worker count — including raw sample order.
+    constexpr std::size_t kNodes = 8;
+    auto make = [](int workers) {
+        EdmConfig cfg;
+        cfg.num_nodes = kNodes;
+        cfg.strict_grant_accounting = true;
+        cfg.fabric_workers = workers;
+        cfg.fabric_partition_map = {1, 1, 2, 2, 3, 3, 4, 4};
+        return cfg;
+    };
+    const Digest one = runPairwise(make(1), kNodes);
+    ASSERT_GT(one.reads, 0u);
+    ASSERT_GT(one.writes, 0u);
+    ASSERT_GT(one.rmws, 0u);
+    for (int workers : {2, 4, 8}) {
+        const Digest par = runPairwise(make(workers), kNodes);
+        expectIdentical(one, par,
+                        ("multi-group workers=" +
+                         std::to_string(workers)).c_str());
+    }
+    // And the sample *multiset* still matches the legacy referee even
+    // though the merged order may not.
+    EdmConfig legacy = make(0);
+    legacy.fabric_partition_map.clear();
+    expectSameModel(runPairwise(legacy, kNodes), one,
+                    "multi-group model");
+}
+
+TEST(ParallelEngine, MidStormFaultCampaignBitExactVsReferee)
+{
+    constexpr std::size_t kNodes = 5;
+    auto runStorm = [](int workers) {
+        EdmConfig cfg;
+        cfg.num_nodes = kNodes;
+        cfg.read_timeout = 150 * kMicrosecond;
+        cfg.read_retry_limit = 5;
+        cfg.read_retry_base = 5 * kMicrosecond;
+        cfg.link_error_threshold = 8;
+        cfg.strict_grant_accounting = true;
+        cfg.fabric_workers = workers;
+        Simulation sim(7);
+        CycleFabric fab(cfg, sim);
+        FaultCampaign campaign(sim, fab);
+        campaign.stormAt(4 * kMicrosecond, {0, 2, 3}, 8,
+                         500 * kNanosecond, 42);
+        campaign.autoRepairAfter(6 * kMicrosecond);
+
+        long completed = 0;
+        auto issue = std::make_shared<std::function<void(NodeId, int)>>();
+        *issue = [&fab, issue, &completed](NodeId from, int left) {
+            if (left <= 0)
+                return;
+            fab.read(from, 0, 0x1000u * from, 900,
+                     [issue, from, left, &completed](
+                         std::vector<std::uint8_t>, Picoseconds, bool) {
+                         ++completed;
+                         (*issue)(from, left - 1);
+                     });
+        };
+        for (NodeId i = 1; i < kNodes; ++i)
+            for (int k = 0; k < 4; ++k)
+                (*issue)(i, 12);
+        fab.run();
+        auto d = digestOf(fab, kNodes);
+        const FaultStats st = campaign.stats();
+        return std::make_tuple(d, st, completed);
+    };
+
+    const auto [ref_d, ref_st, ref_done] = runStorm(0);
+    ASSERT_GT(ref_st.ops_retried, 0u);
+    for (int workers : {2, 4}) {
+        const auto [d, st, done] = runStorm(workers);
+        expectIdentical(ref_d, d, "mid-storm");
+        EXPECT_EQ(done, ref_done);
+        EXPECT_EQ(st.injections, ref_st.injections);
+        EXPECT_EQ(st.links_disabled, ref_st.links_disabled);
+        EXPECT_EQ(st.links_repaired, ref_st.links_repaired);
+        EXPECT_EQ(st.ops_timed_out, ref_st.ops_timed_out);
+        EXPECT_EQ(st.ops_retried, ref_st.ops_retried);
+        EXPECT_EQ(st.ops_recovered, ref_st.ops_recovered);
+        EXPECT_EQ(st.ops_abandoned, ref_st.ops_abandoned);
+        EXPECT_EQ(st.detect_ns.raw(), ref_st.detect_ns.raw());
+        EXPECT_EQ(st.disable_ns.raw(), ref_st.disable_ns.raw());
+        EXPECT_EQ(st.repair_ns.raw(), ref_st.repair_ns.raw());
+    }
+}
+
+TEST(ParallelEngine, StandaloneWorkersClampToPartitionCountOnly)
+{
+    // Outside a ScenarioRunner the budget is the partition count: the
+    // default map has two partitions (switch + hosts), so eight
+    // requested workers collapse to two.
+    EXPECT_EQ(ParallelFabricEngine::clampWorkers(8, 2), 2);
+    EXPECT_EQ(ParallelFabricEngine::clampWorkers(8, 16), 8);
+    EXPECT_EQ(ParallelFabricEngine::clampWorkers(0, 4), 1);
+    EXPECT_EQ(ParallelFabricEngine::clampWorkers(-3, 4), 1);
+
+    EdmConfig cfg = mixedConfig(4, 8);
+    Simulation sim(1);
+    CycleFabric fab(cfg, sim);
+    ASSERT_NE(fab.engine(), nullptr);
+    EXPECT_EQ(fab.engine()->partitions(), 2u);
+    EXPECT_EQ(fab.engine()->effectiveWorkers(), 2);
+}
+
+TEST(ParallelEngine, RunnerNestingDividesTheWorkerBudget)
+{
+    // Inside ScenarioRunner workers the fabric divides its budget by
+    // the active runner thread count so runner x fabric workers never
+    // exceeds hardware_concurrency.
+    ASSERT_EQ(activeScenarioRunnerThreads(), 0u);
+
+    constexpr unsigned kRunnerThreads = 2;
+    std::vector<int> effective(3, -1);
+    std::vector<unsigned> seen_runner(3, 0);
+    ScenarioRunner::Options opts;
+    opts.threads = kRunnerThreads;
+    ScenarioRunner runner(opts);
+    for (std::size_t i = 0; i < 3; ++i)
+        runner.add("nested[" + std::to_string(i) + "]",
+                   [i, &effective, &seen_runner](ScenarioContext &ctx) {
+                       EdmConfig cfg;
+                       cfg.num_nodes = 8;
+                       cfg.fabric_workers = 8;
+                       cfg.fabric_partition_map = {1, 1, 2, 2,
+                                                   3, 3, 4, 4};
+                       CycleFabric fab(cfg, ctx.sim());
+                       drivePairwise(fab, 8, 3);
+                       fab.run();
+                       effective[i] = fab.engine()->effectiveWorkers();
+                       seen_runner[i] = activeScenarioRunnerThreads();
+                   });
+    runner.runAll();
+
+    unsigned hc = std::thread::hardware_concurrency();
+    if (hc == 0)
+        hc = 1;
+    const int budget = static_cast<int>(
+        std::max(1u, hc / kRunnerThreads));
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(seen_runner[i], kRunnerThreads);
+        ASSERT_GE(effective[i], 1);
+        EXPECT_LE(effective[i], budget);
+        EXPECT_LE(effective[i], 5); // never above the partition count
+    }
+    // The scope is gone once runAll() returns.
+    EXPECT_EQ(activeScenarioRunnerThreads(), 0u);
+}
+
+} // namespace
+} // namespace core
+} // namespace edm

@@ -103,6 +103,7 @@ TEST(ScenarioConfig, AppliesKnownKeys)
     EXPECT_TRUE(
         applyEdmConfigKey(cfg, "parked_grant_timeout_ns", "250", error));
     EXPECT_TRUE(applyEdmConfigKey(cfg, "max_train_blocks", "4", error));
+    EXPECT_TRUE(applyEdmConfigKey(cfg, "fabric_workers", "4", error));
     EXPECT_EQ(cfg.num_nodes, 9u);
     EXPECT_DOUBLE_EQ(cfg.link_rate.value, 25.0);
     EXPECT_EQ(cfg.priority, core::Priority::Srpt);
@@ -111,6 +112,7 @@ TEST(ScenarioConfig, AppliesKnownKeys)
     EXPECT_TRUE(cfg.charge_preemption_reentry);
     EXPECT_EQ(cfg.parked_grant_timeout, 250 * kNanosecond);
     EXPECT_EQ(cfg.max_train_blocks, 4u);
+    EXPECT_EQ(cfg.fabric_workers, 4);
 }
 
 TEST(ScenarioConfig, UnknownKeysAndBadValuesAreHardErrors)

@@ -23,6 +23,7 @@
 #                   legacy  kGoldenFig6 kGoldenFig8a kGoldenFig8b
 #                           kGoldenClusterSweep
 #                   wire    kGoldenFig8aWire kGoldenClusterSweepWire
+#                           kGoldenChunkSweepWire
 #   --skip-bench  leave the BENCH_*.json snapshots alone
 #
 # Also available as a build target: cmake --build build -t rebaseline
@@ -50,7 +51,7 @@ INC=tests/golden_figs_values.inc
 
 # Arrays belonging to each mode set.
 LEGACY_ARRAYS="kGoldenFig6 kGoldenFig8a kGoldenFig8b kGoldenClusterSweep"
-WIRE_ARRAYS="kGoldenFig8aWire kGoldenClusterSweepWire"
+WIRE_ARRAYS="kGoldenFig8aWire kGoldenClusterSweepWire kGoldenChunkSweepWire"
 SELECTED=""
 case ",$MODES," in *,legacy,*) SELECTED="$SELECTED $LEGACY_ARRAYS" ;; esac
 case ",$MODES," in *,wire,*) SELECTED="$SELECTED $WIRE_ARRAYS" ;; esac
