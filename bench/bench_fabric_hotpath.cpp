@@ -31,6 +31,12 @@
  * size under wire-charged occupancy (scenarios/chunk_sweep_wire.edm
  * carries the declarative form, kGoldenChunkSweepWire the baseline).
  *
+ * The leaf-spine section measures the PR 9 multi-tier fabric — a
+ * 32-host four-leaf incast under the sharded scheduler with the
+ * partition map auto-derived from the topology, asserting the workers
+ * >= 1 schedule bit-exact against the fabric_workers = 0 referee
+ * (train cap pinned; docs/TOPOLOGY.md).
+ *
  * Run:   ./build/bench_fabric_hotpath [ops-per-node] [--json <path>]
  */
 
@@ -270,6 +276,73 @@ runParallel(int workers, std::uint64_t ops_per_node)
 }
 
 /**
+ * Leaf-spine incast for the multi-tier fabric: 32 hosts over four
+ * 8-host leaves, everyone hammering node 0 with short mixed ops, so
+ * every leaf's trunk (requests, grants, streams, shard-coordination
+ * notes) and the victim leaf's scheduler shard are the hot path. The
+ * partition map is auto-derived from the topology (one per leaf); the
+ * train cap is pinned at the engine's lookahead cap so the serial
+ * referee batches identically and workers >= 1 must reproduce it
+ * bit-exactly (asserted per row in main).
+ */
+RunStats
+runLeafSpine(int workers, std::uint64_t ops_per_node)
+{
+    constexpr std::size_t kLsNodes = 32;
+    Simulation sim;
+    EdmConfig cfg;
+    cfg.num_nodes = kLsNodes;
+    cfg.link_rate = Gbps{25.0};
+    cfg.strict_grant_accounting = true;
+    cfg.fabric_workers = workers;
+    cfg.topology.tiers = TopologySpec::Tiers::LeafSpine;
+    cfg.topology.hosts_per_leaf = 8;
+    cfg.topology.trunk_width = 4;
+    cfg.topology.ecmp_seed = 7;
+    cfg.max_train_blocks = 12;
+    cfg.max_frame_train_blocks = 12;
+    CycleFabric fab(cfg, sim);
+    fab.host(0).store()->write(0x10000,
+                               std::vector<std::uint8_t>(1024, 0x5A));
+
+    RunStats rs;
+    std::vector<std::uint64_t> remaining(kLsNodes, ops_per_node);
+    remaining[0] = 0;
+    std::function<void(NodeId)> issue = [&](NodeId n) {
+        if (remaining[n] == 0)
+            return;
+        --remaining[n];
+        if ((remaining[n] % 3) == 0) {
+            fab.write(n, 0,
+                      0x20000 + static_cast<std::uint64_t>(n) * 0x10000,
+                      std::vector<std::uint8_t>(
+                          700, static_cast<std::uint8_t>(n)),
+                      [&issue, n](Picoseconds) { issue(n); });
+        } else {
+            fab.read(n, 0, 0x10000, 900,
+                     [&issue, n](std::vector<std::uint8_t>, Picoseconds,
+                                 bool) { issue(n); });
+        }
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (NodeId n = 1; n < kLsNodes; ++n)
+        issue(n);
+    fab.run();
+    rs.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    for (NodeId n = 0; n < kLsNodes; ++n) {
+        const auto &st = fab.host(n).stats();
+        rs.blocks += st.mem_blocks_sent + st.mem_blocks_received;
+        rs.completions += st.reads_completed + st.writes_completed;
+    }
+    rs.events = fab.eventsExecuted();
+    rs.end_time = fab.endTime();
+    return rs;
+}
+
+/**
  * Grant-chunk size under wire-charged occupancy (the PR 5 follow-up):
  * the 7-to-1 incast regime where the chunk size decides how coarsely
  * the scheduler meters the contested memory downlink.
@@ -467,6 +540,56 @@ main(int argc, char **argv)
     }
     std::printf("\n  (scaling needs the cores: CI runners regenerate the "
                 "checked-in JSON;\n   a 1-vCPU container shows ~1x)\n");
+
+    // ---- PR 9: leaf-spine topology, sharded scheduler ---------------
+    std::printf("\n=== leaf-spine incast: 32 hosts / 4 leaves onto "
+                "node 0, auto-derived partitions ===\n\n");
+    std::printf("  %-16s %12s %12s %10s\n", "config", "Mblocks/s",
+                "events", "vs w0");
+    const RunStats ls_ref = runLeafSpine(0, ops);
+    std::printf("  %-16s %12.2f %12llu %9s\n", "leafspine-w0",
+                static_cast<double>(ls_ref.blocks) / ls_ref.wall_s / 1e6,
+                static_cast<unsigned long long>(ls_ref.events), "1.00x");
+    json.record("leafspine-32node", "leafspine-w0",
+                {{"blocks_per_sec",
+                  static_cast<double>(ls_ref.blocks) / ls_ref.wall_s},
+                 {"ns_per_block",
+                  ls_ref.wall_s / static_cast<double>(ls_ref.blocks) *
+                      1e9},
+                 {"events", static_cast<double>(ls_ref.events)},
+                 {"speedup_vs_w0", 1.0}});
+    for (int workers : {2, 4}) {
+        const RunStats r = runLeafSpine(workers, ops);
+        // Hard bit-exactness bar (the train cap is pinned, so there is
+        // no batching difference to excuse): the sharded scheduler on
+        // the auto-derived per-leaf map must reproduce the serial
+        // referee's schedule.
+        if (r.completions != ls_ref.completions ||
+            r.blocks != ls_ref.blocks ||
+            r.end_time != ls_ref.end_time || r.completions == 0) {
+            std::fprintf(
+                stderr,
+                "FATAL: leafspine-w%d diverged from the w0 referee "
+                "(%llu vs %llu blocks, end %lld vs %lld)\n",
+                workers, static_cast<unsigned long long>(r.blocks),
+                static_cast<unsigned long long>(ls_ref.blocks),
+                static_cast<long long>(r.end_time),
+                static_cast<long long>(ls_ref.end_time));
+            return 1;
+        }
+        const double speedup = ls_ref.wall_s / r.wall_s;
+        std::printf("  leafspine-w%-2d   %12.2f %12llu %9.2fx\n", workers,
+                    static_cast<double>(r.blocks) / r.wall_s / 1e6,
+                    static_cast<unsigned long long>(r.events), speedup);
+        json.record("leafspine-32node",
+                    "leafspine-w" + std::to_string(workers),
+                    {{"blocks_per_sec",
+                      static_cast<double>(r.blocks) / r.wall_s},
+                     {"ns_per_block",
+                      r.wall_s / static_cast<double>(r.blocks) * 1e9},
+                     {"events", static_cast<double>(r.events)},
+                     {"speedup_vs_w0", speedup}});
+    }
 
     // ---- PR 5 follow-up: chunk size under wire-charged occupancy ----
     std::printf("\n=== chunk-bytes sweep, wire-charged occupancy, "

@@ -32,6 +32,36 @@ enum class Priority
     Srpt, ///< remaining bytes — optimal for heavy-tailed workloads
 };
 
+/**
+ * Fabric wiring description (PR 9). `Single` is the historical
+ * one-switch fabric and the default: the fabric constructs exactly the
+ * legacy datapath and every schedule is reproduced bit-exactly.
+ * `LeafSpine` splits the hosts across ceil(num_nodes / hosts_per_leaf)
+ * leaf switches joined by a contention-free spine through trunk_width
+ * ECMP lanes per direction; see src/net/topology.hpp and
+ * docs/TOPOLOGY.md for the wiring model, per-tier occupancy charging
+ * and the sharded-scheduler ownership rules.
+ */
+struct TopologySpec
+{
+    enum class Tiers
+    {
+        Single,   ///< one switch, all hosts attached (legacy)
+        LeafSpine ///< leaf switches + spine trunks
+    };
+
+    Tiers tiers = Tiers::Single;
+
+    /** Hosts per leaf switch (LeafSpine; last leaf may be partial). */
+    std::size_t hosts_per_leaf = 0;
+
+    /** ECMP trunk lanes per direction between a leaf and the spine. */
+    std::size_t trunk_width = 1;
+
+    /** Seed mixed into the deterministic ECMP lane hash. */
+    std::uint64_t ecmp_seed = 1;
+};
+
 /** Host and switch datapath cycle costs (1 cycle = one PCS block slot). */
 struct CycleCosts
 {
@@ -201,6 +231,16 @@ struct EdmConfig
      * single-thread referee must be re-run.
      */
     std::vector<std::uint16_t> fabric_partition_map;
+
+    /**
+     * Fabric wiring (PR 9). Defaults to the single-switch fabric, which
+     * constructs today's datapath byte-for-byte; every multi-tier
+     * behavior is gated behind this spec. LeafSpine shards the
+     * scheduler per leaf and routes cross-leaf traffic over the spine
+     * trunks — see docs/TOPOLOGY.md and tools/rebaseline.sh for the
+     * cluster-scale golden tier.
+     */
+    TopologySpec topology;
 
     /**
      * Layer-2 forwarding pipeline latency for coexisting non-memory

@@ -12,7 +12,7 @@ namespace core {
 
 CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
                          std::vector<NodeId> memory_nodes)
-    : cfg_(cfg), sim_(sim),
+    : cfg_(cfg), sim_(sim), topo_(cfg.topology, cfg.num_nodes),
       host_pumps_(cfg.num_nodes), switch_pumps_(cfg.num_nodes),
       frame_backlog_(cfg.num_nodes), uplink_health_(cfg.num_nodes)
 {
@@ -24,17 +24,25 @@ CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
                 memory_nodes.end();
     };
 
-    // Partitioned execution (PR 8): partition 0 is always the switch
-    // (it keeps the Simulation's root queue); hosts live on partitions
-    // >= 1 per fabric_partition_map, all on partition 1 by default. The
-    // engine is built before the hosts because each HostStack binds to
-    // its partition's queue at construction.
+    // Partitioned execution (PR 8). Single mode: partition 0 is always
+    // the switch (it keeps the Simulation's root queue); hosts live on
+    // partitions >= 1 per fabric_partition_map, all on partition 1 by
+    // default. Leaf-spine: the map is auto-derived from the topology —
+    // partition l owns leaf switch l and its hosts, so only trunk
+    // traffic crosses partitions. The engine is built before the hosts
+    // because each HostStack binds to its partition's queue at
+    // construction.
     if (cfg_.fabric_workers > 0) {
-        if (cfg_.fabric_partition_map.empty()) {
+        if (!topo_.isSingle()) {
+            EDM_ASSERT(cfg_.fabric_partition_map.empty(),
+                       "leaf-spine topologies derive their own "
+                       "fabric_partition_map (one partition per leaf)");
+            node_part_ = topo_.derivePartitionMap();
+        } else if (cfg_.fabric_partition_map.empty()) {
             node_part_.assign(cfg_.num_nodes, 1);
         } else {
             EDM_ASSERT(cfg_.fabric_partition_map.size() == cfg_.num_nodes,
-                       "fabric_partition_map has %zu entries for %u nodes",
+                       "fabric_partition_map has %zu entries for %zu nodes",
                        cfg_.fabric_partition_map.size(), cfg_.num_nodes);
             node_part_ = cfg_.fabric_partition_map;
             for (std::uint16_t p : node_part_)
@@ -72,8 +80,14 @@ CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
             i, cfg_, hq(i), is_memory(i),
             [this, i] { pumpHost(i); }));
     }
-    switch_ = std::make_unique<SwitchStack>(
-        cfg_, sim_.events(), [this](NodeId port) { pumpSwitchPort(port); });
+    switches_.reserve(topo_.numLeaves());
+    for (std::uint16_t l = 0; l < topo_.numLeaves(); ++l) {
+        switches_.push_back(std::make_unique<SwitchStack>(
+            cfg_, leafQ(l), [this](NodeId port) { pumpSwitchPort(port); },
+            topo_.isSingle() ? nullptr : &topo_, l));
+    }
+    if (!topo_.isSingle())
+        installTrunkHooks();
 
     train_cap_ = trainCap(cfg_.max_train_blocks);
     frame_train_cap_ = trainCap(cfg_.max_frame_train_blocks);
@@ -84,13 +98,15 @@ CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
     // either segment means the memory stream will preempt an L2 stream
     // and pay the re-entry slots on the way back. The scheduler only
     // consults the probe when both gating flags are on.
-    switch_->scheduler().setFrameActivityProbe(
-        [this](NodeId src, NodeId dst) {
-            return hosts_[src]->mux().frameBacklog() > 0 ||
-                !frame_backlog_[src].empty() ||
-                switch_->egressMux(dst).frameBacklog() > 0 ||
-                !switch_->egressFrameBacklog(dst).empty();
-        });
+    for (auto &sw : switches_) {
+        sw->scheduler().setFrameActivityProbe(
+            [this](NodeId src, NodeId dst) {
+                return hosts_[src]->mux().frameBacklog() > 0 ||
+                    !frame_backlog_[src].empty() ||
+                    leafSw(dst).egressMux(dst).frameBacklog() > 0 ||
+                    !leafSw(dst).egressFrameBacklog(dst).empty();
+            });
+    }
 
     // Fail-fast read retries: a fault abort that retires a response
     // flow means the reader's data sender went dark — route the abort
@@ -98,10 +114,12 @@ CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
     // of waiting out the full read timeout. Only wired when the retry
     // budget exists; otherwise abortPort stays exactly the legacy sweep.
     if (cfg_.read_retry_limit > 0) {
-        switch_->scheduler().setAbortSink([this](const FlowKey &key) {
-            if (key.response)
-                hosts_[key.dst]->onFlowAborted(key.src, key.id);
-        });
+        for (auto &sw : switches_) {
+            sw->scheduler().setAbortSink([this](const FlowKey &key) {
+                if (key.response)
+                    hosts_[key.dst]->onFlowAborted(key.src, key.id);
+            });
+        }
     }
 
     // Attach the (purely observational) event log to every preemption
@@ -109,7 +127,7 @@ CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
     if (cfg_.event_log) {
         for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
             hosts_[i]->mux().attachTrace(cfg_.event_log, i);
-            switch_->egressMux(i).attachTrace(cfg_.event_log, i);
+            leafSw(i).egressMux(i).attachTrace(cfg_.event_log, i);
         }
     }
 
@@ -120,12 +138,34 @@ CycleFabric::CycleFabric(const EdmConfig &cfg, Simulation &sim,
     for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
         hosts_[i]->setWriteDeliveredHook(
             [this, i](const MemMessage &chunk, Picoseconds t) {
-                // The report is a synchronous call back into the writer
-                // from the memory node's rx path. Under the engine that
-                // is only race-free when both live on one partition —
-                // the default map trivially satisfies this; custom maps
-                // must co-locate writer/memory pairs that exchange
-                // writes.
+                // Cross-leaf reports ride the response-direction trunk:
+                // the measurement lands one traversal later on the
+                // writer's partition. Gated on the *topology* (not the
+                // engine) so fabric_workers = 0 and >= 2 stay
+                // bit-exact.
+                if (!topo_.isSingle() &&
+                    topo_.leafOf(chunk.src) != topo_.leafOf(i)) {
+                    const NodeId writer = chunk.src;
+                    const NodeId dst = chunk.dst;
+                    const MsgId id = chunk.id;
+                    // Same per-source-leaf phase skew as the trunk
+                    // hooks (see installTrunkHooks).
+                    scheduleArrival(
+                        node_part_[i], node_part_[writer],
+                        hq(i).now() + trunkLatency() +
+                            static_cast<Picoseconds>(topo_.leafOf(i)),
+                        [this, writer, dst, id, t] {
+                            hosts_[writer]->notifyWriteDelivered(dst, id,
+                                                                 t);
+                        });
+                    return;
+                }
+                // Same leaf (or single switch): a synchronous call back
+                // into the writer from the memory node's rx path. Under
+                // the engine that is only race-free when both live on
+                // one partition — the default map trivially satisfies
+                // this; custom maps must co-locate writer/memory pairs
+                // that exchange writes.
                 EDM_ASSERT(
                     !engine_ ||
                         node_part_[chunk.src] == node_part_[i],
@@ -153,6 +193,141 @@ CycleFabric::hopLatency() const
         cfg_.cycle +
         phy::kCrossingsPerTraversal * phy::kSerdesCrossing +
         phy::kHopPropagation;
+}
+
+Picoseconds
+CycleFabric::trunkLatency() const
+{
+    // One trunk serialization slot, two hops (leaf->spine, spine->leaf)
+    // and the spine's classify + forward pipeline. Always >= the
+    // engine's lookahead window (which is (cycle + hop)/2), so every
+    // cross-leaf event is legal to crossSchedule from anywhere in a
+    // window.
+    return cfg_.cycle + 2 * hopLatency() +
+        static_cast<Picoseconds>(cfg_.costs.sw_classify +
+                                 cfg_.costs.sw_forward) *
+        cfg_.cycle;
+}
+
+void
+CycleFabric::installTrunkHooks()
+{
+    // Every hook fires on the *source* leaf's partition at decision
+    // time; the action lands on the destination leaf exactly one trunk
+    // traversal (plus the source switch's local processing) later. The
+    // spine itself is contention-free transport — trunk *contention* is
+    // modeled by the scheduler shards' ECMP-lane busy timers — so the
+    // traversal is a fixed latency and the hooks carry no queueing
+    // state.
+    for (std::uint16_t l = 0; l < topo_.numLeaves(); ++l) {
+        // Per-source-leaf trunk phase skew (+l ps, SerDes lane
+        // alignment): lockstep decisions on different leaves can then
+        // never land on one shard at the *same* instant, so arrival
+        // order is decided by timestamps alone — identical under the
+        // serial referee (one queue, insertion order) and the
+        // partitioned engine (barrier merge), whose same-instant
+        // tie-breaks for different source partitions legitimately
+        // differ. Sub-cycle, so no protocol timing changes.
+        const Picoseconds T =
+            trunkLatency() + static_cast<Picoseconds>(l);
+        SwitchStack::TrunkHooks hooks;
+        hooks.route_grant = [this, l, T](NodeId target,
+                                         const phy::PhyBlock &grant,
+                                         Picoseconds local) {
+            scheduleArrival(leafPart(l), swPart(target),
+                            leafQ(l).now() + local + T,
+                            [this, target, grant] {
+                                leafSw(target).deliverGrant(target, grant);
+                            });
+        };
+        hooks.route_request = [this, l, T](NodeId target,
+                                           const MemMessage &request,
+                                           Picoseconds local) {
+            scheduleArrival(leafPart(l), swPart(target),
+                            leafQ(l).now() + local + T,
+                            [this, target, request] {
+                                leafSw(target).acceptForwardedRequest(
+                                    target, request);
+                            });
+        };
+        hooks.route_block = [this, l, T](NodeId egress, NodeId ingress,
+                                         std::uint64_t seq,
+                                         const phy::PhyBlock &block,
+                                         Picoseconds local) {
+            scheduleArrival(leafPart(l), swPart(egress),
+                            leafQ(l).now() + local + T,
+                            [this, egress, ingress, seq, block] {
+                                leafSw(egress).acceptTrunkBlock(
+                                    egress, ingress, seq, block);
+                            });
+        };
+        hooks.route_run = [this, l, T](NodeId egress, NodeId ingress,
+                                       std::uint64_t seq,
+                                       std::vector<phy::PhyBlock> blocks,
+                                       Picoseconds first_avail,
+                                       Picoseconds stride) {
+            // first_avail already includes the source switch's forward
+            // latency; the whole availability ladder shifts by T.
+            const Picoseconds arrive = first_avail + T;
+            scheduleArrival(
+                leafPart(l), swPart(egress), arrive,
+                [this, egress, ingress, seq, blocks = std::move(blocks),
+                 arrive, stride] {
+                    leafSw(egress).acceptTrunkRun(egress, ingress, seq,
+                                                  blocks, arrive, stride);
+                });
+        };
+        hooks.route_notify = [this, l, T](const ControlInfo &notify,
+                                          Picoseconds local) {
+            scheduleArrival(leafPart(l), swPart(notify.dst),
+                            leafQ(l).now() + local + T,
+                            [this, notify] {
+                                leafSw(notify.dst).scheduler()
+                                    .addWriteDemand(notify);
+                            });
+        };
+        hooks.route_chunk_note = [this, l, T](NodeId src, NodeId dst,
+                                              MsgId id, bool response,
+                                              Bytes bytes,
+                                              bool last_chunk) {
+            scheduleArrival(leafPart(l), swPart(dst), leafQ(l).now() + T,
+                            [this, src, dst, id, response, bytes,
+                             last_chunk] {
+                                leafSw(dst).scheduler().onChunkForwarded(
+                                    src, dst, id, response, bytes,
+                                    last_chunk);
+                            });
+        };
+        hooks.route_flood = [this, l, T](std::vector<phy::PhyBlock> frame,
+                                         Picoseconds local) {
+            const Picoseconds at = leafQ(l).now() + local + T;
+            for (std::uint16_t dl = 0; dl < topo_.numLeaves(); ++dl) {
+                if (dl == l)
+                    continue;
+                scheduleArrival(leafPart(l), leafPart(dl), at,
+                                [this, dl, frame] {
+                                    switches_[dl]->acceptTrunkFlood(frame);
+                                });
+            }
+        };
+        switches_[l]->setTrunkHooks(std::move(hooks));
+
+        // Shard-coordination notes (remote src busy / remote dst busy /
+        // lane release) ride the same trunk at the same fixed latency.
+        switches_[l]->scheduler().setRemoteNoteSink(
+            [this, l, T](std::uint16_t leaf, NodeId port, std::size_t lane,
+                         Picoseconds release, bool dst_side) {
+                scheduleArrival(
+                    leafPart(l), leafPart(leaf), leafQ(l).now() + T,
+                    [this, leaf, port, lane, release, dst_side] {
+                        Scheduler &sch = switches_[leaf]->scheduler();
+                        if (dst_side)
+                            sch.noteRemoteForward(port, lane, release);
+                        else
+                            sch.noteRemoteGrant(port, lane, release);
+                    });
+            });
+    }
 }
 
 CycleFabric::Train
@@ -384,7 +559,7 @@ CycleFabric::emitHost(NodeId id)
                                                  t.avails);
         if (run >= 2) {
             noteTrainEvent(trace::EventType::TrainEmit, id, t.kind, run);
-            commitTrain(p, q, part, 0, std::move(t), run, now,
+            commitTrain(p, q, part, swPart(id), std::move(t), run, now,
                         [this, id] { deliverHostTrain(id); },
                         [this, id] { emitHost(id); });
             return;
@@ -406,7 +581,7 @@ CycleFabric::emitHost(NodeId id)
         const std::size_t run = takeFrameTrain(mux, backlog, now, t);
         if (run >= 2) {
             noteTrainEvent(trace::EventType::TrainEmit, id, t.kind, run);
-            commitTrain(p, q, part, 0, std::move(t), run, now,
+            commitTrain(p, q, part, swPart(id), std::move(t), run, now,
                         [this, id] { deliverHostTrain(id); },
                         [this, id] { emitHost(id); });
             return;
@@ -441,8 +616,11 @@ CycleFabric::emitHost(NodeId id)
             // lifecycles so the scheduler stops granting dead flows
             // (strict mode) instead of letting them go stale, and drop
             // its parked grants — it will never send the chunks they
-            // bought.
-            switch_->scheduler().abortPort(id);
+            // bought. Every shard sweeps: the port's flows may span
+            // leaves (fault paths run in serial windows, so touching
+            // remote shards synchronously is race-free).
+            for (auto &sw : switches_)
+                sw->scheduler().abortPort(id);
             hosts_[id]->onUplinkDisabled();
             if (link_health_hook_)
                 link_health_hook_(id, LinkEvent::Disabled, health.errors);
@@ -450,9 +628,9 @@ CycleFabric::emitHost(NodeId id)
     }
 
     if (deliver) {
-        scheduleArrival(part, 0, now + cfg_.cycle + hopLatency(),
+        scheduleArrival(part, swPart(id), now + cfg_.cycle + hopLatency(),
                         [this, id, block] {
-                            switch_->rxBlock(id, block);
+                            leafSw(id).rxBlock(id, block);
                         });
     }
 
@@ -469,13 +647,15 @@ CycleFabric::deliverHostTrain(NodeId id)
     Train t = std::move(p.trains.front());
     p.trains.pop_front();
     // now() is the first block's arrival; later blocks arrive (and are
-    // timestamped) one serialization slot apart.
+    // timestamped) one serialization slot apart. The leaf queue's clock
+    // is authoritative: this event executes on the owning leaf's
+    // partition (the root queue in single mode).
     if (t.kind == Train::Kind::Memory)
-        switch_->rxBlockTrain(id, t.blocks.data(), t.blocks.size(),
-                              sim_.now(), cfg_.cycle);
+        leafSw(id).rxBlockTrain(id, t.blocks.data(), t.blocks.size(),
+                                lq(id).now(), cfg_.cycle);
     else
-        switch_->rxFrameTrain(id, t.blocks.data(), t.blocks.size());
-    releaseTrain(0, std::move(t)); // delivery executes on the switch
+        leafSw(id).rxFrameTrain(id, t.blocks.data(), t.blocks.size());
+    releaseTrain(swPart(id), std::move(t)); // delivery runs on the switch
 }
 
 void
@@ -611,14 +791,14 @@ CycleFabric::trimEgressTrain(NodeId port)
     // /G/ is the canonical case — would have gone on the wire *before*
     // those, so the overtaken tail un-commits and re-queues behind it.
     TxPump &p = switch_pumps_[port];
-    EventQueue &q = sq();
+    EventQueue &q = lq(port);
     const Picoseconds now = q.now();
     if (now > p.last_emit_end)
         return; // fully emitted: never touch the ring (see abort)
     if (p.trains.empty())
         return;
     Train &t = p.trains.back();
-    auto &mux = switch_->egressMux(port);
+    auto &mux = leafSw(port).egressMux(port);
     if (t.kind == Train::Kind::Frame) {
         trimFrameTrain(port, p, q, t, mux);
         return;
@@ -654,10 +834,10 @@ CycleFabric::trimEgressTrain(NodeId port)
 void
 CycleFabric::pumpSwitchPort(NodeId port)
 {
-    EventQueue &q = sq();
+    EventQueue &q = lq(port);
     trimEgressTrain(port);
-    const Picoseconds ready = switch_->egressFrameBacklog(port).empty()
-        ? switch_->egressMux(port).readyAt(q.now())
+    const Picoseconds ready = leafSw(port).egressFrameBacklog(port).empty()
+        ? leafSw(port).egressMux(port).readyAt(q.now())
         : q.now();
     if (ready == phy::PreemptionMux::kNever)
         return;
@@ -669,12 +849,12 @@ void
 CycleFabric::emitSwitchPort(NodeId port)
 {
     TxPump &p = switch_pumps_[port];
-    auto &mux = switch_->egressMux(port);
-    EventQueue &q = sq();
+    auto &mux = leafSw(port).egressMux(port);
+    EventQueue &q = lq(port);
     p.emit_ev = kInvalidEvent;
 
     // Top up the bounded frame staging buffer from the L2 backlog.
-    auto &backlog = switch_->egressFrameBacklog(port);
+    auto &backlog = leafSw(port).egressFrameBacklog(port);
     topUpFrames(mux, backlog);
 
     const Picoseconds now = q.now();
@@ -702,18 +882,19 @@ CycleFabric::emitSwitchPort(NodeId port)
     // ahead of time with future availability stamps, and a grant /G/ may
     // still lawfully slot in between those future blocks.
     if (train_cap_ > 1) {
-        Train t = acquireTrain(0);
+        Train t = acquireTrain(swPart(port));
         const std::size_t run = mux.takeTrainRun(now, cfg_.cycle,
                                                  train_cap_, 2, t.blocks,
                                                  t.avails);
         if (run >= 2) {
             noteTrainEvent(trace::EventType::TrainEmit, port, t.kind, run);
-            commitTrain(p, q, 0, node_part_[port], std::move(t), run, now,
+            commitTrain(p, q, swPart(port), node_part_[port], std::move(t),
+                        run, now,
                         [this, port] { deliverSwitchTrain(port); },
                         [this, port] { emitSwitchPort(port); });
             return;
         }
-        releaseTrain(0, std::move(t));
+        releaseTrain(swPart(port), std::move(t));
     }
 
     // Frame-train path (see emitHost): flooded L2 bursts leave
@@ -722,22 +903,24 @@ CycleFabric::emitSwitchPort(NodeId port)
     // (trimEgressTrain dispatches to trimFrameTrain).
     if (frame_train_cap_ > 1 && !mux.midMemoryMessage() &&
         (mux.frameBacklog() > 0 || !backlog.empty())) {
-        Train t = acquireTrain(0);
+        Train t = acquireTrain(swPart(port));
         const std::size_t run = takeFrameTrain(mux, backlog, now, t);
         if (run >= 2) {
             noteTrainEvent(trace::EventType::TrainEmit, port, t.kind, run);
-            commitTrain(p, q, 0, node_part_[port], std::move(t), run, now,
+            commitTrain(p, q, swPart(port), node_part_[port], std::move(t),
+                        run, now,
                         [this, port] { deliverSwitchTrain(port); },
                         [this, port] { emitSwitchPort(port); });
             return;
         }
-        releaseTrain(0, std::move(t));
+        releaseTrain(swPart(port), std::move(t));
     }
 
     const phy::PhyBlock block = mux.next(now);
     p.next_slot = now + cfg_.cycle;
 
-    scheduleArrival(0, node_part_[port], now + cfg_.cycle + hopLatency(),
+    scheduleArrival(swPart(port), node_part_[port],
+                    now + cfg_.cycle + hopLatency(),
                     [this, port, block] {
                         hosts_[port]->rxBlock(block);
                     });
@@ -868,14 +1051,43 @@ CycleFabric::grantAccounting() const
         acc.parked_grants_dropped += st.parked_grants_dropped;
     }
     acc.wasted_grant_slots = acc.unknown_grants + acc.stale_response_grants;
-    acc.ledger = switch_->scheduler().ledgerStats();
+    for (const auto &sw : switches_) {
+        const LedgerStats &ls = sw->scheduler().ledgerStats();
+        acc.ledger.chunks_observed += ls.chunks_observed;
+        acc.ledger.retired_by_completion += ls.retired_by_completion;
+        acc.ledger.retired_by_abort += ls.retired_by_abort;
+        acc.ledger.grants_suppressed += ls.grants_suppressed;
+        acc.ledger.stale_bytes_reclaimed += ls.stale_bytes_reclaimed;
+        acc.ledger.entries_evicted += ls.entries_evicted;
+    }
     return acc;
+}
+
+std::uint64_t
+CycleFabric::totalGrantsIssued() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sw : switches_)
+        total += sw->scheduler().grantsIssued();
+    return total;
+}
+
+std::size_t
+CycleFabric::totalPendingLedgerEntries() const
+{
+    std::size_t total = 0;
+    for (const auto &sw : switches_)
+        total += sw->scheduler().pendingLedgerEntries();
+    return total;
 }
 
 std::size_t
 CycleFabric::peakEgressStaging() const
 {
-    return switch_->peakEgressStaging();
+    std::size_t peak = 0;
+    for (const auto &sw : switches_)
+        peak = std::max(peak, sw->peakEgressStaging());
+    return peak;
 }
 
 std::uint64_t

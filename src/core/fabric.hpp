@@ -28,6 +28,7 @@
 #include "core/host_stack.hpp"
 #include "core/switch_stack.hpp"
 #include "hw/spsc_ring.hpp"
+#include "net/topology.hpp"
 #include "phy/block_fifo.hpp"
 #include "sim/parallel_engine.hpp"
 #include "sim/simulation.hpp"
@@ -41,7 +42,10 @@ enum class EventType : std::uint8_t;
 namespace core {
 
 /**
- * A single-switch EDM cluster at block granularity.
+ * An EDM cluster at block granularity: single-switch by default, or a
+ * leaf–spine multi-tier fabric under EdmConfig::topology (PR 9,
+ * docs/TOPOLOGY.md) — one SwitchStack per leaf wired by the Topology,
+ * with per-leaf scheduler shards and fixed-latency spine trunks.
  */
 class CycleFabric
 {
@@ -56,7 +60,19 @@ class CycleFabric
                 std::vector<NodeId> memory_nodes = {});
 
     HostStack &host(NodeId id);
-    SwitchStack &switchStack() { return *switch_; }
+
+    /**
+     * The first (single mode: only) switch. Leaf-spine callers wanting
+     * a specific leaf go through topology() + switchAt().
+     */
+    SwitchStack &switchStack() { return *switches_[0]; }
+
+    /** Leaf switch @p leaf (0 <= leaf < topology().numLeaves()). */
+    SwitchStack &switchAt(std::uint16_t leaf) { return *switches_[leaf]; }
+
+    /** The fabric's wiring (single-switch unless configured otherwise). */
+    const net::Topology &topology() const { return topo_; }
+
     const EdmConfig &config() const { return cfg_; }
 
     // ---- convenience application API (records latency samples) ----
@@ -163,6 +179,12 @@ class CycleFabric
 
     GrantAccounting grantAccounting() const;
 
+    /** Grants issued by every scheduler shard (one shard when single). */
+    std::uint64_t totalGrantsIssued() const;
+
+    /** Live (unretired) ledger entries across every shard. */
+    std::size_t totalPendingLedgerEntries() const;
+
     /**
      * Deepest combined egress staging seen on any switch port
      * (blocks): circuit-staged blocks plus the egress mux's memory
@@ -226,6 +248,17 @@ class CycleFabric
      */
     Picoseconds hopLatency() const;
 
+    /**
+     * Leaf-to-leaf traversal latency across the spine: one trunk
+     * serialization slot, two hop latencies (leaf->spine, spine->leaf)
+     * and the spine's classify + forward pipeline. Every cross-leaf
+     * event (stream blocks, grants, notifications, coordination notes)
+     * pays exactly this on top of its local switch processing — a fixed
+     * latency because the spine is contention-free transport; trunk
+     * *contention* lives in the scheduler shards' lane busy timers.
+     */
+    Picoseconds trunkLatency() const;
+
   private:
     /**
      * A burst of cycle-spaced blocks committed to the wire as one unit
@@ -285,15 +318,25 @@ class CycleFabric
 
     EdmConfig cfg_;
     Simulation &sim_;
+
+    /** Wiring derived from cfg_.topology (single-switch by default). */
+    net::Topology topo_;
+
     /**
-     * Node -> owning partition (all zeros when no engine). Declared
-     * before hosts_/engine users; engine_ before hosts_ so host
-     * destructors may still touch their partition queues.
+     * Node -> owning partition (all zeros when no engine). Single mode:
+     * the switch keeps partition 0, hosts live on >= 1 per
+     * fabric_partition_map. Leaf-spine: partition l is leaf l *plus its
+     * hosts* (auto-derived; co-locating host<->leaf hops keeps them
+     * train-eligible and puts only trunk traffic in mailboxes).
+     * Declared before hosts_/engine users; engine_ before hosts_ so
+     * host destructors may still touch their partition queues.
      */
     std::vector<std::uint16_t> node_part_;
     std::unique_ptr<ParallelFabricEngine> engine_;
     std::vector<std::unique_ptr<HostStack>> hosts_;
-    std::unique_ptr<SwitchStack> switch_;
+
+    /** One switch per leaf; exactly one element in single mode. */
+    std::vector<std::unique_ptr<SwitchStack>> switches_;
 
     struct LinkHealth
     {
@@ -339,6 +382,26 @@ class CycleFabric
         return engine_ ? engine_->queue(node_part_[id]) : sim_.events();
     }
     EventQueue &sq() { return sim_.events(); } ///< switch = partition 0
+    /** Partition owning leaf @p leaf (single: 0; leaf-spine: the leaf). */
+    std::size_t leafPart(std::uint16_t leaf) const
+    {
+        return engine_ ? (topo_.isSingle() ? 0 : leaf) : 0;
+    }
+    /** Partition owning the switch that serves node @p port. */
+    std::size_t swPart(NodeId port) const
+    {
+        return leafPart(topo_.leafOf(port));
+    }
+    /** The switch serving node @p port (the only one in single mode). */
+    SwitchStack &leafSw(NodeId port) { return *switches_[topo_.leafOf(port)]; }
+    EventQueue &leafQ(std::uint16_t leaf)
+    {
+        return engine_ ? engine_->queue(leafPart(leaf)) : sim_.events();
+    }
+    /** Event queue of the switch serving node @p port. */
+    EventQueue &lq(NodeId port) { return leafQ(topo_.leafOf(port)); }
+    /** Wire cross-leaf routing (leaf-spine only; no-op wiring cost). */
+    void installTrunkHooks();
     void scheduleArrival(std::size_t src_part, std::size_t dst_part,
                          Picoseconds when, EventQueue::Callback cb);
     std::size_t trainCap(std::size_t knob) const;

@@ -162,6 +162,60 @@ requestForwardOccupancy(const EdmConfig &cfg, const MemMessage &req)
 }
 
 /**
+ * Link tiers a granted chunk traverses in a multi-tier topology
+ * (PR 9, docs/TOPOLOGY.md). An intra-leaf chunk crosses LeafIngress
+ * and LeafEgress (the host uplink into its leaf and the receiver's
+ * downlink out of it — the single-switch fabric's two hops); a
+ * cross-leaf chunk additionally crosses a Trunk lane and the Spine.
+ * Values are stable wire-format codes: trace::Record::tier carries
+ * them in TierCharge event-log records.
+ */
+enum class LinkTier : std::uint8_t
+{
+    None = 0,
+    LeafIngress = 1, ///< sender uplink -> leaf switch
+    Trunk = 2,       ///< leaf -> spine ECMP lane (and back down)
+    Spine = 3,       ///< contention-free spine crossing
+    LeafEgress = 4,  ///< leaf switch -> receiver downlink
+};
+
+inline constexpr std::size_t kNumLinkTiers = 5;
+
+inline const char *
+toString(LinkTier tier)
+{
+    switch (tier) {
+    case LinkTier::None: return "none";
+    case LinkTier::LeafIngress: return "leaf-ingress";
+    case LinkTier::Trunk: return "trunk";
+    case LinkTier::Spine: return "spine";
+    case LinkTier::LeafEgress: return "leaf-egress";
+    }
+    return "unknown";
+}
+
+/**
+ * Occupancy charged to one tier by a granted chunk. Every tier a chunk
+ * traverses carries its full line-time (the chunk is cut-through: its
+ * blocks occupy each tier back-to-back for one chunk serialization),
+ * so the per-tier charge is the same grantOccupancy the port timers
+ * use — minus the preemption re-entry refinement, which is a
+ * host-port-edge effect and never applies to trunk or spine lanes. The
+ * spine tier is charged for accounting visibility only (the spine is
+ * contention-free transport, docs/TOPOLOGY.md); trunk-lane busy timers
+ * are the tier charge that actually gates grants.
+ */
+inline Picoseconds
+tierOccupancy(const EdmConfig &cfg, LinkTier tier, bool response,
+              Bytes chunk, bool frame_active = false)
+{
+    const bool edge_tier =
+        tier == LinkTier::LeafIngress || tier == LinkTier::LeafEgress;
+    return grantOccupancy(cfg, response, chunk,
+                          edge_tier ? frame_active : false);
+}
+
+/**
  * Estimated egress-staging growth, in blocks, contributed by one
  * granted chunk: the gap between the chunk's true line-time and the
  * occupancy the scheduler charged for it, expressed in block slots

@@ -4,14 +4,17 @@
 
 #include "common/logging.hpp"
 #include "core/occupancy.hpp"
+#include "net/topology.hpp"
 #include "trace/event_log.hpp"
 
 namespace edm {
 namespace core {
 
 Scheduler::Scheduler(const EdmConfig &cfg, EventQueue &events,
-                     GrantSink sink)
-    : cfg_(cfg), events_(events), sink_(std::move(sink)),
+                     GrantSink sink, const net::Topology *topo,
+                     std::uint16_t leaf)
+    : cfg_(cfg), events_(events), sink_(std::move(sink)), topo_(topo),
+      leaf_(leaf), dst_hi_(static_cast<NodeId>(cfg.num_nodes)),
       src_busy_(cfg.num_nodes, false), dst_busy_(cfg.num_nodes, false)
 {
     EDM_ASSERT(sink_, "scheduler needs a grant sink");
@@ -20,6 +23,71 @@ Scheduler::Scheduler(const EdmConfig &cfg, EventQueue &events,
     queues_.reserve(cfg_.num_nodes);
     for (std::size_t i = 0; i < cfg_.num_nodes; ++i)
         queues_.push_back(std::make_unique<Queue>(cap));
+    if (topo_) {
+        const auto [lo, hi] = topo_->hostsOfLeaf(leaf_);
+        dst_lo_ = lo;
+        dst_hi_ = hi;
+        remote_src_busy_until_.assign(cfg_.num_nodes, 0);
+        remote_dst_busy_until_.assign(cfg_.num_nodes, 0);
+        lane_busy_until_[0].assign(topo_->trunkWidth(), 0);
+        lane_busy_until_[1].assign(topo_->trunkWidth(), 0);
+    }
+}
+
+bool
+Scheduler::isCrossLeaf(const Demand &d) const
+{
+    return topo_ && topo_->leafOf(d.src) != leaf_;
+}
+
+void
+Scheduler::raiseBusyUntil(std::vector<Picoseconds> &table,
+                          std::size_t idx, Picoseconds release)
+{
+    if (release <= table[idx])
+        return;
+    table[idx] = release;
+    if (release <= events_.now())
+        return;
+    events_.schedule(release, [this, &table, idx, release] {
+        // Only the note that set the current horizon wakes the matcher;
+        // superseded releases would re-match against a still-busy view.
+        if (table[idx] == release)
+            scheduleMatching();
+    });
+}
+
+void
+Scheduler::noteRemoteGrant(NodeId src, std::size_t lane,
+                           Picoseconds release)
+{
+    EDM_ASSERT(topo_, "remote notes need a sharded scheduler");
+    raiseBusyUntil(remote_src_busy_until_, src, release);
+    raiseBusyUntil(lane_busy_until_[0], lane, release);
+}
+
+void
+Scheduler::noteRemoteForward(NodeId dst, std::size_t lane,
+                             Picoseconds release)
+{
+    EDM_ASSERT(topo_, "remote notes need a sharded scheduler");
+    raiseBusyUntil(remote_dst_busy_until_, dst, release);
+    raiseBusyUntil(lane_busy_until_[1], lane, release);
+}
+
+void
+Scheduler::chargeTier(LinkTier tier, const Demand &d, Bytes chunk,
+                      bool frame_active, Picoseconds when)
+{
+    const Picoseconds charge =
+        tierOccupancy(cfg_, tier, d.response, chunk, frame_active);
+    tier_charged_ps_[static_cast<std::size_t>(tier)] +=
+        static_cast<std::uint64_t>(charge);
+    if (auto *log = cfg_.event_log)
+        log->log(trace::EventType::TierCharge, when, d.dst, d.src, d.dst,
+                 d.id, d.response, trace::Detail::None,
+                 static_cast<std::uint64_t>(charge), leaf_,
+                 static_cast<std::uint8_t>(tier));
 }
 
 std::int64_t
@@ -54,7 +122,7 @@ Scheduler::openLedgerEntry(const Demand &d)
                  key.src, key.dst, key.id, key.response,
                  inserted ? trace::Detail::None
                           : trace::Detail::EvictedPredecessor,
-                 d.remaining);
+                 d.remaining, leaf_);
 }
 
 bool
@@ -183,8 +251,10 @@ Scheduler::runMatching()
             std::int64_t prio;
         };
         std::vector<Candidate> candidates;
-        for (NodeId d = 0; d < cfg_.num_nodes; ++d) {
+        for (NodeId d = dst_lo_; d < dst_hi_; ++d) {
             if (dst_busy_[d])
+                continue;
+            if (topo_ && remote_dst_busy_until_[d] > events_.now())
                 continue;
             const auto *entry = queues_[d]->peekIf(
                 [&](const Demand &dem) {
@@ -197,6 +267,28 @@ Scheduler::runMatching()
                     // interleave freely).
                     if (dem.buffered_request && dst_busy_[dem.src])
                         return false;
+                    if (topo_) {
+                        // Sharded eligibility: respect reservations
+                        // other shards announced, and require the trunk
+                        // lanes a cross-leaf flow traverses to be free.
+                        if (remote_src_busy_until_[dem.src] >
+                            events_.now())
+                            return false;
+                        if (topo_->leafOf(dem.src) != leaf_) {
+                            const std::size_t lane = topo_->ecmpLane(
+                                dem.src, dem.dst, dem.id, dem.response);
+                            // Granted data descends our down lane...
+                            if (lane_busy_until_[1][lane] >
+                                events_.now())
+                                return false;
+                            // ...and a request forward first ascends
+                            // our up lane toward the memory node.
+                            if (dem.buffered_request &&
+                                lane_busy_until_[0][lane] >
+                                    events_.now())
+                                return false;
+                        }
+                    }
                     return true;
                 });
             if (entry) {
@@ -265,7 +357,7 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
         if (auto *log = cfg_.event_log)
             log->log(trace::EventType::GrantDropped, events_.now(),
                      dst_port, d.src, d.dst, d.id, d.response,
-                     trace::Detail::Suppressed, d.remaining);
+                     trace::Detail::Suppressed, d.remaining, leaf_);
         retirePairEntry(d);
         return;
     }
@@ -288,6 +380,19 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
                              dst_busy_[mem_port] = false;
                              scheduleMatching();
                          });
+        if (isCrossLeaf(d)) {
+            // The forward ascends our up lane toward the spine; the
+            // memory node's shard learns of its downlink reservation
+            // one trunk traversal later.
+            const Picoseconds fwd_release =
+                when + requestForwardOccupancy(cfg_, req);
+            const std::size_t lane =
+                topo_->ecmpLane(d.src, d.dst, d.id, d.response);
+            raiseBusyUntil(lane_busy_until_[0], lane, fwd_release);
+            if (note_sink_)
+                note_sink_(topo_->leafOf(mem_port), mem_port, lane,
+                           fwd_release, /*dst_side=*/true);
+        }
         action.forward_request = std::move(d.buffered_request);
         d.buffered_request.reset();
     } else {
@@ -328,7 +433,29 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
                  d.dst, d.id, d.response,
                  action.forward_request ? trace::Detail::RequestForward
                                         : trace::Detail::None,
-                 l);
+                 l, leaf_);
+
+    if (isCrossLeaf(d)) {
+        // Granted data descends our down lane; the sender's shard
+        // learns of its uplink reservation one trunk traversal later.
+        const std::size_t lane =
+            topo_->ecmpLane(d.src, d.dst, d.id, d.response);
+        raiseBusyUntil(lane_busy_until_[1], lane, when + occupancy);
+        if (note_sink_)
+            note_sink_(topo_->leafOf(d.src), d.src, lane,
+                       when + occupancy, /*dst_side=*/false);
+    }
+    if (topo_) {
+        // Per-tier occupancy accounting (docs/TOPOLOGY.md): edge tiers
+        // carry the full grant charge; cross-leaf chunks additionally
+        // occupy a trunk lane and the spine for the same line-time.
+        chargeTier(LinkTier::LeafIngress, d, l, frame_active, when);
+        if (isCrossLeaf(d)) {
+            chargeTier(LinkTier::Trunk, d, l, false, when);
+            chargeTier(LinkTier::Spine, d, l, false, when);
+        }
+        chargeTier(LinkTier::LeafEgress, d, l, frame_active, when);
+    }
 
     d.remaining -= l;
     if (d.remaining > 0) {
@@ -383,7 +510,7 @@ Scheduler::onChunkForwarded(NodeId src, NodeId dst, MsgId id,
     if (auto *log = cfg_.event_log)
         log->log(trace::EventType::LedgerRetire, events_.now(), dst,
                  src, dst, id, response, trace::Detail::None,
-                 it->second.observed);
+                 it->second.observed, leaf_);
     ledger_.erase(it);
     if (cfg_.strict_grant_accounting)
         reclaimQueuedDemand(key);
@@ -414,7 +541,7 @@ Scheduler::abortPort(NodeId port)
         if (auto *log = cfg_.event_log)
             log->log(trace::EventType::LedgerAbort, events_.now(), port,
                      key.src, key.dst, key.id, key.response,
-                     trace::Detail::None, stale);
+                     trace::Detail::None, stale, leaf_);
         if (cfg_.strict_grant_accounting)
             reclaimQueuedDemand(key);
         if (abort_sink_)

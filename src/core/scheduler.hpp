@@ -13,11 +13,23 @@
  * (§3.1.2); a maximal matching takes ~log2(N) iterations. A grant for l
  * bytes marks both ports busy and releases them l/B later (§3.1.1 step 7)
  * so consecutive chunks arrive back-to-back at the switch.
+ *
+ * Leaf-spine sharding (PR 9, docs/TOPOLOGY.md): under a multi-tier
+ * topology each leaf switch owns one Scheduler *shard*. A shard runs
+ * the full matching machinery but proposes only for its own hosts'
+ * downlinks ([dst_lo_, dst_hi_)); remote ports it has granted are
+ * tracked in its local busy vectors as before, while reservations made
+ * by *other* shards arrive as coordination notes one trunk traversal
+ * later and land in busy-until tables (remote_src/dst_busy_until_,
+ * trunk lane timers) that phase 1 additionally consults. With a null
+ * topology every new table is empty and every new check short-circuits,
+ * reproducing single-switch schedules bit-exactly.
  */
 
 #ifndef EDM_CORE_SCHEDULER_HPP
 #define EDM_CORE_SCHEDULER_HPP
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -27,11 +39,16 @@
 
 #include "core/config.hpp"
 #include "core/message.hpp"
+#include "core/occupancy.hpp"
 #include "core/wire.hpp"
 #include "hw/ordered_list.hpp"
 #include "sim/event_queue.hpp"
 
 namespace edm {
+namespace net {
+class Topology;
+} // namespace net
+
 namespace core {
 
 /** A grant decision handed to the switch datapath for delivery. */
@@ -143,7 +160,28 @@ class Scheduler
      */
     using AbortSink = std::function<void(const FlowKey &)>;
 
-    Scheduler(const EdmConfig &cfg, EventQueue &events, GrantSink sink);
+    /**
+     * Cross-shard coordination note (leaf-spine only): this shard just
+     * reserved @p port's uplink for granted data (@p dst_side false) or
+     * its downlink for a request forward (@p dst_side true) until
+     * @p release, over trunk lane @p lane. The fabric delivers the note
+     * to shard @p leaf one trunk traversal later, where it lands as
+     * noteRemoteGrant() resp. noteRemoteForward().
+     */
+    using RemoteNoteSink =
+        std::function<void(std::uint16_t leaf, NodeId port,
+                           std::size_t lane, Picoseconds release,
+                           bool dst_side)>;
+
+    /**
+     * @p topo / @p leaf make this instance one leaf's scheduler shard:
+     * it proposes only for that leaf's hosts and coordinates cross-leaf
+     * reservations via the note sink. Defaults construct the classic
+     * whole-fabric scheduler (and edm_model's flow-level clone).
+     */
+    Scheduler(const EdmConfig &cfg, EventQueue &events, GrantSink sink,
+              const net::Topology *topo = nullptr,
+              std::uint16_t leaf = 0);
 
     /** Install the frame-backlog probe (see FrameActivityProbe). */
     void
@@ -158,6 +196,29 @@ class Scheduler
     {
         abort_sink_ = std::move(sink);
     }
+
+    /** Install the cross-shard note sink (see RemoteNoteSink). */
+    void
+    setRemoteNoteSink(RemoteNoteSink sink)
+    {
+        note_sink_ = std::move(sink);
+    }
+
+    /**
+     * A remote shard granted local host @p src's uplink until
+     * @p release (data heading up trunk lane @p lane). Arrives one
+     * trunk traversal after the grant was issued.
+     */
+    void noteRemoteGrant(NodeId src, std::size_t lane,
+                         Picoseconds release);
+
+    /**
+     * A remote shard forwarded a buffered RREQ/RMWREQ to local host
+     * @p dst, reserving its downlink until @p release (the request
+     * arrives down trunk lane @p lane).
+     */
+    void noteRemoteForward(NodeId dst, std::size_t lane,
+                           Picoseconds release);
 
     /**
      * Register an explicit WREQ demand (arrival of an /N/ block).
@@ -227,6 +288,16 @@ class Scheduler
     /** Average PIM iterations per matching pass (statistics). */
     double avgIterations() const;
 
+    /**
+     * Picoseconds of occupancy this shard charged per link tier
+     * (LinkTier codes index the array; all zero outside leaf-spine).
+     */
+    const std::array<std::uint64_t, kNumLinkTiers> &
+    tierChargedPs() const
+    {
+        return tier_charged_ps_;
+    }
+
   private:
     struct Demand
     {
@@ -250,6 +321,15 @@ class Scheduler
     GrantSink sink_;
     FrameActivityProbe frame_probe_;
     AbortSink abort_sink_;
+    RemoteNoteSink note_sink_;
+
+    /** Null = whole-fabric scheduler; set = one leaf's shard. */
+    const net::Topology *topo_ = nullptr;
+    std::uint16_t leaf_ = 0;
+
+    /** Destination ports this shard proposes for: [dst_lo_, dst_hi_). */
+    NodeId dst_lo_ = 0;
+    NodeId dst_hi_ = 0;
 
     std::vector<std::unique_ptr<Queue>> queues_; ///< one per dst port
     // Uplink (source) and downlink (destination) reservations are
@@ -257,6 +337,18 @@ class Scheduler
     // (full duplex); PIM matches switch ingresses to egresses.
     std::vector<bool> src_busy_;
     std::vector<bool> dst_busy_;
+
+    // Leaf-spine remote views (empty / never consulted when topo_ is
+    // null). Busy-until timestamps rather than bools: notes arrive one
+    // trunk traversal after the remote decision, so a stale release
+    // must be recognizable (entry > now means busy, no unset needed).
+    std::vector<Picoseconds> remote_src_busy_until_;
+    std::vector<Picoseconds> remote_dst_busy_until_;
+
+    /** Trunk lane busy timers: [0]=up (leaf->spine), [1]=down. */
+    std::array<std::vector<Picoseconds>, 2> lane_busy_until_;
+
+    std::array<std::uint64_t, kNumLinkTiers> tier_charged_ps_{};
 
     /** Earliest live seq per (src,dst) pair, for in-order service. */
     std::map<std::pair<NodeId, NodeId>, std::vector<std::uint64_t>> pairs_;
@@ -294,6 +386,21 @@ class Scheduler
     void openLedgerEntry(const Demand &d);
     /** Drop a retired flow's queued demand (strict mode). */
     void reclaimQueuedDemand(const FlowKey &key);
+
+    /** True when demand @p d's data sender sits on another leaf. */
+    bool isCrossLeaf(const Demand &d) const;
+
+    /**
+     * Raise a busy-until entry to @p release and schedule a matching
+     * wake-up at the release time (stale wake-ups — a later note raised
+     * the entry further — fire as no-ops).
+     */
+    void raiseBusyUntil(std::vector<Picoseconds> &table, std::size_t idx,
+                        Picoseconds release);
+
+    /** Charge one tier's occupancy: stats + TierCharge log record. */
+    void chargeTier(LinkTier tier, const Demand &d, Bytes chunk,
+                    bool frame_active, Picoseconds when);
 };
 
 } // namespace core

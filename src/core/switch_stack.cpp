@@ -3,14 +3,17 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "net/topology.hpp"
 #include "trace/event_log.hpp"
 
 namespace edm {
 namespace core {
 
 SwitchStack::SwitchStack(const EdmConfig &cfg, EventQueue &events,
-                         TxWork on_tx_work)
-    : cfg_(cfg), events_(events), on_tx_work_(std::move(on_tx_work))
+                         TxWork on_tx_work, const net::Topology *topo,
+                         std::uint16_t leaf)
+    : cfg_(cfg), events_(events), on_tx_work_(std::move(on_tx_work)),
+      topo_(topo), leaf_(leaf)
 {
     EDM_ASSERT(on_tx_work_, "switch needs a TX-work callback");
     ports_.reserve(cfg_.num_nodes);
@@ -20,7 +23,14 @@ SwitchStack::SwitchStack(const EdmConfig &cfg, EventQueue &events,
         ports_.back()->staged.resize(cfg_.num_nodes + 1);
     }
     scheduler_ = std::make_unique<Scheduler>(
-        cfg_, events_, [this](const GrantAction &a) { onGrantAction(a); });
+        cfg_, events_, [this](const GrantAction &a) { onGrantAction(a); },
+        topo_, leaf_);
+}
+
+bool
+SwitchStack::remoteLeaf(NodeId port) const
+{
+    return topo_ && topo_->leafOf(port) != leaf_;
 }
 
 phy::PreemptionMux &
@@ -68,8 +78,16 @@ SwitchStack::onGrantAction(const GrantAction &action)
         // multi-block message, so it claims the egress stream like any
         // virtual circuit (pseudo-ingress: the scheduler itself).
         ++stats_.requests_forwarded;
-        const auto blocks = serialize(*action.forward_request);
         const NodeId target = action.target;
+        if (remoteLeaf(target)) {
+            // The memory node hangs off another leaf: the request rides
+            // a trunk lane and claims the egress stream over there,
+            // under *that* leaf's scheduler pseudo-ingress epoch.
+            hooks_.route_request(target, *action.forward_request,
+                                 cycles(cfg_.costs.sw_forward));
+            return;
+        }
+        const auto blocks = serialize(*action.forward_request);
         const std::uint64_t seq = ++sched_fwd_seq_;
         events_.scheduleAfter(cycles(cfg_.costs.sw_forward),
                               [this, target, seq, blocks] {
@@ -82,6 +100,13 @@ SwitchStack::onGrantAction(const GrantAction &action)
         EDM_ASSERT(action.grant_block.has_value(),
                    "grant action with neither request nor /G/");
         ++stats_.grants_sent;
+        if (remoteLeaf(action.target)) {
+            hooks_.route_grant(action.target,
+                               makeGrant(*action.grant_block),
+                               cycles(cfg_.costs.sw_pim_iteration +
+                                      cfg_.costs.sw_gen_grant));
+            return;
+        }
         // One visible PIM iteration + grant generation (§3.2.2).
         emitToEgress(action.target, {makeGrant(*action.grant_block)},
                      cycles(cfg_.costs.sw_pim_iteration +
@@ -96,10 +121,31 @@ SwitchStack::forwardBlock(NodeId ingress, Port &port,
     ++stats_.blocks_forwarded;
     const NodeId egress = port.egress_port;
     const std::uint64_t seq = port.fwd_seq;
+    if (remoteLeaf(egress)) {
+        hooks_.route_block(egress, ingress, seq, block,
+                           cycles(cfg_.costs.sw_forward));
+        return;
+    }
     events_.scheduleAfter(cycles(cfg_.costs.sw_forward),
                           [this, egress, ingress, seq, block] {
                               egressAccept(egress, ingress, seq, block);
                           });
+}
+
+void
+SwitchStack::noteChunkForwarded(NodeId src, NodeId dst, MsgId id,
+                                bool response, Bytes bytes,
+                                bool last_chunk)
+{
+    // The demand's shard is the receiver's leaf; a chunk transiting a
+    // different leaf reports its lifecycle across the trunk.
+    if (remoteLeaf(dst)) {
+        hooks_.route_chunk_note(src, dst, id, response, bytes,
+                                last_chunk);
+        return;
+    }
+    scheduler_->onChunkForwarded(src, dst, id, response, bytes,
+                                 last_chunk);
 }
 
 void
@@ -276,6 +322,15 @@ SwitchStack::rxBlock(NodeId ingress, const phy::PhyBlock &block)
           case phy::BlockType::Notify: {
             ++stats_.notify_blocks;
             const ControlInfo n = unpackControl(block.controlPayload());
+            if (remoteLeaf(n.dst)) {
+                // The demand queue for n.dst lives on its leaf's shard;
+                // the /N/ pays classification + insert there, after one
+                // trunk traversal.
+                hooks_.route_notify(n,
+                                    cycles(cfg_.costs.sw_classify +
+                                           cfg_.costs.sw_insert_notif));
+                return;
+            }
             // Classification + ordered-list insert.
             events_.scheduleAfter(cycles(cfg_.costs.sw_classify +
                                          cfg_.costs.sw_insert_notif),
@@ -312,9 +367,9 @@ SwitchStack::rxBlock(NodeId ingress, const phy::PhyBlock &block)
             if (hdr.type == MemMsgType::RRES) {
                 port.egress_port = hdr.dst;
                 ++port.fwd_seq;
-                scheduler_->onChunkForwarded(hdr.src, hdr.dst, hdr.id,
-                                             /*response=*/true, hdr.len,
-                                             hdr.last_chunk);
+                noteChunkForwarded(hdr.src, hdr.dst, hdr.id,
+                                   /*response=*/true, hdr.len,
+                                   hdr.last_chunk);
                 forwardBlock(ingress, port, block);
             } else {
                 EDM_WARN("unexpected /MST/ type %d on port %u",
@@ -343,9 +398,9 @@ SwitchStack::rxBlock(NodeId ingress, const phy::PhyBlock &block)
                 port.forwarding = false;
                 MemMessage hdr;
                 unpackHeader(port.fwd_hdr56, hdr);
-                scheduler_->onChunkForwarded(hdr.src, hdr.dst, hdr.id,
-                                             hdr.type == MemMsgType::RRES,
-                                             hdr.len, hdr.last_chunk);
+                noteChunkForwarded(hdr.src, hdr.dst, hdr.id,
+                                   hdr.type == MemMsgType::RRES,
+                                   hdr.len, hdr.last_chunk);
                 forwardBlock(ingress, port, block);
             } else {
                 EDM_WARN("/MT/ without stream on port %u", ingress);
@@ -406,9 +461,16 @@ SwitchStack::rxBlockTrain(NodeId ingress, const phy::PhyBlock *blocks,
         stats_.blocks_forwarded += count;
         const NodeId egress = port.egress_port;
         const std::uint64_t seq = port.fwd_seq;
-        Port &ep = *ports_[egress];
         const Picoseconds first_avail =
             first_at + cycles(cfg_.costs.sw_forward);
+        if (remoteLeaf(egress)) {
+            hooks_.route_run(
+                egress, ingress, seq,
+                std::vector<phy::PhyBlock>(blocks, blocks + count),
+                first_avail, stride);
+            return;
+        }
+        Port &ep = *ports_[egress];
         if (ep.stream_owner == ingress && ep.owner_seq == seq) {
             // Cut through with each block's true arrival instant: the
             // egress mux is handed the whole train early, but block i
@@ -487,16 +549,109 @@ SwitchStack::floodFrame(NodeId ingress, std::vector<phy::PhyBlock> frame)
     ++stats_.frames_flooded;
     if (auto *log = cfg_.event_log)
         log->log(trace::EventType::FrameFlood, events_.now(), ingress,
-                 ingress, 0, 0, false, trace::Detail::None, frame.size());
+                 ingress, 0, 0, false, trace::Detail::None, frame.size(),
+                 leaf_);
+    if (topo_)
+        // Replicate across the trunk: every other leaf appends the
+        // frame to its own hosts' backlogs after the same forwarding
+        // pipeline plus one trunk traversal (added by the fabric).
+        hooks_.route_flood(frame, cfg_.l2_pipeline);
     events_.scheduleAfter(cfg_.l2_pipeline,
                           [this, ingress, frame = std::move(frame)] {
-        for (NodeId p = 0; p < ports_.size(); ++p) {
+        NodeId lo = 0;
+        auto hi = static_cast<NodeId>(ports_.size());
+        if (topo_) {
+            // Only this leaf's hosts flood locally; remote ports' muxes
+            // are drained by their own leaf (fed via route_flood).
+            const auto range = topo_->hostsOfLeaf(leaf_);
+            lo = range.first;
+            hi = range.second;
+        }
+        for (NodeId p = lo; p < hi; ++p) {
             if (p == ingress)
                 continue;
             ports_[p]->frame_backlog.append(frame.data(), frame.size());
             on_tx_work_(p);
         }
     });
+}
+
+void
+SwitchStack::deliverGrant(NodeId port, const phy::PhyBlock &grant)
+{
+    EDM_ASSERT(port < ports_.size(), "grant port %u out of range", port);
+    ports_[port]->egress.enqueueMemory(grant, events_.now());
+    ports_[port]->noteDepth();
+    on_tx_work_(port);
+}
+
+void
+SwitchStack::acceptForwardedRequest(NodeId target,
+                                    const MemMessage &request)
+{
+    EDM_ASSERT(target < ports_.size(), "request port %u out of range",
+               target);
+    const auto blocks = serialize(request);
+    const std::uint64_t seq = ++sched_fwd_seq_;
+    for (const auto &b : blocks)
+        egressAccept(target, kSchedulerIngress, seq, b);
+}
+
+void
+SwitchStack::acceptTrunkBlock(NodeId egress, NodeId ingress,
+                              std::uint64_t seq,
+                              const phy::PhyBlock &block)
+{
+    EDM_ASSERT(egress < ports_.size(), "trunk egress %u out of range",
+               egress);
+    egressAccept(egress, ingress, seq, block);
+}
+
+void
+SwitchStack::acceptTrunkRun(NodeId egress, NodeId ingress,
+                            std::uint64_t seq,
+                            const std::vector<phy::PhyBlock> &blocks,
+                            Picoseconds first_avail, Picoseconds stride)
+{
+    EDM_ASSERT(egress < ports_.size(), "trunk egress %u out of range",
+               egress);
+    Port &ep = *ports_[egress];
+    if (ep.stream_owner == ingress && ep.owner_seq == seq) {
+        ep.egress.enqueueMemoryRun(blocks.data(), blocks.size(),
+                                   first_avail, stride);
+        ep.noteDepth();
+        on_tx_work_(egress);
+        return;
+    }
+    // Our /MS/ is still crossing the trunk behind this train, or a
+    // competing stream owns the egress: stage with arrival stamps, as
+    // rxBlockTrain does for a local early train.
+    StagedList &q = ep.staged[stagedIndex(ingress)];
+    EDM_ASSERT(q.empty() || q.back()->at <= first_avail,
+               "trunk train staged out of order");
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        StagedBlock *node = ep.staged_pool.acquire();
+        node->block = blocks[i];
+        node->at = first_avail + static_cast<Picoseconds>(i) * stride;
+        node->seq = seq;
+        q.push_back(node);
+    }
+    ep.staged_count += blocks.size();
+    ep.noteDepth();
+}
+
+void
+SwitchStack::acceptTrunkFlood(const std::vector<phy::PhyBlock> &frame)
+{
+    EDM_ASSERT(topo_, "trunk flood on a single-switch stack");
+    // Every local host receives the replica (the original ingress sits
+    // on another leaf, so there is nothing to exclude); the frame never
+    // re-floods — leaf-to-leaf replication fans out once at the origin.
+    const auto [lo, hi] = topo_->hostsOfLeaf(leaf_);
+    for (NodeId p = lo; p < hi; ++p) {
+        ports_[p]->frame_backlog.append(frame.data(), frame.size());
+        on_tx_work_(p);
+    }
 }
 
 } // namespace core

@@ -67,7 +67,73 @@ class SwitchStack
     /** Invoked with an egress port number whenever its mux gains work. */
     using TxWork = std::function<void(NodeId port)>;
 
-    SwitchStack(const EdmConfig &cfg, EventQueue &events, TxWork on_tx_work);
+    /**
+     * Cross-leaf routing hooks (leaf-spine only, docs/TOPOLOGY.md).
+     * When a port's counterpart lives on another leaf, the stack hands
+     * the block/decision to the fabric instead of acting locally; the
+     * fabric adds the trunk traversal latency and invokes the matching
+     * trunk-side accept method on the destination leaf's stack.
+     * @p local_delay is the switch-internal processing the stack would
+     * have charged before acting (classify, forward crossing, grant
+     * generation) — the fabric schedules at now + local_delay + trunk.
+     */
+    struct TrunkHooks
+    {
+        /** /G/ for a host on another leaf -> deliverGrant there. */
+        std::function<void(NodeId target, const phy::PhyBlock &grant,
+                           Picoseconds local_delay)>
+            route_grant;
+
+        /** Buffered RREQ/RMWREQ forward -> acceptForwardedRequest. */
+        std::function<void(NodeId target, const MemMessage &request,
+                           Picoseconds local_delay)>
+            route_request;
+
+        /** One cut-through stream block -> acceptTrunkBlock. */
+        std::function<void(NodeId egress, NodeId ingress,
+                           std::uint64_t seq, const phy::PhyBlock &block,
+                           Picoseconds local_delay)>
+            route_block;
+
+        /** A mid-stream data train -> acceptTrunkRun. */
+        std::function<void(NodeId egress, NodeId ingress,
+                           std::uint64_t seq,
+                           std::vector<phy::PhyBlock> blocks,
+                           Picoseconds first_avail, Picoseconds stride)>
+            route_run;
+
+        /** /N/ owned by another leaf's shard -> addWriteDemand there. */
+        std::function<void(const ControlInfo &notify,
+                           Picoseconds local_delay)>
+            route_notify;
+
+        /** Chunk-lifecycle report owned by another leaf's shard. */
+        std::function<void(NodeId src, NodeId dst, MsgId id,
+                           bool response, Bytes bytes, bool last_chunk)>
+            route_chunk_note;
+
+        /** L2 flood replica for every other leaf -> acceptTrunkFlood. */
+        std::function<void(std::vector<phy::PhyBlock> frame,
+                           Picoseconds local_delay)>
+            route_flood;
+    };
+
+    /**
+     * @p topo / @p leaf make this stack one leaf switch of a multi-tier
+     * fabric: its scheduler becomes that leaf's shard and every
+     * cross-leaf action detours through the trunk hooks. Defaults
+     * construct the classic whole-fabric switch.
+     */
+    SwitchStack(const EdmConfig &cfg, EventQueue &events, TxWork on_tx_work,
+                const net::Topology *topo = nullptr,
+                std::uint16_t leaf = 0);
+
+    /** Install trunk routing (fabric, leaf-spine only). */
+    void
+    setTrunkHooks(TrunkHooks hooks)
+    {
+        hooks_ = std::move(hooks);
+    }
 
     /** Deliver one received block on @p ingress (post PCS-RX). */
     void rxBlock(NodeId ingress, const phy::PhyBlock &block);
@@ -97,6 +163,33 @@ class SwitchStack
      */
     void rxFrameTrain(NodeId ingress, const phy::PhyBlock *blocks,
                       std::size_t count);
+
+    // Trunk-side accept entry points (leaf-spine only): each runs at
+    // the arrival event the fabric scheduled one trunk traversal after
+    // the remote leaf's decision, and performs exactly the local action
+    // the remote stack would have taken on a single switch.
+
+    /** A remote shard's /G/ arrives for local host @p port. */
+    void deliverGrant(NodeId port, const phy::PhyBlock &grant);
+
+    /**
+     * A remote shard's buffered RREQ/RMWREQ arrives for local memory
+     * node @p target. Claims the egress stream under this leaf's own
+     * scheduler pseudo-ingress epoch (remote epochs would collide).
+     */
+    void acceptForwardedRequest(NodeId target, const MemMessage &request);
+
+    /** One stream block from remote @p ingress cuts through here. */
+    void acceptTrunkBlock(NodeId egress, NodeId ingress,
+                          std::uint64_t seq, const phy::PhyBlock &block);
+
+    /** A mid-stream data train from remote @p ingress arrives. */
+    void acceptTrunkRun(NodeId egress, NodeId ingress, std::uint64_t seq,
+                        const std::vector<phy::PhyBlock> &blocks,
+                        Picoseconds first_avail, Picoseconds stride);
+
+    /** A flooded L2 frame replica arrives from another leaf. */
+    void acceptTrunkFlood(const std::vector<phy::PhyBlock> &frame);
 
     /** Egress mux for @p port (drained by the fabric, one block/slot). */
     phy::PreemptionMux &egressMux(NodeId port);
@@ -220,6 +313,12 @@ class SwitchStack
     EdmConfig cfg_;
     EventQueue &events_;
     TxWork on_tx_work_;
+    TrunkHooks hooks_;
+
+    /** Null = whole-fabric switch; set = leaf @p leaf_ of a topology. */
+    const net::Topology *topo_ = nullptr;
+    std::uint16_t leaf_ = 0;
+
     std::vector<std::unique_ptr<Port>> ports_;
     std::unique_ptr<Scheduler> scheduler_;
     SwitchStats stats_;
@@ -244,9 +343,15 @@ class SwitchStack
         return ingress == kSchedulerIngress ? cfg_.num_nodes : ingress;
     }
 
+    /** True when @p port terminates on another leaf switch. */
+    bool remoteLeaf(NodeId port) const;
+
     void onGrantAction(const GrantAction &action);
     void forwardBlock(NodeId ingress, Port &port,
                       const phy::PhyBlock &block);
+    /** Chunk-lifecycle report, routed to the owning shard if remote. */
+    void noteChunkForwarded(NodeId src, NodeId dst, MsgId id,
+                            bool response, Bytes bytes, bool last_chunk);
     void egressAccept(NodeId egress, NodeId ingress, std::uint64_t seq,
                       const phy::PhyBlock &block);
     void stagePush(Port &ep, NodeId ingress, std::uint64_t seq,

@@ -251,6 +251,16 @@ class EventQueue
     /** Next unused sequence number (engine global-cursor seeding). */
     std::uint64_t seqCursor() const { return next_seq_; }
 
+    /**
+     * Raise the queue's own counter to @p v (monotonic). Called when
+     * the engine stops sharing its global cursor so later unshared
+     * schedules cannot reuse already-assigned sequences.
+     */
+    void syncSeqCursor(std::uint64_t v)
+    {
+        next_seq_ = std::max(next_seq_, v);
+    }
+
   private:
     static constexpr std::uint32_t kNpos = 0xFFFFFFFFu;
 

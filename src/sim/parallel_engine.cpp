@@ -52,10 +52,28 @@ ParallelFabricEngine::ParallelFabricEngine(EventQueue &root,
                     std::make_unique<Mailbox>();
     nthreads_ = static_cast<unsigned>(
         clampWorkers(opts.workers, partitions));
+
+    // Outside run() — setup and between horizon-bounded runs — every
+    // queue draws sequences from the one global cursor. Same-timestamp
+    // events scheduled across partitions (a fan-in issued at t=0, say)
+    // then carry globally ordered sequences, so the barrier merge key
+    // (parent_time, parent_seq, ...) reproduces the serial referee's
+    // issuance order exactly. Per-queue local counters would overlap
+    // and make those ties compare arbitrarily against the referee.
+    global_seq_ = root.seqCursor();
+    for (EventQueue *q : queues_)
+        q->shareSeqCounter(&global_seq_);
 }
 
 ParallelFabricEngine::~ParallelFabricEngine()
 {
+    // The root queue outlives the engine: detach it from the global
+    // cursor (and leave its own counter no lower) before the cursor's
+    // storage goes away.
+    for (EventQueue *q : queues_) {
+        q->syncSeqCursor(global_seq_);
+        q->shareSeqCounter(nullptr);
+    }
     if (!threads_.empty()) {
         quit_.store(true, std::memory_order_relaxed);
         go_epoch_.fetch_add(1, std::memory_order_release);
@@ -128,8 +146,15 @@ ParallelFabricEngine::run(Picoseconds horizon)
 {
     EDM_ASSERT(!running_, "ParallelFabricEngine::run re-entered");
     running_ = true;
+    // Windows manage sequence sources themselves (beginWindow resets
+    // the per-queue counter to the cursor; serial windows re-share it),
+    // so detach the setup-time sharing for the duration of the run.
     for (const EventQueue *q : queues_)
         global_seq_ = std::max(global_seq_, q->seqCursor());
+    for (EventQueue *q : queues_) {
+        q->syncSeqCursor(global_seq_);
+        q->shareSeqCounter(nullptr);
+    }
     const std::uint64_t start = eventsExecuted();
 
     for (;;) {
@@ -169,6 +194,10 @@ ParallelFabricEngine::run(Picoseconds horizon)
         }
     }
 
+    // Back to the shared cursor for any scheduling done between
+    // horizon-bounded runs.
+    for (EventQueue *q : queues_)
+        q->shareSeqCounter(&global_seq_);
     running_ = false;
     return eventsExecuted() - start;
 }

@@ -315,6 +315,7 @@ ScenarioSpec::configFor(const ScenarioModeSpec &mode) const
     for (const auto &kv : mode.overrides)
         applyEdmConfigKey(cfg, kv.first, kv.second, error);
     // Keys were validated by loadScenarioSpec; errors cannot occur here.
+    cfg.topology = topology;
     return cfg;
 }
 
@@ -406,6 +407,44 @@ loadScenarioSpec(const std::string &path, ScenarioSpec &spec,
             spec.config.push_back(kv);
         }
     }
+    spec.topology = core::TopologySpec{};
+    if (const ScenarioSection *ts = doc.section("topology")) {
+        for (const auto &kv : ts->entries) {
+            const std::string &k = kv.first;
+            if (k != "tiers" && k != "hosts_per_leaf" &&
+                k != "trunk_width" && k != "ecmp_seed") {
+                error = "unknown [topology] key '" + k + "'";
+                return false;
+            }
+        }
+        const std::string tiers = ts->getString("tiers", "single");
+        if (tiers == "single") {
+            spec.topology.tiers = core::TopologySpec::Tiers::Single;
+        } else if (tiers == "leaf_spine") {
+            spec.topology.tiers = core::TopologySpec::Tiers::LeafSpine;
+        } else {
+            error = "[topology] tiers must be 'single' or 'leaf_spine', "
+                    "got '" + tiers + "'";
+            return false;
+        }
+        const long hpl = ts->getInt("hosts_per_leaf", 0);
+        const long width = ts->getInt("trunk_width", 1);
+        const long seed = ts->getInt("ecmp_seed", 1);
+        if (spec.topology.tiers == core::TopologySpec::Tiers::LeafSpine &&
+            hpl < 1) {
+            error = "[topology] leaf_spine needs hosts_per_leaf >= 1";
+            return false;
+        }
+        if (hpl < 0 || width < 1 || seed < 0) {
+            error = "[topology] values must be non-negative "
+                    "(trunk_width >= 1)";
+            return false;
+        }
+        spec.topology.hosts_per_leaf = static_cast<std::size_t>(hpl);
+        spec.topology.trunk_width = static_cast<std::size_t>(width);
+        spec.topology.ecmp_seed = static_cast<std::uint64_t>(seed);
+    }
+
     spec.faults = FaultCampaignSpec{};
     if (const ScenarioSection *fs = doc.section("faults")) {
         for (const auto &kv : fs->entries) {

@@ -19,6 +19,12 @@
  *   [config]                 # base EdmConfig keys, applied to every mode
  *   max_train_blocks = 64
  *
+ *   [topology]               # fabric wiring (default: single switch)
+ *   tiers = leaf_spine       # or "single"
+ *   hosts_per_leaf = 16
+ *   trunk_width = 4
+ *   ecmp_seed = 7
+ *
  *   [mode strict]            # EdmConfig overlay, one table row per mode
  *   strict_grant_accounting = true
  *
@@ -131,6 +137,9 @@ struct ScenarioSpec
     // ---- interference setup ----
     InterferenceSetup interference;
     int max_frames = 8;
+
+    /** Fabric wiring from [topology] (single switch when absent). */
+    core::TopologySpec topology;
 
     /** Base EdmConfig keys (validated, applied before each mode). */
     std::vector<std::pair<std::string, std::string>> config;

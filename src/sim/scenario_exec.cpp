@@ -94,14 +94,12 @@ runIncastPoint(ScenarioContext &ctx, const IncastPoint &pt,
     ctx.record("offered", static_cast<double>(offered));
     ctx.record("completed", static_cast<double>(completed));
     ctx.record("grants",
-               static_cast<double>(
-                   fab.switchStack().scheduler().grantsIssued()));
+               static_cast<double>(fab.totalGrantsIssued()));
     ctx.record("wasted_slots",
                static_cast<double>(acc.wasted_grant_slots));
     ctx.record("parked", static_cast<double>(acc.grants_parked));
     ctx.record("stranded",
-               static_cast<double>(
-                   fab.switchStack().scheduler().pendingLedgerEntries()));
+               static_cast<double>(fab.totalPendingLedgerEntries()));
     ctx.record("peak_staging",
                static_cast<double>(fab.peakEgressStaging()));
     Samples reads = fab.readLatency();

@@ -39,6 +39,7 @@ toString(EventType type)
     case EventType::FaultRecover: return "fault-recover";
     case EventType::IdWrapStall: return "id-wrap-stall";
     case EventType::FrameFlood: return "frame-flood";
+    case EventType::TierCharge: return "tier-charge";
     }
     return "unknown";
 }
@@ -128,7 +129,8 @@ EventLog::append(const Record &r)
 void
 EventLog::log(EventType type, Picoseconds at, std::uint16_t port,
               std::uint16_t src, std::uint16_t dst, std::uint8_t id,
-              bool response, Detail detail, std::uint64_t arg)
+              bool response, Detail detail, std::uint64_t arg,
+              std::uint8_t sw, std::uint8_t tier)
 {
     Record r;
     r.at = at;
@@ -140,6 +142,8 @@ EventLog::log(EventType type, Picoseconds at, std::uint16_t port,
     r.type = static_cast<std::uint8_t>(type);
     r.flags = response ? kFlagResponse : 0;
     r.detail = static_cast<std::uint8_t>(detail);
+    r.sw = sw;
+    r.tier = tier;
     append(r);
 }
 

@@ -55,6 +55,7 @@ enum class EventType : std::uint8_t
     FaultRecover = 13, ///< fault recovery action; detail says which
     IdWrapStall = 14,  ///< 8-bit id wrapped onto a live message; send stalled
     FrameFlood = 15,   ///< switch flooded an L2 frame (arg=frame blocks)
+    TierCharge = 16,   ///< leaf-spine: tier occupancy charged (arg=ps, tier set)
 };
 
 /** Why (qualifies GrantDropped / LedgerOpen / Train* / FaultRecover). */
@@ -101,7 +102,16 @@ struct Record
     std::uint8_t type = 0;   ///< EventType
     std::uint8_t flags = 0;  ///< kFlag* bits
     std::uint8_t detail = 0; ///< Detail
-    std::uint8_t reserved[6] = {0, 0, 0, 0, 0, 0};
+    /**
+     * Switch (leaf/shard) id of the acting switch and the link tier a
+     * TierCharge record accounts (core::LinkTier codes). Both are 0 on
+     * every record a single-switch fabric emits, and occupy bytes that
+     * were reserved-zero before PR 9 — so version-1 files written
+     * earlier decode identically.
+     */
+    std::uint8_t sw = 0;
+    std::uint8_t tier = 0;
+    std::uint32_t aux = 0; ///< reserved (zero)
 
     EventType eventType() const { return static_cast<EventType>(type); }
     Detail detailCode() const { return static_cast<Detail>(detail); }
@@ -142,11 +152,17 @@ class EventLog
     /** Append one record (fills in nothing — caller sets every field). */
     void append(const Record &r);
 
-    /** Convenience emit; @p port is the acting port. */
+    /**
+     * Convenience emit; @p port is the acting port. @p sw is the
+     * acting switch (leaf) id and @p tier the charged link tier —
+     * both 0 (their historical reserved value) outside leaf-spine
+     * fabrics.
+     */
     void log(EventType type, Picoseconds at, std::uint16_t port,
              std::uint16_t src = 0, std::uint16_t dst = 0,
              std::uint8_t id = 0, bool response = false,
-             Detail detail = Detail::None, std::uint64_t arg = 0);
+             Detail detail = Detail::None, std::uint64_t arg = 0,
+             std::uint8_t sw = 0, std::uint8_t tier = 0);
 
     /** Records appended over the log's lifetime. */
     std::uint64_t totalRecorded() const { return total_; }

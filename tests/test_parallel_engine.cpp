@@ -348,6 +348,102 @@ TEST(ParallelEngine, MultiGroupMapIsWorkerCountInvariant)
                     "multi-group model");
 }
 
+TEST(ParallelEngine, LeafSpineAutoMapIsWorkerCountInvariant)
+{
+    // Leaf-spine topologies derive fabric_partition_map from the
+    // topology — one partition per leaf, hosts co-located with their
+    // leaf switch — so only trunk traffic crosses partitions, all of
+    // it at the fixed trunkLatency() lookahead. The schedule must be
+    // identical for every worker count, and the sample multiset must
+    // match the serial referee.
+    constexpr std::size_t kNodes = 16;
+    auto make = [](int workers) {
+        EdmConfig cfg;
+        cfg.num_nodes = kNodes;
+        cfg.strict_grant_accounting = true;
+        cfg.fabric_workers = workers;
+        cfg.topology.tiers = TopologySpec::Tiers::LeafSpine;
+        cfg.topology.hosts_per_leaf = 4; // 4 leaves
+        cfg.topology.trunk_width = 2;
+        cfg.topology.ecmp_seed = 7;
+        return cfg;
+    };
+    auto runLeafSpine = [](const EdmConfig &cfg) {
+        Simulation sim(11);
+        CycleFabric fab(cfg, sim);
+        driveMixed(fab, kNodes, 2, 6);
+        fab.run();
+        return digestOf(fab, kNodes);
+    };
+    const Digest one = runLeafSpine(make(1));
+    ASSERT_GT(one.reads, 0u);
+    ASSERT_GT(one.writes, 0u);
+    ASSERT_GT(one.rmws, 0u);
+    for (int workers : {2, 4}) {
+        const Digest par = runLeafSpine(make(workers));
+        expectIdentical(one, par,
+                        ("leaf-spine workers=" +
+                         std::to_string(workers)).c_str());
+    }
+    expectSameModel(runLeafSpine(make(0)), one, "leaf-spine model");
+}
+
+TEST(ParallelEngine, LeafSpineIncastMatchesSerialReferee)
+{
+    // Fan-in regression for the per-source-leaf trunk phase skew: a
+    // lockstep incast has every leaf's scheduler shard emitting trunk
+    // traffic toward the victim's leaf on the same cadence, so without
+    // the +l ps skew (CycleFabric::installTrunkHooks) cross-partition
+    // arrivals collide at identical instants and the barrier merge
+    // breaks those ties differently from the serial referee — seen as
+    // diverging grants_parked and read tails at this scale. Mirrors
+    // scenarios/leaf_spine.edm (65 hosts, mixed reads/writes onto
+    // node 0).
+    constexpr std::size_t kNodes = 65;
+    auto runIncast = [](int workers) {
+        EdmConfig cfg;
+        cfg.num_nodes = kNodes;
+        cfg.strict_grant_accounting = true;
+        cfg.fabric_workers = workers;
+        cfg.topology.tiers = TopologySpec::Tiers::LeafSpine;
+        cfg.topology.hosts_per_leaf = 16; // 5 leaves, last one ragged
+        cfg.topology.trunk_width = 4;
+        cfg.topology.ecmp_seed = 7;
+        Simulation sim(11);
+        CycleFabric fab(cfg, sim);
+        fab.host(0).store()->write(
+            0x1000, std::vector<std::uint8_t>(2048, 0xA5));
+        auto issue = std::make_shared<std::function<void(NodeId, int)>>();
+        *issue = [&fab, issue](NodeId from, int left) {
+            if (left <= 0)
+                return;
+            auto next = [issue, from, left] { (*issue)(from, left - 1); };
+            if (left % 3 == 0)
+                fab.write(from, 0, 0x2000 + 0x40 * from,
+                          std::vector<std::uint8_t>(700, 0x5A),
+                          [next](Picoseconds) { next(); });
+            else
+                fab.read(from, 0, 0x1000, 900,
+                         [next](std::vector<std::uint8_t>, Picoseconds,
+                                bool) { next(); });
+        };
+        for (NodeId n = 1; n < kNodes; ++n)
+            for (int c = 0; c < 2; ++c)
+                (*issue)(n, 4);
+        fab.run();
+        EXPECT_EQ(fab.grantAccounting().wasted_grant_slots, 0u);
+        return digestOf(fab, kNodes);
+    };
+    const Digest referee = runIncast(0);
+    ASSERT_GT(referee.reads, 0u);
+    ASSERT_GT(referee.writes, 0u);
+    ASSERT_EQ(referee.reads + referee.writes, (kNodes - 1) * 2 * 4);
+    for (int workers : {1, 2, 4})
+        expectSameModel(referee, runIncast(workers),
+                        ("incast workers=" +
+                         std::to_string(workers)).c_str());
+}
+
 TEST(ParallelEngine, MidStormFaultCampaignBitExactVsReferee)
 {
     constexpr std::size_t kNodes = 5;

@@ -350,5 +350,88 @@ TEST(ScenarioSpecTest, UnknownFaultKeysAreHardErrors)
     std::remove(path.c_str());
 }
 
+TEST(ScenarioSpecTest, TopologySectionParsesAndReachesConfig)
+{
+    const char *text = "[scenario]\nname = ls\nkind = incast\n"
+                       "[sweep]\nn_to_1 = 9\n"
+                       "[topology]\n"
+                       "tiers = leaf_spine\n"
+                       "hosts_per_leaf = 4\n"
+                       "trunk_width = 2\n"
+                       "ecmp_seed = 7\n";
+    const std::string path =
+        std::string(::testing::TempDir()) + "topo.edm";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(text, f);
+    std::fclose(f);
+    ScenarioSpec spec;
+    std::string error;
+    ASSERT_TRUE(loadScenarioSpec(path, spec, error)) << error;
+    std::remove(path.c_str());
+    EXPECT_EQ(spec.topology.tiers, core::TopologySpec::Tiers::LeafSpine);
+    EXPECT_EQ(spec.topology.hosts_per_leaf, 4u);
+    EXPECT_EQ(spec.topology.trunk_width, 2u);
+    EXPECT_EQ(spec.topology.ecmp_seed, 7u);
+    // configFor() carries the wiring into every mode's EdmConfig.
+    ASSERT_FALSE(spec.modes.empty());
+    const core::EdmConfig cfg = spec.configFor(spec.modes.front());
+    EXPECT_EQ(cfg.topology.tiers, core::TopologySpec::Tiers::LeafSpine);
+    EXPECT_EQ(cfg.topology.hosts_per_leaf, 4u);
+    EXPECT_EQ(cfg.topology.trunk_width, 2u);
+    EXPECT_EQ(cfg.topology.ecmp_seed, 7u);
+}
+
+TEST(ScenarioSpecTest, TopologySectionDefaultsToSingleSwitch)
+{
+    const char *text = "[scenario]\nname = x\nkind = incast\n"
+                       "[sweep]\nn_to_1 = 2\n";
+    const std::string path =
+        std::string(::testing::TempDir()) + "notopo.edm";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(text, f);
+    std::fclose(f);
+    ScenarioSpec spec;
+    std::string error;
+    ASSERT_TRUE(loadScenarioSpec(path, spec, error)) << error;
+    std::remove(path.c_str());
+    EXPECT_EQ(spec.topology.tiers, core::TopologySpec::Tiers::Single);
+    const core::EdmConfig cfg = spec.configFor(spec.modes.front());
+    EXPECT_EQ(cfg.topology.tiers, core::TopologySpec::Tiers::Single);
+}
+
+TEST(ScenarioSpecTest, BadTopologySectionsAreHardErrors)
+{
+    const char *bads[] = {
+        // Unknown key.
+        "[scenario]\nname = x\nkind = incast\n[sweep]\nn_to_1 = 2\n"
+        "[topology]\ntiers = leaf_spine\nhosts_per_leaf = 4\nwidth = 2\n",
+        // Bogus tiers value.
+        "[scenario]\nname = x\nkind = incast\n[sweep]\nn_to_1 = 2\n"
+        "[topology]\ntiers = fat_tree\n",
+        // leaf_spine without hosts_per_leaf.
+        "[scenario]\nname = x\nkind = incast\n[sweep]\nn_to_1 = 2\n"
+        "[topology]\ntiers = leaf_spine\n",
+        // trunk_width < 1.
+        "[scenario]\nname = x\nkind = incast\n[sweep]\nn_to_1 = 2\n"
+        "[topology]\ntiers = leaf_spine\nhosts_per_leaf = 4\n"
+        "trunk_width = 0\n",
+    };
+    for (const char *bad : bads) {
+        const std::string path =
+            std::string(::testing::TempDir()) + "badtopo.edm";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs(bad, f);
+        std::fclose(f);
+        ScenarioSpec spec;
+        std::string error;
+        EXPECT_FALSE(loadScenarioSpec(path, spec, error)) << bad;
+        EXPECT_NE(error.find("topology"), std::string::npos) << error;
+        std::remove(path.c_str());
+    }
+}
+
 } // namespace
 } // namespace edm

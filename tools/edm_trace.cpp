@@ -20,10 +20,16 @@
  *                                        fail/failback counts
  *
  * Filters: --type <name> --port N --src N --dst N --id N --response
+ *          --switch N          (leaf switch id; multi-tier topologies)
  *          --from NS --to NS   (times in simulation nanoseconds)
+ *
+ * Leaf-spine logs (docs/TOPOLOGY.md) stamp each record with its switch
+ * id and carry per-tier occupancy charges as tier-charge records;
+ * `summary` rolls those up into a per-switch, per-tier table.
  */
 
 #include <algorithm>
+#include <array>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +40,7 @@
 #include <tuple>
 #include <vector>
 
+#include "core/occupancy.hpp"
 #include "trace/event_log.hpp"
 
 namespace {
@@ -50,6 +57,7 @@ struct Filter
     long src = -1;
     long dst = -1;
     long id = -1;
+    long sw = -1; ///< leaf switch id (record field `sw`)
     bool response_only = false;
     double from_ns = -1;
     double to_ns = -1;
@@ -58,6 +66,8 @@ struct Filter
     pass(const Record &r) const
     {
         if (type >= 0 && r.type != type)
+            return false;
+        if (sw >= 0 && r.sw != sw)
             return false;
         if (port >= 0 && r.port != port)
             return false;
@@ -81,7 +91,7 @@ struct Filter
 int
 typeFromName(const std::string &name)
 {
-    for (int t = 0; t <= 15; ++t)
+    for (int t = 0; t <= 16; ++t)
         if (name == trace::toString(static_cast<EventType>(t)))
             return t;
     return -1;
@@ -111,15 +121,23 @@ flowOf(const Record &r)
 void
 dumpRecord(const Record &r)
 {
-    std::printf("%14.3f ns  port %-4u %-16s %-20s %u->%u id %-3u %s "
-                "arg %" PRIu64 "\n",
-                toNs(r.at), static_cast<unsigned>(r.port),
+    // tier-charge records name their link tier; everything else shows
+    // the owning switch id (0 on single-switch fabrics).
+    char extra[32] = "";
+    if (r.eventType() == EventType::TierCharge)
+        std::snprintf(extra, sizeof(extra), " %s",
+                      core::toString(
+                          static_cast<core::LinkTier>(r.tier)));
+    std::printf("%14.3f ns  sw %-3u port %-4u %-16s %-20s %u->%u id %-3u "
+                "%s arg %" PRIu64 "%s\n",
+                toNs(r.at), static_cast<unsigned>(r.sw),
+                static_cast<unsigned>(r.port),
                 trace::toString(r.eventType()),
                 trace::toString(r.detailCode()),
                 static_cast<unsigned>(r.src),
                 static_cast<unsigned>(r.dst),
                 static_cast<unsigned>(r.id),
-                r.response() ? "rsp" : "req", r.arg);
+                r.response() ? "rsp" : "req", r.arg, extra);
 }
 
 int
@@ -202,6 +220,32 @@ cmdSummary(const std::vector<Record> &recs)
                     toNs(f.last - f.first));
     }
     std::printf("%zu flows\n", flows.size());
+
+    // Per-switch, per-tier occupancy rollup (leaf-spine logs only:
+    // single-switch fabrics emit no tier-charge records).
+    std::map<std::uint8_t, std::array<std::uint64_t,
+                                      core::kNumLinkTiers>> tiers;
+    for (const Record &r : recs)
+        if (r.eventType() == EventType::TierCharge &&
+            r.tier < core::kNumLinkTiers)
+            tiers[r.sw][r.tier] += r.arg;
+    if (!tiers.empty()) {
+        std::printf("\nper-tier occupancy charged (ns):\n");
+        std::printf("%-8s %14s %14s %14s %14s\n", "switch",
+                    "leaf-ingress", "trunk", "spine", "leaf-egress");
+        for (const auto &kv : tiers) {
+            auto ns = [&kv](core::LinkTier t) {
+                return toNs(static_cast<Picoseconds>(
+                    kv.second[static_cast<std::size_t>(t)]));
+            };
+            std::printf("%-8u %14.1f %14.1f %14.1f %14.1f\n",
+                        static_cast<unsigned>(kv.first),
+                        ns(core::LinkTier::LeafIngress),
+                        ns(core::LinkTier::Trunk),
+                        ns(core::LinkTier::Spine),
+                        ns(core::LinkTier::LeafEgress));
+        }
+    }
     return 0;
 }
 
@@ -429,7 +473,8 @@ usage()
         stderr,
         "usage: edm_trace <dump|summary|parked|histo|faults> <file> "
         "[--type NAME] [--port N]\n"
-        "                 [--src N] [--dst N] [--id N] [--response]\n"
+        "                 [--src N] [--dst N] [--id N] [--switch N] "
+        "[--response]\n"
         "                 [--from NS] [--to NS] [--min-ns N]\n");
     return 2;
 }
@@ -471,6 +516,8 @@ main(int argc, char **argv)
             filter.dst = std::atol(v);
         } else if (a == "--id") {
             filter.id = std::atol(v);
+        } else if (a == "--switch") {
+            filter.sw = std::atol(v);
         } else if (a == "--from") {
             filter.from_ns = std::atof(v);
         } else if (a == "--to") {

@@ -20,10 +20,11 @@
 #
 #   --build-dir   CMake build tree holding the binaries (default: build)
 #   --modes       which baseline mode set to refresh (default: all).
-#                   legacy  kGoldenFig6 kGoldenFig8a kGoldenFig8b
-#                           kGoldenClusterSweep
-#                   wire    kGoldenFig8aWire kGoldenClusterSweepWire
-#                           kGoldenChunkSweepWire
+#                   legacy     kGoldenFig6 kGoldenFig8a kGoldenFig8b
+#                              kGoldenClusterSweep
+#                   wire       kGoldenFig8aWire kGoldenClusterSweepWire
+#                              kGoldenChunkSweepWire
+#                   leafspine  kGoldenLeafSpine
 #   --skip-bench  leave the BENCH_*.json snapshots alone
 #
 # Also available as a build target: cmake --build build -t rebaseline
@@ -31,7 +32,7 @@
 set -euo pipefail
 
 BUILD_DIR=build
-MODES=legacy,wire
+MODES=legacy,wire,leafspine
 SKIP_BENCH=0
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -39,8 +40,8 @@ while [[ $# -gt 0 ]]; do
       --modes) MODES=$2; shift 2 ;;
       --skip-bench) SKIP_BENCH=1; shift ;;
       *)
-        echo "usage: $0 [--build-dir <dir>] [--modes legacy,wire]" \
-             "[--skip-bench]" >&2
+        echo "usage: $0 [--build-dir <dir>]" \
+             "[--modes legacy,wire,leafspine] [--skip-bench]" >&2
         exit 2 ;;
     esac
 done
@@ -52,9 +53,13 @@ INC=tests/golden_figs_values.inc
 # Arrays belonging to each mode set.
 LEGACY_ARRAYS="kGoldenFig6 kGoldenFig8a kGoldenFig8b kGoldenClusterSweep"
 WIRE_ARRAYS="kGoldenFig8aWire kGoldenClusterSweepWire kGoldenChunkSweepWire"
+LEAFSPINE_ARRAYS="kGoldenLeafSpine"
 SELECTED=""
 case ",$MODES," in *,legacy,*) SELECTED="$SELECTED $LEGACY_ARRAYS" ;; esac
 case ",$MODES," in *,wire,*) SELECTED="$SELECTED $WIRE_ARRAYS" ;; esac
+case ",$MODES," in
+  *,leafspine,*) SELECTED="$SELECTED $LEAFSPINE_ARRAYS" ;;
+esac
 if [[ -z "$SELECTED" ]]; then
     echo "rebaseline: no known mode in --modes '$MODES'" >&2
     exit 2
@@ -89,13 +94,15 @@ emit_array() { # $1 = file, $2 = array name
 // baseline (per-block fabric emission, pure 4-ary-heap event queue)
 // and bit-frozen since. *Wire arrays: EDM schedules under
 // EdmConfig::wire_charged_occupancy (exact 66-bit block line-time
-// port charges, core/occupancy.hpp).
+// port charges, core/occupancy.hpp). kGoldenLeafSpine: the
+// cluster-scale leaf-spine incast rows of scenarios/leaf_spine.edm
+// (multi-tier topology, sharded scheduler, net/topology.hpp).
 // Regenerate ONLY via the documented pipeline: tools/rebaseline.sh
 // (docs/REBASELINE.md) — it emits the schedule-diff summary reviewers
 // need.
 
 EOF
-    for name in $LEGACY_ARRAYS $WIRE_ARRAYS; do
+    for name in $LEGACY_ARRAYS $WIRE_ARRAYS $LEAFSPINE_ARRAYS; do
         case " $SELECTED " in
           *" $name "*) src="$TMP/new_arrays.inc" ;;
           *) src="$TMP/old.inc" ;;
