@@ -37,6 +37,11 @@
  * >= 1 schedule bit-exact against the fabric_workers = 0 referee
  * (train cap pinned; docs/TOPOLOGY.md).
  *
+ * The fair-share section measures the PR 10 multi-tenant arbitration —
+ * the tenant_isolation pool layout on a 17-node incast with the
+ * hierarchical pool tree off vs on, so the blocks/sec ratio is the
+ * whole per-grant cost of isolation (docs/FAIR_SHARE.md).
+ *
  * Run:   ./build/bench_fabric_hotpath [ops-per-node] [--json <path>]
  */
 
@@ -400,6 +405,70 @@ runChunkSweep(Bytes chunk, std::uint64_t ops_per_node)
     return rs;
 }
 
+/**
+ * Fair-share arbitration overhead (PR 10): the tenant_isolation pool
+ * layout (weighted bulk, rate-limited bulk, latency-sensitive) on a
+ * 17-node incast, with the hierarchical pool tree off vs on. The off
+ * row is the legacy FCFS hot path with the tenants parsed but unused;
+ * the on row pays the vtime scan per grant, so the blocks/sec ratio is
+ * the whole cost of multi-tenant isolation.
+ */
+RunStats
+runFairShare(bool fair, std::uint64_t ops_per_node)
+{
+    constexpr std::size_t kFsNodes = 17;
+    Simulation sim;
+    EdmConfig cfg;
+    cfg.num_nodes = kFsNodes;
+    cfg.link_rate = Gbps{25.0};
+    cfg.strict_grant_accounting = true;
+    cfg.fair_share = fair;
+    cfg.tenants.pools = {{"bulk0", 1, 6, 3.0, 0.0, 1.0, false},
+                         {"bulk1", 7, 12, 1.0, 0.0, 0.4, false},
+                         {"ls", 13, 16, 1.0, 0.2, 1.0, true}};
+    CycleFabric fab(cfg, sim);
+    fab.host(0).store()->write(0x10000,
+                               std::vector<std::uint8_t>(1024, 0x5A));
+
+    RunStats rs;
+    std::vector<std::uint64_t> remaining(kFsNodes, ops_per_node);
+    remaining[0] = 0;
+    std::function<void(NodeId)> issue = [&](NodeId n) {
+        if (remaining[n] == 0)
+            return;
+        --remaining[n];
+        if ((remaining[n] % 3) == 0) {
+            fab.write(n, 0,
+                      0x20000 + static_cast<std::uint64_t>(n) * 0x10000,
+                      std::vector<std::uint8_t>(
+                          700, static_cast<std::uint8_t>(n)),
+                      [&issue, n](Picoseconds) { issue(n); });
+        } else {
+            fab.read(n, 0, 0x10000, 900,
+                     [&issue, n](std::vector<std::uint8_t>, Picoseconds,
+                                 bool) { issue(n); });
+        }
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (NodeId n = 1; n < kFsNodes; ++n)
+        issue(n);
+    fab.run();
+    rs.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    for (NodeId n = 0; n < kFsNodes; ++n) {
+        const auto &st = fab.host(n).stats();
+        rs.blocks += st.mem_blocks_sent + st.mem_blocks_received;
+        rs.completions += st.reads_completed + st.writes_completed;
+    }
+    rs.events = fab.eventsExecuted();
+    rs.end_time = fab.endTime();
+    const Samples &reads = fab.readLatency();
+    rs.read_p99_ns = reads.count() ? reads.percentile(99) : 0.0;
+    return rs;
+}
+
 } // namespace
 
 int
@@ -611,6 +680,45 @@ main(int argc, char **argv)
                      {"end_time_us",
                       static_cast<double>(r.end_time) / 1e6},
                      {"events", static_cast<double>(r.events)}});
+    }
+
+    // ---- PR 10: multi-tenant fair-share arbitration -----------------
+    std::printf("\n=== fair-share arbitration: 17-node tenanted incast, "
+                "pool tree off vs on ===\n\n");
+    std::printf("  %-16s %12s %12s %10s\n", "config", "Mblocks/s",
+                "read p99 ns", "vs off");
+    const RunStats fs_off = runFairShare(false, ops);
+    std::printf("  %-16s %12.2f %12.1f %9s\n", "fairshare-off",
+                static_cast<double>(fs_off.blocks) / fs_off.wall_s / 1e6,
+                fs_off.read_p99_ns, "1.00x");
+    json.record("fairshare-17node", "fairshare-off",
+                {{"blocks_per_sec",
+                  static_cast<double>(fs_off.blocks) / fs_off.wall_s},
+                 {"read_p99_ns", fs_off.read_p99_ns},
+                 {"events", static_cast<double>(fs_off.events)},
+                 {"cost_vs_off", 1.0}});
+    {
+        const RunStats r = runFairShare(true, ops);
+        // Isolation reshuffles the schedule but must not lose work.
+        if (r.completions != fs_off.completions || r.completions == 0) {
+            std::fprintf(stderr,
+                         "FATAL: fairshare-on lost completions "
+                         "(%llu vs %llu)\n",
+                         static_cast<unsigned long long>(r.completions),
+                         static_cast<unsigned long long>(
+                             fs_off.completions));
+            return 1;
+        }
+        const double cost = fs_off.wall_s / r.wall_s;
+        std::printf("  %-16s %12.2f %12.1f %9.2fx\n", "fairshare-on",
+                    static_cast<double>(r.blocks) / r.wall_s / 1e6,
+                    r.read_p99_ns, cost);
+        json.record("fairshare-17node", "fairshare-on",
+                    {{"blocks_per_sec",
+                      static_cast<double>(r.blocks) / r.wall_s},
+                     {"read_p99_ns", r.read_p99_ns},
+                     {"events", static_cast<double>(r.events)},
+                     {"cost_vs_off", cost}});
     }
     return 0;
 }

@@ -56,15 +56,24 @@
  * recovery columns (downed / retried / recovered / abandoned /
  * tt_repair) appended to the table. docs/FAULTS.md documents the
  * model and the metric definitions.
+ *
+ * --tenants replaces the sweep with the noisy-neighbor isolation
+ * table over the scenarios/tenant_isolation.edm pool layout: a solo
+ * latency-sensitive baseline, the legacy free-for-all, and the
+ * hierarchical fair-share row (EdmConfig::fair_share), with per-pool
+ * read-tail columns. docs/FAIR_SHARE.md documents the pool tree.
  */
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
+#include "core/fabric.hpp"
 #include "core/occupancy.hpp"
 #include "sim/scenario_config.hpp"
 #include "sim/scenario_exec.hpp"
@@ -102,6 +111,140 @@ struct Point
     Mode mode;
 };
 
+/**
+ * --tenants: the noisy-neighbor isolation sweep over the
+ * scenarios/tenant_isolation.edm pool layout (docs/FAIR_SHARE.md).
+ *
+ * Three rows on the same 17-node fan-in:
+ *
+ *   solo       only the latency-sensitive pool's four hosts issue —
+ *              the uncontended baseline for the ls read tail.
+ *   legacy     all sixteen clients issue, fair_share off: the ls reads
+ *              queue behind both bulk tenants' traffic.
+ *   fairshare  the hierarchical pool tree arbitrates — ls grants
+ *              bypass, bulk1 hits its rate limit, bulk0 takes the
+ *              weighted remainder.
+ *
+ * Isolation holds when the fairshare ls p99 stays within 2x of solo
+ * while the bulk pools keep the fabric saturated
+ * (tests/test_fair_share.cpp pins the same ratio).
+ */
+int
+runTenantSweep(int rounds)
+{
+    // The scenarios/tenant_isolation.edm pool layout, inline.
+    TenantSpec tenants;
+    tenants.pools.push_back({"bulk0", 1, 6, 3.0, 0.0, 1.0, false});
+    tenants.pools.push_back({"bulk1", 7, 12, 1.0, 0.0, 0.4, false});
+    tenants.pools.push_back({"ls", 13, 16, 1.0, 0.2, 1.0, true});
+    constexpr std::size_t kNodes = 17;
+
+    IncastWorkload wl;
+    wl.chains_per_node = 3;
+
+    std::printf("tenant isolation sweep, %d rounds x %d chains/node, "
+                "mixed %llu B reads / %llu B writes, pools "
+                "bulk0(1-6,w3) bulk1(7-12,limit .4) "
+                "ls(13-16,min .2,bypass)\n\n",
+                rounds, wl.chains_per_node,
+                static_cast<unsigned long long>(wl.read_bytes),
+                static_cast<unsigned long long>(wl.write_bytes));
+
+    ScenarioRunner::Options opts;
+    opts.base_seed = 7;
+    ScenarioRunner runner(opts);
+
+    // solo: only the ls hosts issue — same closed-loop chain shape as
+    // runIncastPoint, restricted to hosts 13..16.
+    runner.add("solo", [rounds, wl, tenants](ScenarioContext &ctx) {
+        EdmConfig cfg;
+        cfg.strict_grant_accounting = true;
+        cfg.tenants = tenants;
+        cfg.num_nodes = kNodes;
+        core::CycleFabric fab(cfg, ctx.sim());
+        long completed = 0;
+        long offered = 0;
+        Samples ls_reads;
+        std::function<void(NodeId, int)> issue = [&](NodeId from,
+                                                     int left) {
+            if (left <= 0)
+                return;
+            if (left % 3 == 0 && wl.write_bytes > 0) {
+                fab.write(from, 0, 0x1000u * from,
+                          std::vector<std::uint8_t>(wl.write_bytes, 1),
+                          [&issue, &completed, from, left](Picoseconds) {
+                              ++completed;
+                              issue(from, left - 1);
+                          });
+            } else {
+                fab.read(from, 0, 0x1000u * from, wl.read_bytes,
+                         [&issue, &completed, &ls_reads, from, left](
+                             std::vector<std::uint8_t>, Picoseconds lat,
+                             bool) {
+                             ++completed;
+                             ls_reads.add(toNs(lat));
+                             issue(from, left - 1);
+                         });
+            }
+        };
+        for (NodeId i = 13; i <= 16; ++i)
+            for (int k = 0; k < wl.chains_per_node; ++k) {
+                issue(i, rounds);
+                offered += rounds;
+            }
+        fab.run();
+        ctx.record("offered", static_cast<double>(offered));
+        ctx.record("completed", static_cast<double>(completed));
+        ctx.record("pool_ls_p50_ns",
+                   ls_reads.count() ? ls_reads.percentile(50) : 0.0);
+        ctx.record("pool_ls_p99_ns",
+                   ls_reads.count() ? ls_reads.percentile(99) : 0.0);
+    });
+    for (const bool fair : {false, true})
+        runner.add(fair ? "fairshare" : "legacy",
+                   [rounds, wl, tenants, fair](ScenarioContext &ctx) {
+                       EdmConfig cfg;
+                       cfg.strict_grant_accounting = true;
+                       cfg.fair_share = fair;
+                       cfg.tenants = tenants;
+                       runIncastPoint(ctx, IncastPoint{"N-to-1", kNodes},
+                                      wl, rounds, cfg, nullptr);
+                   });
+    const auto results = runner.runAll();
+
+    std::printf("  %-10s %8s %9s", "row", "offered", "completed");
+    for (const char *pool : {"bulk0", "bulk1", "ls"})
+        std::printf(" %11s %11s", (std::string(pool) + " p50").c_str(),
+                    (std::string(pool) + " p99").c_str());
+    std::printf("\n");
+    const char *names[] = {"solo", "legacy", "fairshare"};
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        std::printf("  %-10s %8.0f %9.0f", names[i],
+                    r.metricStat("offered").mean(),
+                    r.metricStat("completed").mean());
+        for (const char *pool : {"bulk0", "bulk1", "ls"})
+            std::printf(" %11.1f %11.1f",
+                        r.metricStat("pool_" + std::string(pool) +
+                                     "_p50_ns").mean(),
+                        r.metricStat("pool_" + std::string(pool) +
+                                     "_p99_ns").mean());
+        std::printf("\n");
+    }
+
+    const double solo_p99 = results[0].metricStat("pool_ls_p99_ns").mean();
+    const double legacy_p99 =
+        results[1].metricStat("pool_ls_p99_ns").mean();
+    const double fair_p99 = results[2].metricStat("pool_ls_p99_ns").mean();
+    std::printf("\nls p99 vs solo baseline: legacy %.1fx, fairshare "
+                "%.1fx — the pool tree holds the latency-sensitive "
+                "tail near its uncontended floor while both bulk "
+                "tenants keep the fan-in saturated.\n",
+                solo_p99 > 0 ? legacy_p99 / solo_p99 : 0.0,
+                solo_p99 > 0 ? fair_p99 / solo_p99 : 0.0);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -110,6 +253,7 @@ main(int argc, char **argv)
     int rounds = 20;
     bool quick = false;
     bool storm = false;
+    bool tenants = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
@@ -119,10 +263,15 @@ main(int argc, char **argv)
             storm = true;
             continue;
         }
+        if (std::strcmp(argv[i], "--tenants") == 0) {
+            tenants = true;
+            continue;
+        }
         rounds = std::atoi(argv[i]);
         if (rounds <= 0) {
             std::fprintf(stderr,
-                         "usage: %s [rounds>0] [--quick] [--storm]\n",
+                         "usage: %s [rounds>0] [--quick] [--storm] "
+                         "[--tenants]\n",
                          argv[0]);
             return 2;
         }
@@ -133,6 +282,11 @@ main(int argc, char **argv)
     if (quick)
         rounds = std::max(
             1L, std::lround(rounds * benchScaleEnv(0.5)));
+
+    // --tenants runs its own fixed-shape table (the
+    // scenarios/tenant_isolation.edm workload: 8 rounds, 4 when quick).
+    if (tenants)
+        return runTenantSweep(quick ? 4 : 8);
 
     if (storm)
         std::printf("incast contention stress under a failure storm, "

@@ -106,17 +106,22 @@ runIncast(const ScenarioSpec &spec, bool quick,
     const auto results = runner.runAll();
 
     const bool faults = spec.faults.active;
-    std::printf("  %-11s %6s %-7s %8s %9s %8s %8s %9s %9s %11s",
+    const bool tenanted = spec.tenants.active();
+    std::printf("  %-11s %6s %-9s %8s %9s %8s %8s %9s %9s %11s",
                 "pattern", "nodes", "mode", "offered", "completed",
                 "wasted", "parked", "stranded", "peakstage", "read p99ns");
     if (faults)
         std::printf(" %7s %8s %9s %9s %12s", "downed", "retried",
                     "recovered", "abandoned", "tt_repair ns");
+    if (tenanted)
+        for (const auto &pool : spec.tenants.pools)
+            std::printf(" %11s %11s", (pool.name + " p50").c_str(),
+                        (pool.name + " p99").c_str());
     std::printf("\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
         const IncastRow &row = rows[i];
-        std::printf("  %-11s %6zu %-7s %8.0f %9.0f %8.0f %8.0f %9.0f "
+        std::printf("  %-11s %6zu %-9s %8.0f %9.0f %8.0f %8.0f %9.0f "
                     "%9.0f %11.1f",
                     row.pattern.c_str(), row.nodes, row.mode.c_str(),
                     r.metricStat("offered").mean(),
@@ -133,6 +138,13 @@ runIncast(const ScenarioSpec &spec, bool quick,
                         r.metricStat("recovered").mean(),
                         r.metricStat("abandoned").mean(),
                         r.metricStat("tt_repair_ns").mean());
+        if (tenanted)
+            for (const auto &pool : spec.tenants.pools)
+                std::printf(" %11.1f %11.1f",
+                            r.metricStat("pool_" + pool.name + "_p50_ns")
+                                .mean(),
+                            r.metricStat("pool_" + pool.name + "_p99_ns")
+                                .mean());
         std::printf("\n");
     }
     return 0;

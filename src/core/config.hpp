@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/time.hpp"
@@ -60,6 +61,64 @@ struct TopologySpec
 
     /** Seed mixed into the deterministic ECMP lane hash. */
     std::uint64_t ecmp_seed = 1;
+};
+
+/**
+ * One pool of the hierarchical fair-share tree (PR 10): a named group
+ * of client hosts arbitrated as a unit when `EdmConfig::fair_share` is
+ * on. Shares are fractions of one saturated link's line-time — the
+ * natural unit for the single-bottleneck incasts the isolation suite
+ * exercises; see docs/FAIR_SHARE.md for the share math.
+ */
+struct TenantPoolSpec
+{
+    std::string name;
+
+    /** Client-host range [host_lo, host_hi], inclusive both ends. */
+    std::uint16_t host_lo = 0;
+    std::uint16_t host_hi = 0;
+
+    /** Relative weight for the proportional split among active pools. */
+    double weight = 1.0;
+
+    /** Guaranteed floor (fraction of link line-time), 0 = none. */
+    double min_share = 0.0;
+
+    /** Hard cap (fraction of link line-time), 1 = unlimited. */
+    double limit = 1.0;
+
+    /**
+     * Strict-priority bypass: demands of this pool win arbitration
+     * before any fair-share ranking of the other pools. For small
+     * latency-sensitive tenants whose tail matters more than their
+     * (negligible) bandwidth share.
+     */
+    bool latency_sensitive = false;
+};
+
+/**
+ * The tenant → pool mapping loaded from a scenario's `[tenants]`
+ * section. Hosts not covered by any pool fall into an implicit
+ * `default` pool the FairShareTree appends. Empty (default) means
+ * untenanted: with `fair_share` on the whole fabric is one pool and
+ * arbitration is a no-op.
+ */
+struct TenantSpec
+{
+    std::vector<TenantPoolSpec> pools;
+
+    bool active() const { return !pools.empty(); }
+
+    /** Pool index owning @p host, or -1 (implicit default pool). */
+    int
+    poolOf(std::uint16_t host) const
+    {
+        for (std::size_t i = 0; i < pools.size(); ++i) {
+            if (host >= pools[i].host_lo && host <= pools[i].host_hi)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
 };
 
 /** Host and switch datapath cycle costs (1 cycle = one PCS block slot). */
@@ -241,6 +300,33 @@ struct EdmConfig
      * cluster-scale golden tier.
      */
     TopologySpec topology;
+
+    /**
+     * Hierarchical fair-share grant arbitration (PR 10,
+     * docs/FAIR_SHARE.md). On, each scheduler shard builds a
+     * core::FairShareTree over `tenants` and arbitrates matching by
+     * pool: latency-sensitive pools bypass with strict priority, the
+     * rest are served in virtual-time order with water-filled
+     * weight/min_share/limit shares over ledger-demanded bytes. Off
+     * (default) constructs no tree and reproduces every historical
+     * schedule bit-exactly.
+     */
+    bool fair_share = false;
+
+    /**
+     * Epoch window for per-pool `limit` enforcement, in nanoseconds:
+     * a pool whose charged line-time inside the current window exceeds
+     * limit x window is deferred until the window rolls (the grid is
+     * absolute simulation time, so enforcement is deterministic for
+     * any worker count). Only consulted when fair_share is on.
+     */
+    std::int64_t fair_share_window_ns = 20000;
+
+    /**
+     * Tenant pools for fair_share (loaded from a scenario's [tenants]
+     * section). Empty: one implicit pool, arbitration is a no-op.
+     */
+    TenantSpec tenants;
 
     /**
      * Layer-2 forwarding pipeline latency for coexisting non-memory

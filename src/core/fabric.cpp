@@ -313,18 +313,24 @@ CycleFabric::installTrunkHooks()
         switches_[l]->setTrunkHooks(std::move(hooks));
 
         // Shard-coordination notes (remote src busy / remote dst busy /
-        // lane release) ride the same trunk at the same fixed latency.
+        // lane release, plus the granted flow's fair-share pool id and
+        // line-time charge) ride the same trunk at the same fixed
+        // latency.
         switches_[l]->scheduler().setRemoteNoteSink(
             [this, l, T](std::uint16_t leaf, NodeId port, std::size_t lane,
-                         Picoseconds release, bool dst_side) {
+                         Picoseconds release, bool dst_side, int pool,
+                         Picoseconds charge) {
                 scheduleArrival(
                     leafPart(l), leafPart(leaf), leafQ(l).now() + T,
-                    [this, leaf, port, lane, release, dst_side] {
+                    [this, leaf, port, lane, release, dst_side, pool,
+                     charge] {
                         Scheduler &sch = switches_[leaf]->scheduler();
                         if (dst_side)
                             sch.noteRemoteForward(port, lane, release);
                         else
                             sch.noteRemoteGrant(port, lane, release);
+                        if (charge > 0)
+                            sch.noteRemotePoolCharge(pool, charge);
                     });
             });
     }

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * FairShareTree implementation — see fair_share.hpp for the model and
+ * docs/FAIR_SHARE.md for the share math with worked examples.
+ */
+
+#include "core/fair_share.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace edm {
+namespace core {
+
+namespace {
+
+/** Floor below which an effective share is treated as zero-capacity. */
+constexpr double kShareEpsilon = 1e-9;
+
+} // namespace
+
+FairShareTree::FairShareTree(const EdmConfig &cfg)
+    : window_ps_(cfg.fair_share_window_ns * kNanosecond)
+{
+    EDM_ASSERT(window_ps_ > 0, "fair_share_window_ns must be positive");
+    pools_.reserve(cfg.tenants.pools.size() + 1);
+    for (const auto &spec : cfg.tenants.pools) {
+        Pool p;
+        p.spec = spec;
+        pools_.push_back(std::move(p));
+    }
+    // Implicit default pool for hosts no [tenants] range covers (and
+    // the only pool of an untenanted fair-share run). Weight 1, no
+    // floor, no cap, not latency-sensitive.
+    Pool def;
+    def.spec.name = "default";
+    def.spec.host_lo = 1;
+    def.spec.host_hi = 0; // empty range: reached only via poolOf fallback
+    pools_.push_back(std::move(def));
+}
+
+int
+FairShareTree::poolOf(std::uint16_t host) const
+{
+    for (std::size_t i = 0; i + 1 < pools_.size(); ++i) {
+        const auto &s = pools_[i].spec;
+        if (host >= s.host_lo && host <= s.host_hi)
+            return static_cast<int>(i);
+    }
+    return static_cast<int>(pools_.size()) - 1; // implicit default
+}
+
+void
+FairShareTree::addDemand(int pool, Bytes bytes)
+{
+    auto &p = pools_[static_cast<std::size_t>(pool)];
+    // A pool waking from idle must not spend the virtual time it did
+    // not burn while idle: cap its lag to the busiest peer's clock.
+    if (p.backlog == 0 && bytes > 0)
+        p.vtime = std::max(p.vtime, minActiveVtime());
+    p.backlog += bytes;
+}
+
+void
+FairShareTree::releaseDemand(int pool, Bytes bytes)
+{
+    auto &p = pools_[static_cast<std::size_t>(pool)];
+    p.backlog -= std::min(p.backlog, bytes);
+}
+
+void
+FairShareTree::rollWindow(Pool &p, Picoseconds now)
+{
+    const std::int64_t w = now / window_ps_;
+    if (w != p.window) {
+        p.window = w;
+        p.window_used = 0;
+    }
+}
+
+void
+FairShareTree::chargeGrant(int pool, Bytes granted, Picoseconds line_time,
+                           Picoseconds now)
+{
+    auto &p = pools_[static_cast<std::size_t>(pool)];
+    p.backlog -= std::min(p.backlog, granted);
+    p.granted_bytes += granted;
+    ++p.grants;
+    rollWindow(p, now);
+    p.window_used += line_time;
+    p.used_ps += line_time;
+    p.vtime += static_cast<double>(line_time) /
+        std::max(p.share, kShareEpsilon);
+}
+
+void
+FairShareTree::chargeRemote(int pool, Picoseconds line_time,
+                            Picoseconds now)
+{
+    auto &p = pools_[static_cast<std::size_t>(pool)];
+    rollWindow(p, now);
+    p.window_used += line_time;
+    p.used_ps += line_time;
+    p.vtime += static_cast<double>(line_time) /
+        std::max(p.share, kShareEpsilon);
+}
+
+bool
+FairShareTree::overLimit(int pool, Picoseconds now) const
+{
+    const auto &p = pools_[static_cast<std::size_t>(pool)];
+    if (p.spec.limit >= 1.0)
+        return false;
+    if (p.window != now / window_ps_)
+        return false; // window rolled since the last charge
+    const auto cap = static_cast<Picoseconds>(
+        p.spec.limit * static_cast<double>(window_ps_));
+    return p.window_used >= cap;
+}
+
+Picoseconds
+FairShareTree::windowEnd(Picoseconds now) const
+{
+    return (now / window_ps_ + 1) * window_ps_;
+}
+
+double
+FairShareTree::minActiveVtime() const
+{
+    double lo = 0.0;
+    bool any = false;
+    for (const auto &p : pools_) {
+        if (p.backlog == 0)
+            continue;
+        if (!any || p.vtime < lo) {
+            lo = p.vtime;
+            any = true;
+        }
+    }
+    return any ? lo : 0.0;
+}
+
+void
+FairShareTree::recomputeShares(std::vector<ShareChange> &changed)
+{
+    // Water-filling over the active (demanding) pools, capacity 1.0 of
+    // one link's line-time: start every undetermined pool at its
+    // weight-proportional slice, promote min_share violators to their
+    // floor, demote limit violators to their cap, and redistribute the
+    // remainder among the rest until a pass fixes nothing. Pool-index
+    // order throughout — the fixpoint is unique, the iteration order
+    // only for determinism of the change report.
+    const std::size_t n = pools_.size();
+    std::vector<double> share(n, 0.0);
+    std::vector<int> state(n, 0); // 0 undetermined, 1 fixed, 2 inactive
+    double cap = 1.0;
+    double sum_w = 0.0;
+    std::size_t undetermined = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (pools_[i].backlog == 0) {
+            state[i] = 2;
+            continue;
+        }
+        sum_w += pools_[i].spec.weight;
+        ++undetermined;
+    }
+    while (undetermined > 0) {
+        bool fixed_any = false;
+        for (std::size_t i = 0; i < n && !fixed_any; ++i) {
+            if (state[i] != 0)
+                continue;
+            const auto &s = pools_[i].spec;
+            const double prop = sum_w > 0.0
+                ? std::max(cap, 0.0) * s.weight / sum_w
+                : 0.0;
+            double fix = prop;
+            if (prop < s.min_share)
+                fix = s.min_share;       // floor wins over the cap pool
+            else if (prop > s.limit)
+                fix = s.limit;           // cap returns slack to peers
+            else
+                continue;
+            share[i] = fix;
+            state[i] = 1;
+            cap -= fix;
+            sum_w -= s.weight;
+            --undetermined;
+            fixed_any = true;
+        }
+        if (!fixed_any) {
+            for (std::size_t i = 0; i < n; ++i) {
+                if (state[i] != 0)
+                    continue;
+                share[i] = sum_w > 0.0
+                    ? std::max(cap, 0.0) * pools_[i].spec.weight / sum_w
+                    : 0.0;
+            }
+            break;
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        auto &p = pools_[i];
+        p.share = state[i] == 2 ? 0.0 : share[i];
+        if (state[i] == 2)
+            continue; // idle pools report nothing
+        const auto ppm = static_cast<std::uint32_t>(p.share * 1e6 + 0.5);
+        if (ppm != p.last_ppm) {
+            p.last_ppm = ppm;
+            changed.push_back({static_cast<int>(i), ppm});
+        }
+    }
+}
+
+bool
+FairShareTree::noteDeferred(int pool, Picoseconds now)
+{
+    auto &p = pools_[static_cast<std::size_t>(pool)];
+    const std::int64_t w = now / window_ps_;
+    if (p.deferred_window == w)
+        return false;
+    p.deferred_window = w;
+    return true;
+}
+
+} // namespace core
+} // namespace edm

@@ -32,6 +32,47 @@ Scheduler::Scheduler(const EdmConfig &cfg, EventQueue &events,
         lane_busy_until_[0].assign(topo_->trunkWidth(), 0);
         lane_busy_until_[1].assign(topo_->trunkWidth(), 0);
     }
+    if (cfg_.fair_share)
+        fair_tree_ = std::make_unique<FairShareTree>(cfg_);
+}
+
+int
+Scheduler::poolOfKey(const FlowKey &key) const
+{
+    if (!fair_tree_)
+        return -1;
+    // The tenant of a flow is its *client* host: the writer for WREQ
+    // data (the sender), the reader for RRES data (the receiver).
+    return fair_tree_->poolOf(key.response ? key.dst : key.src);
+}
+
+void
+Scheduler::releaseLedgerBacklog(const FlowKey &key, const LedgerEntry &e)
+{
+    if (!fair_tree_)
+        return;
+    if (e.demanded > e.granted)
+        fair_tree_->releaseDemand(poolOfKey(key), e.demanded - e.granted);
+}
+
+void
+Scheduler::noteRemotePoolCharge(int pool, Picoseconds charge)
+{
+    if (fair_tree_ && pool >= 0)
+        fair_tree_->chargeRemote(pool, charge, events_.now());
+}
+
+void
+Scheduler::refreshPoolShares()
+{
+    share_changes_.clear();
+    fair_tree_->recomputeShares(share_changes_);
+    if (auto *log = cfg_.event_log) {
+        for (const auto &ch : share_changes_)
+            log->log(trace::EventType::PoolShareComputed, events_.now(),
+                     0, 0, 0, 0, false, trace::Detail::None,
+                     ch.share_ppm, leaf_, 0, auxOf(ch.pool));
+    }
 }
 
 bool
@@ -114,15 +155,18 @@ Scheduler::openLedgerEntry(const Demand &d)
         // 8-bit id, or a flow whose completion was never observed). The
         // new demand owns the identity from here on.
         ++ledger_stats_.entries_evicted;
+        releaseLedgerBacklog(key, it->second);
         it->second = LedgerEntry{};
     }
     it->second.demanded = d.remaining;
+    if (fair_tree_)
+        fair_tree_->addDemand(d.pool, d.remaining);
     if (auto *log = cfg_.event_log)
         log->log(trace::EventType::LedgerOpen, events_.now(), key.dst,
                  key.src, key.dst, key.id, key.response,
                  inserted ? trace::Detail::None
                           : trace::Detail::EvictedPredecessor,
-                 d.remaining, leaf_);
+                 d.remaining, leaf_, 0, auxOf(d.pool));
 }
 
 bool
@@ -138,6 +182,9 @@ Scheduler::insertDemand(Demand d)
     // stale). A full queue drops the demand before it owns anything.
     if (q.full())
         return false;
+    if (fair_tree_)
+        d.pool = fair_tree_->poolOf(
+            static_cast<std::uint16_t>(d.response ? d.dst : d.src));
     const std::int64_t prio = priorityOf(d);
     const auto pair_key = std::make_pair(d.src, d.dst);
     const std::uint64_t seq = d.seq;
@@ -239,16 +286,31 @@ Scheduler::runMatching()
     const Picoseconds iter_cost =
         3 * cfg_.schedulerCycle(); // 3 cycles per PIM iteration (§3.1.2)
     int iteration = 0;
+    bool limit_deferred = false;
 
     for (;;) {
+        // Fair share: refresh the water-filled pool shares before each
+        // iteration proposes (grants issued last iteration may have
+        // drained a pool's backlog and changed the active set).
+        if (fair_tree_)
+            refreshPoolShares();
+
         // Phase 1 (request): each free destination port proposes its
-        // highest-priority eligible demand.
+        // highest-priority eligible demand — or, under fair share, the
+        // demand of its most deserving pool (latency-sensitive pools
+        // bypass, the rest in virtual-time order, limit-capped pools
+        // sit out the window).
         struct Candidate
         {
             NodeId dst;
             NodeId src;
             std::uint64_t seq;
             std::int64_t prio;
+            int pool = -1;
+            bool bypass = false;
+            double vt = 0.0;
+            /** Bypass out-ranked a competing non-bypass demand. */
+            bool bypass_decided = false;
         };
         std::vector<Candidate> candidates;
         for (NodeId d = dst_lo_; d < dst_hi_; ++d) {
@@ -256,45 +318,104 @@ Scheduler::runMatching()
                 continue;
             if (topo_ && remote_dst_busy_until_[d] > events_.now())
                 continue;
-            const auto *entry = queues_[d]->peekIf(
-                [&](const Demand &dem) {
-                    if (src_busy_[dem.src] || !isPairHead(dem))
+            const auto eligible = [&](const Demand &dem) {
+                if (src_busy_[dem.src] || !isPairHead(dem))
+                    return false;
+                // A response's first grant is the buffered request
+                // itself — a multi-block message delivered on the
+                // memory node's *downlink*, which therefore must be
+                // free too (unlike single-block /G/ grants, which
+                // interleave freely).
+                if (dem.buffered_request && dst_busy_[dem.src])
+                    return false;
+                if (topo_) {
+                    // Sharded eligibility: respect reservations
+                    // other shards announced, and require the trunk
+                    // lanes a cross-leaf flow traverses to be free.
+                    if (remote_src_busy_until_[dem.src] >
+                        events_.now())
                         return false;
-                    // A response's first grant is the buffered request
-                    // itself — a multi-block message delivered on the
-                    // memory node's *downlink*, which therefore must be
-                    // free too (unlike single-block /G/ grants, which
-                    // interleave freely).
-                    if (dem.buffered_request && dst_busy_[dem.src])
-                        return false;
-                    if (topo_) {
-                        // Sharded eligibility: respect reservations
-                        // other shards announced, and require the trunk
-                        // lanes a cross-leaf flow traverses to be free.
-                        if (remote_src_busy_until_[dem.src] >
+                    if (topo_->leafOf(dem.src) != leaf_) {
+                        const std::size_t lane = topo_->ecmpLane(
+                            dem.src, dem.dst, dem.id, dem.response);
+                        // Granted data descends our down lane...
+                        if (lane_busy_until_[1][lane] >
                             events_.now())
                             return false;
-                        if (topo_->leafOf(dem.src) != leaf_) {
-                            const std::size_t lane = topo_->ecmpLane(
-                                dem.src, dem.dst, dem.id, dem.response);
-                            // Granted data descends our down lane...
-                            if (lane_busy_until_[1][lane] >
+                        // ...and a request forward first ascends
+                        // our up lane toward the memory node.
+                        if (dem.buffered_request &&
+                            lane_busy_until_[0][lane] >
                                 events_.now())
-                                return false;
-                            // ...and a request forward first ascends
-                            // our up lane toward the memory node.
-                            if (dem.buffered_request &&
-                                lane_busy_until_[0][lane] >
-                                    events_.now())
-                                return false;
-                        }
+                            return false;
                     }
-                    return true;
-                });
-            if (entry) {
-                candidates.push_back(Candidate{d, entry->value.src,
-                                               entry->value.seq,
-                                               entry->priority});
+                }
+                return true;
+            };
+            if (!fair_tree_) {
+                const auto *entry = queues_[d]->peekIf(eligible);
+                if (entry) {
+                    candidates.push_back(Candidate{d, entry->value.src,
+                                                   entry->value.seq,
+                                                   entry->priority});
+                }
+                continue;
+            }
+            // Fair-share pick. The queue iterates in priority order, so
+            // the first entry seen for a pool is that pool's best and
+            // ties resolve to the higher legacy priority — keeping the
+            // decision a pure function of queue contents and tree state.
+            const Queue::Entry *best = nullptr;
+            bool best_bypass = false;
+            double best_vt = 0.0;
+            bool saw_normal = false;
+            queues_[d]->forEach([&](const Queue::Entry &e) {
+                const Demand &dem = e.value;
+                if (!eligible(dem))
+                    return;
+                if (fair_tree_->overLimit(dem.pool, events_.now())) {
+                    // The pool spent its window: defer, wake at roll.
+                    limit_deferred = true;
+                    if (fair_tree_->noteDeferred(dem.pool,
+                                                 events_.now())) {
+                        if (auto *log = cfg_.event_log)
+                            log->log(
+                                trace::EventType::GrantDeferredByLimit,
+                                events_.now(), d, dem.src, dem.dst,
+                                dem.id, dem.response,
+                                trace::Detail::None, dem.remaining,
+                                leaf_, 0, auxOf(dem.pool));
+                    }
+                    return;
+                }
+                const bool bypass =
+                    fair_tree_->latencySensitive(dem.pool);
+                if (!bypass)
+                    saw_normal = true;
+                const double vt = fair_tree_->vtime(dem.pool);
+                bool better;
+                if (!best)
+                    better = true;
+                else if (bypass != best_bypass)
+                    better = bypass;
+                else if (bypass)
+                    better = false; // first (highest-prio) bypass wins
+                else
+                    better = vt < best_vt; // ties: first seen wins
+                if (better) {
+                    best = &e;
+                    best_bypass = bypass;
+                    best_vt = vt;
+                }
+            });
+            if (best) {
+                Candidate c{d, best->value.src, best->value.seq,
+                            best->priority};
+                c.pool = best->value.pool;
+                c.bypass = best_bypass;
+                c.vt = best_vt;
+                c.bypass_decided = best_bypass && saw_normal;
+                candidates.push_back(c);
             }
         }
         if (candidates.empty())
@@ -310,12 +431,38 @@ Scheduler::runMatching()
             static_cast<Picoseconds>(iteration - 1) * iter_cost;
 
         // Phase 2 (grant/accept): each source accepts its highest-priority
-        // request (the single-cycle priority-encoder step).
+        // request (the single-cycle priority-encoder step). Under fair
+        // share the same bypass-then-virtual-time order decides.
         std::map<NodeId, Candidate> winner_by_src;
         for (const auto &c : candidates) {
             auto it = winner_by_src.find(c.src);
-            if (it == winner_by_src.end() || c.prio > it->second.prio)
+            if (it == winner_by_src.end()) {
                 winner_by_src[c.src] = c;
+                continue;
+            }
+            Candidate &w = it->second;
+            if (!fair_tree_) {
+                if (c.prio > w.prio)
+                    w = c;
+                continue;
+            }
+            bool take;
+            if (c.bypass != w.bypass)
+                take = c.bypass;
+            else if (c.bypass)
+                take = c.prio > w.prio;
+            else if (c.vt != w.vt)
+                take = c.vt < w.vt;
+            else
+                take = c.prio > w.prio;
+            if (take) {
+                const bool decided =
+                    c.bypass_decided || (c.bypass && !w.bypass);
+                w = c;
+                w.bypass_decided = decided;
+            } else if (w.bypass && !c.bypass) {
+                w.bypass_decided = true;
+            }
         }
 
         // Phase 3 (update): issue grants, mark ports busy.
@@ -333,7 +480,32 @@ Scheduler::runMatching()
                 return false;
             });
             EDM_ASSERT(found, "winner demand vanished from queue");
+            const std::uint64_t before = grants_issued_;
             issueGrant(c.dst, granted, grant_time);
+            if (c.bypass_decided && grants_issued_ > before) {
+                if (auto *log = cfg_.event_log)
+                    log->log(trace::EventType::PriorityBypass,
+                             grant_time, c.dst, granted.src, granted.dst,
+                             granted.id, granted.response,
+                             trace::Detail::None, 0, leaf_, 0,
+                             auxOf(c.pool));
+            }
+        }
+    }
+
+    // A pool deferred by its limit has demand no port release will
+    // re-propose: wake the matcher when the window rolls (stale
+    // wake-ups — a later pass moved the horizon — fire as no-ops).
+    if (fair_tree_ && limit_deferred) {
+        const Picoseconds wake = fair_tree_->windowEnd(events_.now());
+        if (limit_wake_at_ != wake) {
+            limit_wake_at_ = wake;
+            events_.schedule(wake, [this, wake] {
+                if (limit_wake_at_ == wake) {
+                    limit_wake_at_ = -1;
+                    scheduleMatching();
+                }
+            });
         }
     }
 }
@@ -357,7 +529,8 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
         if (auto *log = cfg_.event_log)
             log->log(trace::EventType::GrantDropped, events_.now(),
                      dst_port, d.src, d.dst, d.id, d.response,
-                     trace::Detail::Suppressed, d.remaining, leaf_);
+                     trace::Detail::Suppressed, d.remaining, leaf_, 0,
+                     auxOf(d.pool));
         retirePairEntry(d);
         return;
     }
@@ -391,7 +564,8 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
             raiseBusyUntil(lane_busy_until_[0], lane, fwd_release);
             if (note_sink_)
                 note_sink_(topo_->leafOf(mem_port), mem_port, lane,
-                           fwd_release, /*dst_side=*/true);
+                           fwd_release, /*dst_side=*/true, d.pool,
+                           /*charge=*/0);
         }
         action.forward_request = std::move(d.buffered_request);
         d.buffered_request.reset();
@@ -421,6 +595,16 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
         frame_probe_(d.src, d.dst);
     const Picoseconds occupancy =
         grantOccupancy(cfg_, d.response, l, frame_active);
+    if (fair_tree_) {
+        // Charge the granted data's line-time to the client's pool:
+        // advances its virtual time (the fairness currency) and its
+        // limit window. Backlog shrinks only by ledger-backed bytes —
+        // a legacy over-grant against a retired entry burns bandwidth
+        // but has no demand left to cancel.
+        fair_tree_->chargeGrant(d.pool,
+                                ledger_it != ledger_.end() ? l : 0,
+                                occupancy, events_.now());
+    }
     const NodeId src_port = d.src;
     events_.schedule(when + occupancy, [this, src_port, dst_port] {
         src_busy_[src_port] = false;
@@ -433,17 +617,20 @@ Scheduler::issueGrant(NodeId dst_port, Demand &d, Picoseconds when)
                  d.dst, d.id, d.response,
                  action.forward_request ? trace::Detail::RequestForward
                                         : trace::Detail::None,
-                 l, leaf_);
+                 l, leaf_, 0, auxOf(d.pool));
 
     if (isCrossLeaf(d)) {
         // Granted data descends our down lane; the sender's shard
         // learns of its uplink reservation one trunk traversal later.
+        // The note carries the pool id and the data line-time so the
+        // remote tree books its tenant's cross-leaf consumption.
         const std::size_t lane =
             topo_->ecmpLane(d.src, d.dst, d.id, d.response);
         raiseBusyUntil(lane_busy_until_[1], lane, when + occupancy);
         if (note_sink_)
             note_sink_(topo_->leafOf(d.src), d.src, lane,
-                       when + occupancy, /*dst_side=*/false);
+                       when + occupancy, /*dst_side=*/false, d.pool,
+                       occupancy);
     }
     if (topo_) {
         // Per-tier occupancy accounting (docs/TOPOLOGY.md): edge tiers
@@ -507,10 +694,11 @@ Scheduler::onChunkForwarded(NodeId src, NodeId dst, MsgId id,
     // The message's final chunk is through the switch: the demand's
     // lifecycle ends here, whatever the byte arithmetic says.
     ++ledger_stats_.retired_by_completion;
+    releaseLedgerBacklog(key, it->second);
     if (auto *log = cfg_.event_log)
         log->log(trace::EventType::LedgerRetire, events_.now(), dst,
                  src, dst, id, response, trace::Detail::None,
-                 it->second.observed, leaf_);
+                 it->second.observed, leaf_, 0, auxOf(poolOfKey(key)));
     ledger_.erase(it);
     if (cfg_.strict_grant_accounting)
         reclaimQueuedDemand(key);
@@ -536,12 +724,18 @@ Scheduler::abortPort(NodeId port)
         }
         const FlowKey key = it->first;
         const Bytes stale = it->second.demanded - it->second.observed;
+        // The aborted flow's never-granted bytes leave the pool's
+        // backlog with it — a storm must not inflate a tenant's
+        // apparent demand (and so deflate everyone else's share)
+        // with demand nobody can serve anymore.
+        releaseLedgerBacklog(key, it->second);
         it = ledger_.erase(it);
         ++ledger_stats_.retired_by_abort;
         if (auto *log = cfg_.event_log)
             log->log(trace::EventType::LedgerAbort, events_.now(), port,
                      key.src, key.dst, key.id, key.response,
-                     trace::Detail::None, stale, leaf_);
+                     trace::Detail::None, stale, leaf_, 0,
+                     auxOf(poolOfKey(key)));
         if (cfg_.strict_grant_accounting)
             reclaimQueuedDemand(key);
         if (abort_sink_)

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/fair_share.hpp"
 #include "core/message.hpp"
 #include "core/occupancy.hpp"
 #include "core/wire.hpp"
@@ -166,12 +167,17 @@ class Scheduler
      * its downlink for a request forward (@p dst_side true) until
      * @p release, over trunk lane @p lane. The fabric delivers the note
      * to shard @p leaf one trunk traversal later, where it lands as
-     * noteRemoteGrant() resp. noteRemoteForward().
+     * noteRemoteGrant() resp. noteRemoteForward(). @p pool and
+     * @p charge carry the fair-share tenancy of the decision (pool id
+     * of the granted flow and the line-time charged): the remote shard
+     * books them via noteRemotePoolCharge() so each shard's tree sees
+     * its tenants' cross-leaf consumption too. pool is -1 (and charge
+     * ignored) when fair_share is off.
      */
     using RemoteNoteSink =
         std::function<void(std::uint16_t leaf, NodeId port,
                            std::size_t lane, Picoseconds release,
-                           bool dst_side)>;
+                           bool dst_side, int pool, Picoseconds charge)>;
 
     /**
      * @p topo / @p leaf make this instance one leaf's scheduler shard:
@@ -219,6 +225,14 @@ class Scheduler
      */
     void noteRemoteForward(NodeId dst, std::size_t lane,
                            Picoseconds release);
+
+    /**
+     * A remote shard charged @p charge of line-time to fair-share pool
+     * @p pool on behalf of a cross-leaf grant (carried on the same
+     * coordination note as the busy reservation). No-op when this
+     * shard runs without a fair-share tree or @p pool is -1.
+     */
+    void noteRemotePoolCharge(int pool, Picoseconds charge);
 
     /**
      * Register an explicit WREQ demand (arrival of an /N/ block).
@@ -298,6 +312,12 @@ class Scheduler
         return tier_charged_ps_;
     }
 
+    /**
+     * This shard's fair-share pool tree, or null when
+     * `EdmConfig::fair_share` is off (tests, trace rollups).
+     */
+    const FairShareTree *fairShareTree() const { return fair_tree_.get(); }
+
   private:
     struct Demand
     {
@@ -309,6 +329,7 @@ class Scheduler
         std::uint64_t seq; ///< per-pair FIFO ordering
         bool response = false; ///< RRES demand (grants carry the flag)
         std::optional<MemMessage> buffered_request; ///< RREQ awaiting fwd
+        int pool = -1; ///< fair-share pool of the client host (-1 = off)
     };
 
     using Queue = hw::OrderedList<std::int64_t, Demand>;
@@ -369,6 +390,15 @@ class Scheduler
     std::uint64_t matching_iterations_ = 0;
     bool matching_scheduled_ = false;
 
+    /** Fair-share pool tree (null unless EdmConfig::fair_share). */
+    std::unique_ptr<FairShareTree> fair_tree_;
+
+    /** Pending limit-window wake-up instant (-1 = none scheduled). */
+    Picoseconds limit_wake_at_ = -1;
+
+    /** Scratch for FairShareTree::recomputeShares (avoids churn). */
+    std::vector<FairShareTree::ShareChange> share_changes_;
+
     std::int64_t priorityOf(const Demand &d) const;
     bool insertDemand(Demand d);
     bool isPairHead(const Demand &d) const;
@@ -386,6 +416,29 @@ class Scheduler
     void openLedgerEntry(const Demand &d);
     /** Drop a retired flow's queued demand (strict mode). */
     void reclaimQueuedDemand(const FlowKey &key);
+
+    /** Fair-share pool of the flow's client host (-1 without a tree). */
+    int poolOfKey(const FlowKey &key) const;
+
+    /** Pool id encoded for Record::aux (pool + 1; 0 = no pool). */
+    static std::uint32_t
+    auxOf(int pool)
+    {
+        return static_cast<std::uint32_t>(pool + 1);
+    }
+
+    /**
+     * Return a retiring ledger entry's never-granted remainder to its
+     * pool's backlog accounting (no-op without a tree).
+     */
+    void releaseLedgerBacklog(const FlowKey &key, const LedgerEntry &e);
+
+    /**
+     * Recompute pool shares and log the changed ones, then emit any
+     * first-in-window limit-deferral records observed by the previous
+     * phase-1 scan. Called at each matching iteration's start.
+     */
+    void refreshPoolShares();
 
     /** True when demand @p d's data sender sits on another leaf. */
     bool isCrossLeaf(const Demand &d) const;

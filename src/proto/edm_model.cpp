@@ -145,14 +145,25 @@ EdmFlowModel::deliverChunk(const MsgKey &key, Bytes chunk, Picoseconds at)
         return;
     }
     Active &a = it->second;
+    if (a.delivered >= a.job.size) {
+        // Fully granted but the final chunk is still in flight: a late
+        // over-grant for a message whose id is merely awaiting its
+        // completion event. Stale, like the retired-id case above.
+        ++stale_grants_;
+        return;
+    }
     a.delivered += chunk;
     EDM_ASSERT(a.delivered <= a.job.size, "over-delivery");
     if (a.delivered < a.job.size)
         return;
 
     const Job job = a.job;
-    active_.erase(it);
-    sim_.events().schedule(at, [this, job] {
+    sim_.events().schedule(at, [this, key, job] {
+        // The id stays live until the data lands — HostStack::admit's
+        // wrap guard and this model must agree on when an id retires,
+        // or the two stall at different wrap points (ROADMAP (c);
+        // tests/test_proto.cpp IdLiveUntilCompletionMatchesHostStack).
+        active_.erase(key);
         complete(job, sim_.now() + cfg_.fixed_overhead);
         // Completion frees one slot of the per-pair X budget.
         const PairKey pair{job.src, job.dst};

@@ -298,6 +298,14 @@ applyEdmConfigKey(core::EdmConfig &cfg, const std::string &key,
         if (!parseLong(value, n) || n < 0)
             return bad_value();
         cfg.l2_pipeline = n * kNanosecond;
+    } else if (key == "fair_share") {
+        if (!parseBool(value, b))
+            return bad_value();
+        cfg.fair_share = b;
+    } else if (key == "fair_share_window_ns") {
+        if (!parseLong(value, n) || n < 1)
+            return bad_value();
+        cfg.fair_share_window_ns = n;
     } else {
         error = "unknown EdmConfig key '" + key + "'";
         return false;
@@ -316,6 +324,7 @@ ScenarioSpec::configFor(const ScenarioModeSpec &mode) const
         applyEdmConfigKey(cfg, kv.first, kv.second, error);
     // Keys were validated by loadScenarioSpec; errors cannot occur here.
     cfg.topology = topology;
+    cfg.tenants = tenants;
     return cfg;
 }
 
@@ -443,6 +452,118 @@ loadScenarioSpec(const std::string &path, ScenarioSpec &spec,
         spec.topology.hosts_per_leaf = static_cast<std::size_t>(hpl);
         spec.topology.trunk_width = static_cast<std::size_t>(width);
         spec.topology.ecmp_seed = static_cast<std::uint64_t>(seed);
+    }
+
+    spec.tenants = core::TenantSpec{};
+    if (const ScenarioSection *tn = doc.section("tenants")) {
+        const std::string *names = tn->find("pools");
+        if (!names) {
+            error = "[tenants] needs a 'pools' name list";
+            return false;
+        }
+        std::stringstream ss(*names);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            const std::string name = trim(item);
+            if (name.empty()) {
+                error = "[tenants] pools has an empty name";
+                return false;
+            }
+            if (name == "default") {
+                error = "[tenants] pool name 'default' is reserved";
+                return false;
+            }
+            for (const auto &p : spec.tenants.pools)
+                if (p.name == name) {
+                    error = "[tenants] duplicate pool '" + name + "'";
+                    return false;
+                }
+            core::TenantPoolSpec pool;
+            pool.name = name;
+            spec.tenants.pools.push_back(std::move(pool));
+        }
+        if (spec.tenants.pools.empty()) {
+            error = "[tenants] pools list is empty";
+            return false;
+        }
+        for (const auto &kv : tn->entries) {
+            const std::string &k = kv.first;
+            if (k == "pools")
+                continue;
+            const std::size_t dot = k.find('.');
+            if (dot == std::string::npos) {
+                error = "unknown [tenants] key '" + k + "'";
+                return false;
+            }
+            const std::string pname = k.substr(0, dot);
+            const std::string attr = k.substr(dot + 1);
+            core::TenantPoolSpec *pool = nullptr;
+            for (auto &p : spec.tenants.pools)
+                if (p.name == pname)
+                    pool = &p;
+            if (!pool) {
+                error = "[tenants] key '" + k + "' names a pool not in "
+                        "'pools'";
+                return false;
+            }
+            const std::string &v = kv.second;
+            const auto bad = [&]() {
+                error = "bad value for [tenants] key '" + k + "': '" + v +
+                    "'";
+                return false;
+            };
+            if (attr == "hosts") {
+                const std::size_t dash = v.find('-');
+                long lo = 0;
+                long hi = 0;
+                if (dash == std::string::npos) {
+                    if (!parseLong(trim(v), lo))
+                        return bad();
+                    hi = lo;
+                } else {
+                    if (!parseLong(trim(v.substr(0, dash)), lo) ||
+                        !parseLong(trim(v.substr(dash + 1)), hi))
+                        return bad();
+                }
+                if (lo < 0 || hi < lo || hi > 0xffff) {
+                    error = "[tenants] " + k + " range must satisfy "
+                            "0 <= lo <= hi <= 65535";
+                    return false;
+                }
+                pool->host_lo = static_cast<std::uint16_t>(lo);
+                pool->host_hi = static_cast<std::uint16_t>(hi);
+            } else if (attr == "weight") {
+                double d = 0.0;
+                if (!parseDouble(v, d) || d <= 0.0)
+                    return bad();
+                pool->weight = d;
+            } else if (attr == "min_share") {
+                double d = 0.0;
+                if (!parseDouble(v, d) || d < 0.0 || d > 1.0)
+                    return bad();
+                pool->min_share = d;
+            } else if (attr == "limit") {
+                double d = 0.0;
+                if (!parseDouble(v, d) || d <= 0.0 || d > 1.0)
+                    return bad();
+                pool->limit = d;
+            } else if (attr == "latency_sensitive") {
+                bool b = false;
+                if (!parseBool(v, b))
+                    return bad();
+                pool->latency_sensitive = b;
+            } else {
+                error = "unknown [tenants] pool attribute '" + attr +
+                    "' in '" + k + "'";
+                return false;
+            }
+        }
+        for (const auto &p : spec.tenants.pools)
+            if (p.host_lo == 0 && p.host_hi == 0) {
+                error = "[tenants] pool '" + p.name +
+                    "' needs a 'hosts' range";
+                return false;
+            }
     }
 
     spec.faults = FaultCampaignSpec{};

@@ -25,6 +25,15 @@
  *   trunk_width = 4
  *   ecmp_seed = 7
  *
+ *   [tenants]                # fair-share pools (docs/FAIR_SHARE.md)
+ *   pools = bulk, ls         # pool names; then dotted per-pool keys
+ *   bulk.hosts = 1-12        # client-host range, inclusive
+ *   bulk.weight = 3
+ *   bulk.limit = 0.6
+ *   ls.hosts = 13-16
+ *   ls.min_share = 0.2
+ *   ls.latency_sensitive = true
+ *
  *   [mode strict]            # EdmConfig overlay, one table row per mode
  *   strict_grant_accounting = true
  *
@@ -140,6 +149,9 @@ struct ScenarioSpec
 
     /** Fabric wiring from [topology] (single switch when absent). */
     core::TopologySpec topology;
+
+    /** Fair-share pools from [tenants] (empty when absent). */
+    core::TenantSpec tenants;
 
     /** Base EdmConfig keys (validated, applied before each mode). */
     std::vector<std::pair<std::string, std::string>> config;

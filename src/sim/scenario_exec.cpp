@@ -49,6 +49,12 @@ runIncastPoint(ScenarioContext &ctx, const IncastPoint &pt,
 
     long completed = 0;
     long offered = 0;
+    // Per-pool client-side read latency, attributed to the issuing host
+    // (the ledger's client-of-flow rule). Index pools.size() collects the
+    // implicit default pool for unmapped hosts.
+    const bool tenanted = cfg.tenants.active();
+    std::vector<Samples> pool_reads(
+        tenanted ? cfg.tenants.pools.size() + 1 : 0);
     std::function<void(NodeId, NodeId, int)> issue =
         [&](NodeId from, NodeId to, int left) {
             if (left <= 0)
@@ -63,10 +69,18 @@ runIncastPoint(ScenarioContext &ctx, const IncastPoint &pt,
                           });
             } else {
                 fab.read(from, to, 0x1000u * from, wl.read_bytes,
-                         [&issue, &completed, from, to, left](
-                             std::vector<std::uint8_t>, Picoseconds,
-                             bool) {
+                         [&issue, &completed, &cfg, &pool_reads, tenanted,
+                          from, to, left](std::vector<std::uint8_t>,
+                                          Picoseconds lat, bool) {
                              ++completed;
+                             if (tenanted) {
+                                 const int p = cfg.tenants.poolOf(
+                                     static_cast<std::uint16_t>(from));
+                                 const std::size_t idx = p < 0
+                                     ? cfg.tenants.pools.size()
+                                     : static_cast<std::size_t>(p);
+                                 pool_reads[idx].add(toNs(lat));
+                             }
                              issue(from, to, left - 1);
                          });
             }
@@ -105,6 +119,19 @@ runIncastPoint(ScenarioContext &ctx, const IncastPoint &pt,
     Samples reads = fab.readLatency();
     ctx.record("read_p99",
                reads.count() ? reads.percentile(99) : 0.0);
+    if (tenanted)
+        for (std::size_t p = 0; p < pool_reads.size(); ++p) {
+            const std::string tag = p < cfg.tenants.pools.size()
+                ? cfg.tenants.pools[p].name
+                : std::string("default");
+            const Samples &s = pool_reads[p];
+            ctx.record("pool_" + tag + "_reads",
+                       static_cast<double>(s.count()));
+            ctx.record("pool_" + tag + "_p50_ns",
+                       s.count() ? s.percentile(50) : 0.0);
+            ctx.record("pool_" + tag + "_p99_ns",
+                       s.count() ? s.percentile(99) : 0.0);
+        }
 
     if (campaign) {
         const FaultStats fs = campaign->stats();

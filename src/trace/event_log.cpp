@@ -40,6 +40,9 @@ toString(EventType type)
     case EventType::IdWrapStall: return "id-wrap-stall";
     case EventType::FrameFlood: return "frame-flood";
     case EventType::TierCharge: return "tier-charge";
+    case EventType::PoolShareComputed: return "pool-share-computed";
+    case EventType::GrantDeferredByLimit: return "grant-deferred-by-limit";
+    case EventType::PriorityBypass: return "priority-bypass";
     }
     return "unknown";
 }
@@ -130,7 +133,7 @@ void
 EventLog::log(EventType type, Picoseconds at, std::uint16_t port,
               std::uint16_t src, std::uint16_t dst, std::uint8_t id,
               bool response, Detail detail, std::uint64_t arg,
-              std::uint8_t sw, std::uint8_t tier)
+              std::uint8_t sw, std::uint8_t tier, std::uint32_t aux)
 {
     Record r;
     r.at = at;
@@ -144,6 +147,7 @@ EventLog::log(EventType type, Picoseconds at, std::uint16_t port,
     r.detail = static_cast<std::uint8_t>(detail);
     r.sw = sw;
     r.tier = tier;
+    r.aux = aux;
     append(r);
 }
 

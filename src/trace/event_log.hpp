@@ -56,7 +56,13 @@ enum class EventType : std::uint8_t
     IdWrapStall = 14,  ///< 8-bit id wrapped onto a live message; send stalled
     FrameFlood = 15,   ///< switch flooded an L2 frame (arg=frame blocks)
     TierCharge = 16,   ///< leaf-spine: tier occupancy charged (arg=ps, tier set)
+    PoolShareComputed = 17,    ///< fair share: pool's share changed (arg=ppm)
+    GrantDeferredByLimit = 18, ///< fair share: pool hit its limit window
+    PriorityBypass = 19,       ///< fair share: latency-sensitive pool bypassed
 };
+
+/** Highest EventType value in this format version (name lookups). */
+constexpr int kMaxEventType = 19;
 
 /** Why (qualifies GrantDropped / LedgerOpen / Train* / FaultRecover). */
 enum class Detail : std::uint8_t
@@ -111,7 +117,14 @@ struct Record
      */
     std::uint8_t sw = 0;
     std::uint8_t tier = 0;
-    std::uint32_t aux = 0; ///< reserved (zero)
+    /**
+     * Fair-share pool id plus one (0 = no pool). Stamped on the
+     * fair-share decision records and on GrantIssued / LedgerOpen /
+     * LedgerRetire / LedgerAbort when `EdmConfig::fair_share` is on;
+     * occupies the u32 that was reserved-zero before PR 10, so
+     * version-1 files written earlier decode identically.
+     */
+    std::uint32_t aux = 0;
 
     EventType eventType() const { return static_cast<EventType>(type); }
     Detail detailCode() const { return static_cast<Detail>(detail); }
@@ -156,13 +169,15 @@ class EventLog
      * Convenience emit; @p port is the acting port. @p sw is the
      * acting switch (leaf) id and @p tier the charged link tier —
      * both 0 (their historical reserved value) outside leaf-spine
-     * fabrics.
+     * fabrics. @p aux is the fair-share pool id plus one — 0 (its
+     * historical reserved value) outside fair-share runs.
      */
     void log(EventType type, Picoseconds at, std::uint16_t port,
              std::uint16_t src = 0, std::uint16_t dst = 0,
              std::uint8_t id = 0, bool response = false,
              Detail detail = Detail::None, std::uint64_t arg = 0,
-             std::uint8_t sw = 0, std::uint8_t tier = 0);
+             std::uint8_t sw = 0, std::uint8_t tier = 0,
+             std::uint32_t aux = 0);
 
     /** Records appended over the log's lifetime. */
     std::uint64_t totalRecorded() const { return total_; }

@@ -327,6 +327,36 @@ TEST(EdmFlow, IdWrapStallsInsteadOfMergingOntoLiveId)
     EXPECT_EQ(model.staleGrants(), 0u);
 }
 
+TEST(EdmFlow, IdLiveUntilCompletionMatchesHostStack)
+{
+    // ROADMAP (c): HostStack holds a message id until its data lands;
+    // the flow model used to free the id at final-grant time, so a
+    // wrapped id could relaunch onto a message whose last chunk was
+    // still in flight. Stretch propagation so the granted-to-landed
+    // window is enormous, push all 256 ids through the grant stage
+    // back-to-back (X lifted above 256 so admission never parks on
+    // budget), then offer one more job inside the window: its id wraps
+    // onto id 0, which is fully granted but not yet complete — the
+    // admit guard must stall it until id 0's completion event retires
+    // the live entry.
+    Simulation sim;
+    ClusterConfig cluster = smallCluster(2);
+    cluster.propagation = 100 * kMicrosecond;
+    EdmModelConfig mc;
+    mc.max_notifications = 300; // the id wrap, not the X cap, parks
+    EdmFlowModel model(sim, cluster, mc);
+    for (int i = 0; i < 256; ++i)
+        model.offer(makeJob(static_cast<std::uint64_t>(i), 0, 1, 256, 0));
+    // Demands register at t = 100 us (one hop) and the single-chunk
+    // grants pace out occupancy-limited within ~tens of us; no chunk
+    // lands before grant + 3 hops ~ 400 us. Probe in between.
+    model.offer(makeJob(256, 0, 1, 256, 200 * kMicrosecond));
+    sim.run();
+    EXPECT_EQ(model.idStalls(), 1u);
+    EXPECT_EQ(model.completed(), 257u); // stalled job drains and lands
+    EXPECT_EQ(model.staleGrants(), 0u);
+}
+
 TEST(Ird, ConflictsAppearUnderLoad)
 {
     Simulation sim;

@@ -21,11 +21,17 @@
  *
  * Filters: --type <name> --port N --src N --dst N --id N --response
  *          --switch N          (leaf switch id; multi-tier topologies)
+ *          --pool N            (fair-share pool id; tenanted runs)
  *          --from NS --to NS   (times in simulation nanoseconds)
  *
  * Leaf-spine logs (docs/TOPOLOGY.md) stamp each record with its switch
  * id and carry per-tier occupancy charges as tier-charge records;
  * `summary` rolls those up into a per-switch, per-tier table.
+ *
+ * Fair-share logs (docs/FAIR_SHARE.md) stamp grant/ledger records with
+ * the owning pool (`aux` = pool id + 1); `summary` rolls those up into
+ * a per-pool table: grants, bytes, achieved Gbps, limit deferrals,
+ * priority bypasses and LedgerOpen->LedgerRetire completion p50/p99.
  */
 
 #include <algorithm>
@@ -40,6 +46,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "core/occupancy.hpp"
 #include "trace/event_log.hpp"
 
@@ -58,6 +65,7 @@ struct Filter
     long dst = -1;
     long id = -1;
     long sw = -1; ///< leaf switch id (record field `sw`)
+    long pool = -1; ///< fair-share pool id (record field `aux` - 1)
     bool response_only = false;
     double from_ns = -1;
     double to_ns = -1;
@@ -77,6 +85,9 @@ struct Filter
             return false;
         if (id >= 0 && r.id != id)
             return false;
+        if (pool >= 0 &&
+            r.aux != static_cast<std::uint32_t>(pool) + 1)
+            return false;
         if (response_only && !r.response())
             return false;
         const double ns = toNs(r.at);
@@ -91,7 +102,7 @@ struct Filter
 int
 typeFromName(const std::string &name)
 {
-    for (int t = 0; t <= 16; ++t)
+    for (int t = 0; t <= trace::kMaxEventType; ++t)
         if (name == trace::toString(static_cast<EventType>(t)))
             return t;
     return -1;
@@ -122,12 +133,16 @@ void
 dumpRecord(const Record &r)
 {
     // tier-charge records name their link tier; everything else shows
-    // the owning switch id (0 on single-switch fabrics).
+    // the owning switch id (0 on single-switch fabrics). Tenanted runs
+    // stamp grant/ledger records with their fair-share pool.
     char extra[32] = "";
     if (r.eventType() == EventType::TierCharge)
         std::snprintf(extra, sizeof(extra), " %s",
                       core::toString(
                           static_cast<core::LinkTier>(r.tier)));
+    else if (r.aux > 0)
+        std::snprintf(extra, sizeof(extra), " pool %u",
+                      static_cast<unsigned>(r.aux - 1));
     std::printf("%14.3f ns  sw %-3u port %-4u %-16s %-20s %u->%u id %-3u "
                 "%s arg %" PRIu64 "%s\n",
                 toNs(r.at), static_cast<unsigned>(r.sw),
@@ -244,6 +259,68 @@ cmdSummary(const std::vector<Record> &recs)
                         ns(core::LinkTier::Trunk),
                         ns(core::LinkTier::Spine),
                         ns(core::LinkTier::LeafEgress));
+        }
+    }
+
+    // Per-pool fair-share rollup (tenanted runs only: untenanted logs
+    // leave `aux` zero on every record).
+    struct PoolSummary
+    {
+        std::uint64_t grants = 0, bytes = 0;
+        std::uint64_t deferred = 0, bypasses = 0;
+        Picoseconds first = -1, last = 0;
+        Samples complete_ns; ///< LedgerOpen -> LedgerRetire per flow
+    };
+    std::map<std::uint32_t, PoolSummary> pools; // key: aux = pool + 1
+    std::map<FlowKey, Picoseconds> open_at;
+    for (const Record &r : recs) {
+        if (r.aux == 0)
+            continue;
+        PoolSummary &p = pools[r.aux];
+        switch (r.eventType()) {
+        case EventType::GrantIssued:
+            ++p.grants;
+            p.bytes += r.arg;
+            if (p.first < 0)
+                p.first = r.at;
+            p.last = r.at;
+            break;
+        case EventType::GrantDeferredByLimit: ++p.deferred; break;
+        case EventType::PriorityBypass: ++p.bypasses; break;
+        case EventType::LedgerOpen: open_at[flowOf(r)] = r.at; break;
+        case EventType::LedgerRetire: {
+            const auto it = open_at.find(flowOf(r));
+            if (it != open_at.end()) {
+                p.complete_ns.add(toNs(r.at - it->second));
+                open_at.erase(it);
+            }
+            break;
+        }
+        case EventType::LedgerAbort: open_at.erase(flowOf(r)); break;
+        default: break;
+        }
+    }
+    if (!pools.empty()) {
+        std::printf("\nper-pool fair-share rollup:\n");
+        std::printf("%-6s %7s %10s %8s %9s %8s %12s %12s\n", "pool",
+                    "grants", "bytes", "Gbps", "deferred", "bypass",
+                    "complete p50", "complete p99");
+        for (const auto &kv : pools) {
+            const PoolSummary &p = kv.second;
+            const double span_ns =
+                p.first >= 0 ? toNs(p.last - p.first) : 0.0;
+            // bits per ns == Gbps, over the pool's active grant span.
+            const double gbps = span_ns > 0
+                ? static_cast<double>(p.bytes) * 8.0 / span_ns
+                : 0.0;
+            std::printf("%-6u %7" PRIu64 " %10" PRIu64 " %8.2f %9" PRIu64
+                        " %8" PRIu64 " %12.1f %12.1f\n",
+                        static_cast<unsigned>(kv.first - 1), p.grants,
+                        p.bytes, gbps, p.deferred, p.bypasses,
+                        p.complete_ns.count()
+                            ? p.complete_ns.percentile(50) : 0.0,
+                        p.complete_ns.count()
+                            ? p.complete_ns.percentile(99) : 0.0);
         }
     }
     return 0;
@@ -474,7 +551,7 @@ usage()
         "usage: edm_trace <dump|summary|parked|histo|faults> <file> "
         "[--type NAME] [--port N]\n"
         "                 [--src N] [--dst N] [--id N] [--switch N] "
-        "[--response]\n"
+        "[--pool N] [--response]\n"
         "                 [--from NS] [--to NS] [--min-ns N]\n");
     return 2;
 }
@@ -518,6 +595,8 @@ main(int argc, char **argv)
             filter.id = std::atol(v);
         } else if (a == "--switch") {
             filter.sw = std::atol(v);
+        } else if (a == "--pool") {
+            filter.pool = std::atol(v);
         } else if (a == "--from") {
             filter.from_ns = std::atof(v);
         } else if (a == "--to") {

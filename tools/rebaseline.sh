@@ -25,6 +25,7 @@
 #                   wire       kGoldenFig8aWire kGoldenClusterSweepWire
 #                              kGoldenChunkSweepWire
 #                   leafspine  kGoldenLeafSpine
+#                   fairshare  kGoldenFairShare
 #   --skip-bench  leave the BENCH_*.json snapshots alone
 #
 # Also available as a build target: cmake --build build -t rebaseline
@@ -32,7 +33,7 @@
 set -euo pipefail
 
 BUILD_DIR=build
-MODES=legacy,wire,leafspine
+MODES=legacy,wire,leafspine,fairshare
 SKIP_BENCH=0
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -41,7 +42,7 @@ while [[ $# -gt 0 ]]; do
       --skip-bench) SKIP_BENCH=1; shift ;;
       *)
         echo "usage: $0 [--build-dir <dir>]" \
-             "[--modes legacy,wire,leafspine] [--skip-bench]" >&2
+             "[--modes legacy,wire,leafspine,fairshare] [--skip-bench]" >&2
         exit 2 ;;
     esac
 done
@@ -54,11 +55,15 @@ INC=tests/golden_figs_values.inc
 LEGACY_ARRAYS="kGoldenFig6 kGoldenFig8a kGoldenFig8b kGoldenClusterSweep"
 WIRE_ARRAYS="kGoldenFig8aWire kGoldenClusterSweepWire kGoldenChunkSweepWire"
 LEAFSPINE_ARRAYS="kGoldenLeafSpine"
+FAIRSHARE_ARRAYS="kGoldenFairShare"
 SELECTED=""
 case ",$MODES," in *,legacy,*) SELECTED="$SELECTED $LEGACY_ARRAYS" ;; esac
 case ",$MODES," in *,wire,*) SELECTED="$SELECTED $WIRE_ARRAYS" ;; esac
 case ",$MODES," in
   *,leafspine,*) SELECTED="$SELECTED $LEAFSPINE_ARRAYS" ;;
+esac
+case ",$MODES," in
+  *,fairshare,*) SELECTED="$SELECTED $FAIRSHARE_ARRAYS" ;;
 esac
 if [[ -z "$SELECTED" ]]; then
     echo "rebaseline: no known mode in --modes '$MODES'" >&2
@@ -97,12 +102,15 @@ emit_array() { # $1 = file, $2 = array name
 // port charges, core/occupancy.hpp). kGoldenLeafSpine: the
 // cluster-scale leaf-spine incast rows of scenarios/leaf_spine.edm
 // (multi-tier topology, sharded scheduler, net/topology.hpp).
+// kGoldenFairShare: both rows of scenarios/tenant_isolation.edm
+// (multi-tenant fair-share arbitration, core/fair_share.hpp).
 // Regenerate ONLY via the documented pipeline: tools/rebaseline.sh
 // (docs/REBASELINE.md) — it emits the schedule-diff summary reviewers
 // need.
 
 EOF
-    for name in $LEGACY_ARRAYS $WIRE_ARRAYS $LEAFSPINE_ARRAYS; do
+    for name in $LEGACY_ARRAYS $WIRE_ARRAYS $LEAFSPINE_ARRAYS \
+                $FAIRSHARE_ARRAYS; do
         case " $SELECTED " in
           *" $name "*) src="$TMP/new_arrays.inc" ;;
           *) src="$TMP/old.inc" ;;
